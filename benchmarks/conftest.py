@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+``report_table`` collects rendered result tables; they are printed in the
+terminal summary (so they survive pytest's output capture) and written to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_TABLES: list[tuple[str, str]] = []
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report_table(name: str, text: str) -> None:
+    """Register one experiment's rendered output."""
+    _TABLES.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("reproduction results")
+    for name, text in _TABLES:
+        tr.write_line(f"\n=== {name} ===")
+        for line in text.splitlines():
+            tr.write_line(line)

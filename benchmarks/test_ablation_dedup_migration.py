@@ -1,0 +1,69 @@
+"""Ablation: differential code migration (paper Section 6 future work).
+
+"We could potentially reduce its migration memory overhead by changing
+Isomalloc to only migrate segments of code that differ across different
+ranks."  With ``PieGlobals(dedup_migration=True)`` a rank migrating to a
+process that already hosts another rank's identical code copy transfers
+only its data/heap — this bench quantifies the saving against Figure 8's
+plain PIEglobals and the TLSglobals floor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.apps.memhog import MemhogConfig, build_memhog_program
+from repro.charm.node import JobLayout
+from repro.harness.tables import format_table
+from repro.machine import BRIDGES2
+from repro.privatization.pieglobals import PieGlobals
+
+from conftest import report_table
+
+HEAPS = (1, 4, 16, 64)
+CODE = 14 * 1024 * 1024
+
+
+def _migrate_ns(method, heap_mb):
+    src = build_memhog_program(MemhogConfig(heap_mb=heap_mb,
+                                            code_bytes=CODE))
+    # 2 nodes, 2 ranks per node process, round-robin so the destination
+    # process already hosts a PIE copy of the same binary.
+    job = AmpiJob(src, 4, method=method, machine=BRIDGES2,
+                  layout=JobLayout(nodes=2, processes_per_node=1,
+                                   pes_per_process=1),
+                  placement="roundrobin", slot_size=1 << 28)
+    result = job.run()
+    return result.exit_values[0]
+
+
+def _run():
+    rows = []
+    for heap in HEAPS:
+        plain = _migrate_ns(PieGlobals(), heap)
+        dedup = _migrate_ns(PieGlobals(dedup_migration=True), heap)
+        tls = _migrate_ns("tlsglobals", heap)
+        rows.append((heap, tls, plain, dedup))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_dedup_migration(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["Heap (MB)", "TLSglobals (ms)", "PIE (ms)", "PIE+dedup (ms)",
+         "dedup saving"],
+        [[h, t / 1e6, p / 1e6, d / 1e6, f"{100 * (p - d) / p:.0f}%"]
+         for h, t, p, d in rows],
+        title="Ablation: differential code migration (14 MB code segment)",
+    )
+    report_table("ablation_dedup_migration", table)
+
+    for heap, tls, plain, dedup in rows:
+        # Dedup strictly improves on plain PIE...
+        assert dedup < plain
+        # ...and closes most of the gap to the TLSglobals floor.
+        assert (dedup - tls) < 0.35 * (plain - tls)
+    # The absolute saving is ~constant (the code segment's wire time).
+    savings = [p - d for _, _, p, d in rows]
+    assert max(savings) < 1.6 * min(savings)

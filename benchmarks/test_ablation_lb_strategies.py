@@ -1,0 +1,63 @@
+"""Ablation: load-balancing strategy choice on the ADCIRC workload.
+
+The paper uses GreedyRefineLB and notes that "more tuning of load
+balancing frequency and strategy can yield greater speedups".  This
+ablation compares no-LB, GreedyRefineLB, GreedyLB (ignores placement:
+best balance, most migrations), and RotateLB (pathological churn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.apps.adcirc import AdcircConfig, build_adcirc_program
+from repro.charm.node import JobLayout
+from repro.harness.tables import format_table
+from repro.machine import BRIDGES2
+
+from conftest import report_table
+
+CORES = 8
+NVP = 32
+STEPS = 100
+
+
+def _run_strategy(strategy: str, lb_period: int):
+    cfg = AdcircConfig(steps=STEPS, lb_period=lb_period,
+                       l2_bytes=BRIDGES2.l2_per_core_bytes)
+    job = AmpiJob(build_adcirc_program(cfg), NVP, method="pieglobals",
+                  machine=BRIDGES2, layout=JobLayout.single(CORES),
+                  lb_strategy=strategy, slot_size=1 << 26)
+    r = job.run()
+    moves = sum(x.moves for x in r.lb_reports)
+    return r.app_ns, moves
+
+
+def _run_all():
+    out = {}
+    out["no-lb"] = _run_strategy("null", 0)
+    out["null (sync only)"] = _run_strategy("null", 4)
+    out["greedyrefine"] = _run_strategy("greedyrefine", 4)
+    out["greedy"] = _run_strategy("greedy", 4)
+    out["rotate"] = _run_strategy("rotate", 4)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lb_strategies(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["Strategy", "Exec (ms)", "Migrations"],
+        [[k, v[0] / 1e6, v[1]] for k, v in results.items()],
+        title=f"Ablation: LB strategy, ADCIRC {NVP} VPs on {CORES} cores",
+    )
+    report_table("ablation_lb_strategies", table)
+
+    # Measured-load strategies beat doing nothing.
+    assert results["greedyrefine"][0] < results["no-lb"][0]
+    assert results["greedy"][0] < results["no-lb"][0]
+    # GreedyRefine achieves its gains with far fewer migrations.
+    assert results["greedyrefine"][1] < results["greedy"][1] / 2
+    # Blind rotation migrates everything and wins nothing over refine.
+    assert results["rotate"][1] > results["greedyrefine"][1]
+    assert results["rotate"][0] > results["greedyrefine"][0]

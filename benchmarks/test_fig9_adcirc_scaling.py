@@ -1,0 +1,61 @@
+"""Figure 9: ADCIRC strong-scaling execution time with varying degrees of
+virtualization and dynamic load balancing (lower is better).
+
+Shape goals: every series scales down with cores; at small-to-mid core
+counts the virtualized+LB series beat the baseline; the advantage narrows
+at the strong-scaling limit where communication dominates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import adcirc_scaling_experiment
+from repro.harness.tables import format_table
+
+from conftest import report_table
+
+CORES = (1, 2, 4, 8, 16, 32, 64)
+RATIOS = (1, 2, 4, 8)
+
+
+def _run():
+    return adcirc_scaling_experiment(cores_list=CORES, ratios=RATIOS)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_adcirc_strong_scaling(benchmark):
+    rows, _ = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    series: dict[int, dict[int, int]] = {}
+    for r in rows:
+        series.setdefault(r.virtualization, {})[r.cores] = r.exec_ns
+    table_rows = []
+    for v in sorted(series):
+        for cores in CORES:
+            if cores in series[v]:
+                table_rows.append(
+                    [f"{v}x" + (" + LB" if v > 1 else " (baseline)"),
+                     cores, series[v][cores] / 1e6]
+                )
+    table = format_table(
+        ["Series", "Cores", "Exec time (ms)"],
+        table_rows,
+        title="Figure 9: ADCIRC strong scaling (execution time, lower "
+              "is better)",
+    )
+    report_table("fig9_adcirc_scaling", table)
+
+    base = series[1]
+    # Strong scaling: baseline time decreases with core count.
+    times = [base[c] for c in CORES]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # Virtualization + LB beats the baseline at mid core counts for
+    # every virtualization degree measured there.
+    for v in (2, 4, 8):
+        for cores in (4, 8):
+            if cores in series.get(v, {}):
+                assert series[v][cores] < base[cores], (v, cores)
+    # The best virtualized series extends the scaling envelope: its
+    # minimum time beats the baseline's minimum.
+    best_virtual = min(min(s.values()) for v, s in series.items() if v > 1)
+    assert best_virtual < min(base.values())

@@ -1,0 +1,46 @@
+"""Table 1: feature matrix of the six *existing* privatization methods.
+
+Unlike the paper's hand-written table, every cell here is produced by an
+executed probe: correctness runs (which variable classes survive), SMP
+layouts, portability builds across machine presets, and actual
+cross-process migrations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.capabilities import (
+    TABLE1_METHODS,
+    capability_table,
+    probe_method,
+)
+
+from conftest import report_table
+
+
+def _build_table1() -> str:
+    return capability_table(TABLE1_METHODS,
+                            title="Table 1: existing privatization methods")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_existing_methods(benchmark):
+    table = benchmark.pedantic(_build_table1, rounds=1, iterations=1)
+    report_table("table1_existing_methods", table)
+
+    # Shape assertions against the paper's Table 1.
+    swap = probe_method("swapglobals")
+    assert swap.automation == "No static vars"
+    assert swap.smp_support == "No"
+    assert swap.migration == "Yes"
+    tls = probe_method("tlsglobals")
+    assert tls.automation == "Mediocre"
+    assert tls.smp_support == "Yes"
+    mpc = probe_method("mpc")
+    assert mpc.automation == "Good"
+    assert mpc.migration == "Not implemented, but possible"
+    pip = probe_method("pipglobals")
+    assert pip.automation == "Good"
+    assert pip.smp_support == "Limited w/o patched glibc"
+    assert pip.migration == "No"

@@ -1,0 +1,43 @@
+"""Table 3: the full feature matrix including the three new runtime
+methods (PIPglobals, FSglobals, PIEglobals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.capabilities import (
+    TABLE3_METHODS,
+    capability_table,
+    probe_method,
+)
+
+from conftest import report_table
+
+
+def _build_table3() -> str:
+    return capability_table(
+        TABLE3_METHODS,
+        title="Table 3: all privatization methods (incl. the 3 new ones)",
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_all_methods(benchmark):
+    table = benchmark.pedantic(_build_table3, rounds=1, iterations=1)
+    report_table("table3_all_methods", table)
+
+    fs = probe_method("fsglobals")
+    assert fs.automation == "Good"
+    assert fs.smp_support == "Yes"
+    assert fs.migration == "No"
+
+    pie = probe_method("pieglobals")
+    assert pie.automation == "Good"
+    assert pie.smp_support == "Yes"
+    assert pie.migration == "Yes"
+    # PIEglobals is the only fully automatic method that also migrates —
+    # the paper's headline claim.
+    for other in TABLE3_METHODS:
+        row = probe_method(other)
+        if row.method != "pieglobals" and row.automation == "Good":
+            assert row.migration != "Yes"

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Fault tolerance on top of migratable ranks: checkpoint + restart.
+
+A restart-aware iterative app checkpoints mid-run (a collective that
+snapshots every rank's privatized globals and heap through the same
+machinery migration uses).  We then simulate a job failure and restart a
+fresh job from the checkpoint: it resumes at the saved step and produces
+the same final state as an uninterrupted run.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+from repro import AmpiJob, JobLayout, Program
+from repro.machine import GENERIC_LINUX
+
+STEPS = 10
+CKPT_AT = 5
+
+
+def build(crash_after_checkpoint: bool):
+    p = Program("trapezoid")
+    p.add_global("cur_step", 0)
+    p.add_global("partial", 0.0)
+
+    @p.function()
+    def main(ctx):
+        mpi = ctx.mpi
+        me = mpi.rank()
+        start = ctx.g.cur_step
+        if start:
+            print(f"    [vp {me}] restarted at step {start}, "
+                  f"partial={ctx.g.partial}")
+        for step in range(start, STEPS):
+            # integrate f(x)=x over this rank's slice, one strip per step
+            x = (step + 0.5) / STEPS
+            ctx.g.partial = ctx.g.partial + x / mpi.size()
+            ctx.g.cur_step = step + 1
+            ctx.compute(1_000)
+            if step + 1 == CKPT_AT and start == 0:
+                mpi.checkpoint()
+                if crash_after_checkpoint:
+                    mpi.abort(errorcode=42)   # simulated node failure
+        return mpi.allreduce(ctx.g.partial) / STEPS
+
+    return p.build()
+
+
+def job(source, restore_from=None):
+    return AmpiJob(source, nvp=4, method="pieglobals",
+                   machine=GENERIC_LINUX, layout=JobLayout.single(2),
+                   slot_size=1 << 24, restore_from=restore_from)
+
+
+def main():
+    print("== uninterrupted run ==")
+    clean = job(build(crash_after_checkpoint=False)).run()
+    expected = next(iter(clean.exit_values.values()))
+    print(f"  integral of x over [0,1] ~= {expected:.6f}\n")
+
+    print(f"== run that fails right after the step-{CKPT_AT} checkpoint ==")
+    failing = job(build(crash_after_checkpoint=True))
+    try:
+        failing.run()
+    except Exception as e:  # MpiAbort
+        print(f"  job died: {e}")
+    ckpt = failing.checkpoints[0]
+    print(f"  checkpoint captured: {ckpt.nvp} ranks, {ckpt.nbytes} bytes, "
+          f"at step {ckpt.snapshots[0].globals_['cur_step']}\n")
+
+    print("== restart from the checkpoint ==")
+    restarted = job(build(crash_after_checkpoint=False),
+                    restore_from=ckpt).run()
+    got = next(iter(restarted.exit_values.values()))
+    print(f"  final result {got:.6f} "
+          f"({'MATCHES' if abs(got - expected) < 1e-12 else 'DIFFERS'} "
+          f"the uninterrupted run)")
+
+
+if __name__ == "__main__":
+    main()

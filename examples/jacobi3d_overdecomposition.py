@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Jacobi-3D under virtualization: one physical core count, several
+virtualization ratios, full privatization with PIEglobals.
+
+Shows the two quantities the paper's microbenchmarks track:
+* the solver's numerical result is identical at every ratio (the runtime
+  is transparent to the application);
+* the simulated execution profile (context switches, per-PE utilization)
+  changes with overdecomposition.
+
+Run:  python examples/jacobi3d_overdecomposition.py
+"""
+
+from repro import JobLayout
+from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+from repro.harness.tables import format_table
+from repro.machine import BRIDGES2
+from repro.perf.counters import EV_CTX_SWITCH
+
+CORES = 4
+
+
+def main():
+    cfg = JacobiConfig(n=24, iters=12, reduce_every=3)
+    rows = []
+    residual = None
+    for ratio in (1, 2, 4, 8):
+        nvp = CORES * ratio
+        result = run_jacobi(
+            cfg, nvp, method="pieglobals", machine=BRIDGES2,
+            layout=JobLayout.single(CORES),
+        )
+        residual = next(iter(result.exit_values.values()))
+        assert len(set(result.exit_values.values())) == 1
+        busy = sum(p.busy_ns for p in result.pe_stats)
+        util = busy / (result.app_ns * CORES)
+        rows.append([
+            f"{ratio}x ({nvp} VPs)",
+            f"{result.app_ns / 1e6:.3f}",
+            result.counters[EV_CTX_SWITCH],
+            f"{util:.2f}",
+            f"{residual:.6f}",
+        ])
+
+    print(format_table(
+        ["Virtualization", "Exec (ms)", "Ctx switches", "PE util",
+         "Residual"],
+        rows,
+        title=f"Jacobi-3D {cfg.n}^3, {cfg.iters} iters on {CORES} cores "
+              f"(PIEglobals)",
+    ))
+    print("\nSame residual at every ratio: virtualization is transparent "
+          "to the numerics.")
+
+
+if __name__ == "__main__":
+    main()

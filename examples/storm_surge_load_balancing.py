@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Storm-surge simulation with dynamic load balancing — the ADCIRC story.
+
+A hurricane tracks across a coastal domain; only wet cells cost compute,
+so the load follows the flood front.  The example runs the same problem
+three ways on 8 cores:
+
+1. baseline: one rank per core, no load balancing;
+2. 4x overdecomposition without LB (virtualization alone);
+3. 4x overdecomposition + GreedyRefineLB (the paper's configuration).
+
+Run:  python examples/storm_surge_load_balancing.py
+"""
+
+from repro import AmpiJob, JobLayout
+from repro.apps.adcirc import AdcircConfig, build_adcirc_program
+from repro.harness.tables import format_table
+from repro.machine import BRIDGES2
+
+CORES = 8
+
+
+def run(nvp, lb_period, lb_strategy="greedyrefine"):
+    cfg = AdcircConfig(steps=100, lb_period=lb_period,
+                       l2_bytes=BRIDGES2.l2_per_core_bytes)
+    job = AmpiJob(build_adcirc_program(cfg), nvp, method="pieglobals",
+                  machine=BRIDGES2, layout=JobLayout.single(CORES),
+                  lb_strategy=lb_strategy, slot_size=1 << 26)
+    result = job.run()
+    util = sum(p.busy_ns for p in result.pe_stats) / (result.app_ns * CORES)
+    moves = sum(r.moves for r in result.lb_reports)
+    return result, util, moves
+
+
+def main():
+    base, u0, _ = run(CORES, lb_period=0)
+    virt, u1, _ = run(CORES * 4, lb_period=0)
+    lb, u2, moves = run(CORES * 4, lb_period=5)
+
+    def pct(t):
+        return f"{100.0 * (base.app_ns - t) / t:+.0f}%"
+
+    print(format_table(
+        ["Configuration", "Exec (ms)", "PE utilization", "Migrations",
+         "vs baseline"],
+        [
+            ["1 VP/core (baseline)", base.app_ns / 1e6, f"{u0:.2f}", 0, "--"],
+            ["4 VPs/core, no LB", virt.app_ns / 1e6, f"{u1:.2f}", 0,
+             pct(virt.app_ns)],
+            ["4 VPs/core + GreedyRefineLB", lb.app_ns / 1e6, f"{u2:.2f}",
+             moves, pct(lb.app_ns)],
+        ],
+        title=f"ADCIRC-mini storm surge on {CORES} cores (PIEglobals)",
+    ))
+
+    print("\nLB activity over the run (imbalance = max PE load / average):")
+    for i, r in enumerate(lb.lb_reports[:10]):
+        print(f"  sync {i:2d}: imbalance {r.imbalance_before:5.2f} -> "
+              f"{r.imbalance_after:5.2f}, {r.moves} rank(s) migrated")
+    if len(lb.lb_reports) > 10:
+        print(f"  ... {len(lb.lb_reports) - 10} more syncs")
+
+    print("\nDynamic rank migration is possible here *because* PIEglobals")
+    print("placed each rank's code+data copies in its Isomalloc slot; try")
+    print("method='pipglobals' and watch MigrationUnsupportedError.")
+
+
+if __name__ == "__main__":
+    main()

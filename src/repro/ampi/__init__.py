@@ -1,0 +1,42 @@
+"""Adaptive MPI: the MPI interface over virtualized ranks.
+
+The public entry point is :class:`~repro.ampi.runtime.AmpiJob`:
+
+>>> from repro import ampi
+>>> job = ampi.AmpiJob(source, nvp=8, method="pieglobals")
+>>> result = job.run()
+
+Inside program functions, ``ctx.mpi`` exposes an mpi4py-flavoured API
+(lowercase object methods: ``send``/``recv``/``bcast``/``reduce``/...).
+"""
+
+from repro.ampi.datatypes import payload_nbytes, INT, DOUBLE, BYTE
+from repro.ampi.ops import SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MAXLOC, MINLOC
+from repro.ampi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.ampi.requests import Request
+from repro.ampi.runtime import AmpiJob, JobResult
+from repro.ampi.checkpoint import Checkpoint
+
+__all__ = [
+    "payload_nbytes",
+    "INT",
+    "DOUBLE",
+    "BYTE",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "MAXLOC",
+    "MINLOC",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Request",
+    "AmpiJob",
+    "JobResult",
+    "Checkpoint",
+]

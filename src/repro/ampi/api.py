@@ -1,0 +1,227 @@
+"""The MPI facade handed to program functions as ``ctx.mpi``.
+
+Method names follow mpi4py's lowercase object-communication convention
+(``send``/``recv``/``bcast``/``reduce``/...).  Every call dispatches
+through the rank's *calltable*: for methods built with the function-
+pointer shim (PIP/FS/PIEglobals) the table was populated by
+``AMPI_FuncPtr_Unpack`` from the rank's privatized shim slots, and points
+at the single per-job runtime — calling through it exercises the Figure 4
+machinery for real.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.ampi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.ampi.ops import Op, SUM
+from repro.ampi.requests import Request, Status
+from repro.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.vrank import VirtualRank
+
+
+class MpiHandle:
+    """Per-rank MPI entry object."""
+
+    def __init__(self, rank: "VirtualRank",
+                 calltable: dict[str, Callable]):
+        self._rank = rank
+        self._calltable = calltable
+
+    def _call(self, name: str, *args: Any, **kw: Any) -> Any:
+        try:
+            fn = self._calltable[name]
+        except KeyError:
+            raise MpiError(
+                f"MPI entry point {name!r} missing from the calltable "
+                "(shim not unpacked?)"
+            ) from None
+        return fn(self._rank, *args, **kw)
+
+    # -- setup / teardown ------------------------------------------------------
+
+    def init(self) -> None:
+        """MPI_Init."""
+        self._call("init")
+
+    def initialized(self) -> bool:
+        return self._call("initialized")
+
+    def finalize(self) -> None:
+        """MPI_Finalize (synchronizing, like a final barrier)."""
+        self._call("finalize")
+
+    # -- identity -----------------------------------------------------------------
+
+    def rank(self, comm: Communicator | None = None) -> int:
+        """MPI_Comm_rank."""
+        return self._call("rank", comm)
+
+    def size(self, comm: Communicator | None = None) -> int:
+        """MPI_Comm_size."""
+        return self._call("size", comm)
+
+    @property
+    def world(self) -> Communicator:
+        return self._call("comm_world")
+
+    # -- point-to-point ---------------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             comm: Communicator | None = None) -> None:
+        """Blocking (eager) send."""
+        self._call("send", payload, dest, tag, comm)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             comm: Communicator | None = None,
+             status: Status | None = None) -> Any:
+        """Blocking receive; returns the payload."""
+        return self._call("recv", source, tag, comm, status)
+
+    def sendrecv(self, payload: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 comm: Communicator | None = None) -> Any:
+        return self._call("sendrecv", payload, dest, source, sendtag,
+                          recvtag, comm)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              comm: Communicator | None = None) -> Request:
+        return self._call("isend", payload, dest, tag, comm)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Communicator | None = None) -> Request:
+        return self._call("irecv", source, tag, comm)
+
+    def wait(self, request: Request) -> Any:
+        """Block until the request completes; returns recv payload."""
+        return self._call("wait", request)
+
+    def test(self, request: Request) -> tuple[bool, Any]:
+        return self._call("test", request)
+
+    def waitall(self, requests: Sequence[Request]) -> list[Any]:
+        return self._call("waitall", requests)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Communicator | None = None) -> Status:
+        """Blocking probe."""
+        return self._call("probe", source, tag, comm)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+               comm: Communicator | None = None) -> Status | None:
+        """Nonblocking probe; None when no matching message is queued."""
+        return self._call("iprobe", source, tag, comm)
+
+    # -- collectives -----------------------------------------------------------------------
+
+    def barrier(self, comm: Communicator | None = None) -> None:
+        self._call("barrier", comm)
+
+    def bcast(self, value: Any = None, root: int = 0,
+              comm: Communicator | None = None) -> Any:
+        return self._call("bcast", value, root, comm)
+
+    def reduce(self, value: Any, op: Op = SUM, root: int = 0,
+               comm: Communicator | None = None) -> Any:
+        return self._call("reduce", value, op, root, comm)
+
+    def allreduce(self, value: Any, op: Op = SUM,
+                  comm: Communicator | None = None) -> Any:
+        return self._call("allreduce", value, op, comm)
+
+    def gather(self, value: Any, root: int = 0,
+               comm: Communicator | None = None) -> list[Any] | None:
+        return self._call("gather", value, root, comm)
+
+    def allgather(self, value: Any,
+                  comm: Communicator | None = None) -> list[Any]:
+        return self._call("allgather", value, comm)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0,
+                comm: Communicator | None = None) -> Any:
+        return self._call("scatter", values, root, comm)
+
+    def alltoall(self, values: Sequence[Any],
+                 comm: Communicator | None = None) -> list[Any]:
+        return self._call("alltoall", values, comm)
+
+    def scan(self, value: Any, op: Op = SUM,
+             comm: Communicator | None = None) -> Any:
+        return self._call("scan", value, op, comm)
+
+    def exscan(self, value: Any, op: Op = SUM,
+               comm: Communicator | None = None) -> Any:
+        """MPI_Exscan: exclusive prefix reduction (rank 0 gets None)."""
+        return self._call("exscan", value, op, comm)
+
+    def reduce_scatter(self, values: Sequence[Any], op: Op = SUM,
+                       comm: Communicator | None = None) -> Any:
+        """MPI_Reduce_scatter_block: reduce vectors elementwise, rank i
+        keeps element i."""
+        return self._call("reduce_scatter", values, op, comm)
+
+    def waitany(self, requests: Sequence[Request]) -> tuple[int, Any]:
+        """MPI_Waitany: (index of the first completion, its payload)."""
+        return self._call("waitany", requests)
+
+    def testall(self, requests: Sequence[Request]) -> tuple[bool, list[Any]]:
+        return self._call("testall", requests)
+
+    # -- operators / communicators -------------------------------------------------------------
+
+    def op_create(self, fn_name: str, commute: bool = True) -> Op:
+        """MPI_Op_create over a *program function* (by name).
+
+        Under PIEglobals the function's address differs per rank, so the
+        op records an offset from this rank's code base (Section 3.3).
+        """
+        return self._call("op_create", fn_name, commute)
+
+    def comm_dup(self, comm: Communicator | None = None) -> Communicator:
+        return self._call("comm_dup", comm)
+
+    def comm_split(self, color: int, key: int = 0,
+                   comm: Communicator | None = None) -> Communicator:
+        return self._call("comm_split", color, key, comm)
+
+    # -- AMPI extensions ------------------------------------------------------------------------
+
+    def migrate(self) -> None:
+        """AMPI_Migrate: collective load-balancing sync point."""
+        self._call("migrate")
+
+    def migrate_to(self, pe_index: int) -> None:
+        """AMPI_Migrate_to: move this rank to a specific PE."""
+        self._call("migrate_to", pe_index)
+
+    def yield_(self) -> None:
+        """AMPI_Yield: give up the PE to the next ready rank (the
+        Figure 6 context-switch microbenchmark primitive)."""
+        self._call("yield")
+
+    def resize(self, n_active_pes: int) -> None:
+        """AMPI shrink/expand: collectively repack ranks onto the first
+        ``n_active_pes`` PEs (or spread back out when growing)."""
+        self._call("resize", n_active_pes)
+
+    def my_pe(self) -> int:
+        """CkMyPe analogue: the PE this rank currently runs on."""
+        return self._rank.pe.index
+
+    def num_pes(self) -> int:
+        return self._call("num_pes")
+
+    def checkpoint(self) -> None:
+        """Collective in-memory checkpoint of all rank state."""
+        self._call("checkpoint")
+
+    # -- misc ---------------------------------------------------------------------------------------
+
+    def wtime(self) -> float:
+        """MPI_Wtime in simulated seconds."""
+        return self._call("wtime")
+
+    def abort(self, errorcode: int = 1) -> None:
+        self._call("abort", errorcode)

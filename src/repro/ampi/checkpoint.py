@@ -1,0 +1,118 @@
+"""Checkpoint/restart on top of migratable rank state.
+
+Checkpointing reuses the migration machinery's view of a rank: everything
+it owns is (for migratable methods) reachable through its globals routes,
+TLS instance, and heap.  ``ctx.mpi.checkpoint()`` is a collective that
+snapshots all ranks; a later job constructed with
+``AmpiJob(..., restore_from=ckpt)`` starts with every rank's privatized
+globals and heap contents restored, so a restart-aware program (one that
+consults, say, ``ctx.g.cur_step`` before iterating) resumes where it
+stopped.  Methods that cannot migrate cannot checkpoint either — the same
+Isomalloc limitation (PIPglobals/FSglobals), reproduced as
+:class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.ampi.datatypes import payload_nbytes
+from repro.errors import CheckpointError, MigrationUnsupportedError
+from repro.privatization._util import SHIM_PREFIX
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.runtime import AmpiJob
+
+
+@dataclass
+class RankSnapshot:
+    vp: int
+    clock_ns: int
+    globals_: dict[str, Any]
+    heap_items: list[tuple[int, Any, str]]   #: (nbytes, data, tag)
+
+
+@dataclass
+class Checkpoint:
+    """A job-wide state capture."""
+
+    nvp: int
+    method: str
+    at_ns: int
+    nbytes: int
+    snapshots: dict[int, RankSnapshot] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, job: "AmpiJob") -> "Checkpoint":
+        try:
+            for rank in job.ranks():
+                job.method.check_migratable(rank)
+        except MigrationUnsupportedError as e:
+            raise CheckpointError(
+                f"checkpointing requires migratable rank state: {e}"
+            ) from e
+
+        snaps: dict[int, RankSnapshot] = {}
+        total = 0
+        for rank in job.ranks():
+            view = rank.ctx.view
+            globals_: dict[str, Any] = {}
+            for name, route in view.routes.items():
+                if name.startswith(SHIM_PREFIX):
+                    continue  # runtime entry pointers, rebuilt at restart
+                var = route.instance.image.vars.get(name)
+                if var is not None and var.const:
+                    continue
+                globals_[name] = copy.deepcopy(route.instance.values[name])
+            heap_items = [
+                (a.nbytes, copy.deepcopy(a.data), a.tag)
+                for a in rank.heap
+            ] if rank.heap is not None else []
+            snap = RankSnapshot(
+                vp=rank.vp,
+                clock_ns=rank.clock.now,
+                globals_=globals_,
+                heap_items=heap_items,
+            )
+            snaps[rank.vp] = snap
+            total += sum(payload_nbytes(v) for v in globals_.values())
+            total += sum(n for n, _, _ in heap_items)
+            total += rank.stack_mapping.size if rank.stack_mapping else 0
+        return cls(
+            nvp=job.nvp,
+            method=job.method.name,
+            at_ns=max((s.clock_ns for s in snaps.values()), default=0),
+            nbytes=total,
+            snapshots=snaps,
+        )
+
+    def apply_to(self, job: "AmpiJob") -> None:
+        """Restore captured state into a freshly started job.
+
+        Called by :class:`~repro.ampi.runtime.AmpiJob` (via
+        ``restore_from=``) after privatization wiring, before any rank
+        runs.
+        """
+        if job.nvp != self.nvp:
+            raise CheckpointError(
+                f"checkpoint holds {self.nvp} ranks but the job has "
+                f"{job.nvp}; shrink/expand restart needs matching "
+                f"decomposition in this simulator"
+            )
+        for rank in job.ranks():
+            snap = self.snapshots[rank.vp]
+            view = rank.ctx.view
+            for name, value in snap.globals_.items():
+                route = view.routes.get(name)
+                if route is None:
+                    raise CheckpointError(
+                        f"vp {rank.vp}: checkpointed variable {name!r} "
+                        "does not exist in the restarted program"
+                    )
+                route.instance.values[name] = copy.deepcopy(value)
+            if rank.heap is not None:
+                for nbytes, data, tag in snap.heap_items:
+                    rank.heap.malloc(nbytes, data=copy.deepcopy(data),
+                                     tag=tag)

@@ -1,0 +1,405 @@
+"""Collective communication engine.
+
+Collectives are synchronizing rendezvous: each participating rank enters
+with a contribution and blocks until the operation's completion rule
+releases it.  Cost models are tree-based (``ceil(log2 n)`` steps at the
+communicator's worst latency regime, plus payload serialization), which
+is what makes overdecomposition + load balancing visible in end-to-end
+application timing: a barrier releases at the *latest* arrival, so
+imbalance is paid at every synchronization point.
+
+Reductions run over the Charm-style PE spanning tree
+(:mod:`repro.charm.reduction`), which is what surfaces the PIEglobals
+empty-PE user-op error.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.charm.reduction import reduce_over_pes, tree_depth
+from repro.errors import MpiError
+from repro.ampi.comm import Communicator
+from repro.ampi.datatypes import payload_nbytes
+from repro.ampi.ops import Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.runtime import AmpiJob
+    from repro.charm.vrank import VirtualRank
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Receiver-side buffer copy (each rank owns its result)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
+        return obj
+    return copy.deepcopy(obj)
+
+
+@dataclass
+class CollectiveState:
+    kind: str
+    comm: Communicator
+    seq: int
+    params: dict[str, Any] = field(default_factory=dict)
+    arrivals: dict[int, tuple[int, Any]] = field(default_factory=dict)
+    blocked: set[int] = field(default_factory=set)
+    #: comm rank -> (release time, result); filled by the last arriver
+    releases: dict[int, tuple[int, Any]] = field(default_factory=dict)
+    done: bool = False
+
+
+class CollectiveEngine:
+    def __init__(self, job: "AmpiJob"):
+        self.job = job
+        self._states: dict[tuple[int, int], CollectiveState] = {}
+        self._seq: dict[tuple[int, int], int] = {}
+        self.completed = 0
+
+    # -- entry point -------------------------------------------------------------
+
+    def enter(self, rank: "VirtualRank", comm: Communicator, kind: str,
+              contribution: Any = None, **params: Any) -> Any:
+        """Called by the MPI layer from the rank's ULT; blocks as needed."""
+        my = comm.rank_of_vp(rank.vp)
+        key = (rank.vp, comm.cid)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+
+        skey = (comm.cid, seq)
+        state = self._states.get(skey)
+        if state is None:
+            state = CollectiveState(kind=kind, comm=comm, seq=seq,
+                                    params=dict(params))
+            self._states[skey] = state
+        else:
+            if state.kind != kind:
+                raise MpiError(
+                    f"collective mismatch on {comm.name} (call #{seq}): "
+                    f"rank {my} called {kind} but others called {state.kind}"
+                )
+            for k, v in params.items():
+                if k in ("root", "op") and state.params.get(k) is not v \
+                        and state.params.get(k) != v:
+                    raise MpiError(
+                        f"{kind} on {comm.name}: inconsistent {k!r} across "
+                        f"ranks ({state.params.get(k)!r} vs {v!r})"
+                    )
+
+        if my in state.arrivals:
+            raise MpiError(
+                f"rank {my} entered {kind} #{seq} on {comm.name} twice"
+            )
+        state.arrivals[my] = (rank.clock.now, contribution)
+
+        if len(state.arrivals) < comm.size:
+            state.blocked.add(my)
+            self.job.scheduler.block_current(f"MPI_{kind}")
+            # woken: releases has our slot now
+            release, result = state.releases[my]
+            rank.clock.advance_to(release)
+            return result
+
+        # Last arriver completes the operation and wakes everyone.
+        self._finish(state)
+        state.done = True
+        self.completed += 1
+        del self._states[skey]
+        for r in state.blocked:
+            vp = comm.vp_of_rank(r)
+            release, _ = state.releases[r]
+            self.job.scheduler.wake(self.job.rank_of(vp), release)
+        release, result = state.releases[my]
+        rank.clock.advance_to(release)
+        return result
+
+    # -- completion rules -----------------------------------------------------------
+
+    def _finish(self, state: CollectiveState) -> None:
+        fn = getattr(self, f"_finish_{state.kind}", None)
+        if fn is None:
+            raise MpiError(f"unknown collective kind {state.kind!r}")
+        fn(state)
+
+    def _regime_latency(self, comm: Communicator) -> int:
+        """Worst pairwise latency among the comm's current PE placement."""
+        costs = self.job.costs
+        nodes = set()
+        procs = set()
+        for vp in comm.group:
+            pe = self.job.rank_of(vp).pe
+            nodes.add(pe.node_index)
+            procs.add(pe.process.index)
+        if len(nodes) > 1:
+            return costs.net_latency_inter_ns
+        if len(procs) > 1:
+            return costs.net_latency_intra_ns
+        return 0
+
+    def _step_ns(self, comm: Communicator, nbytes: int = 0) -> int:
+        costs = self.job.costs
+        lat = self._regime_latency(comm)
+        bw = (costs.net_bandwidth_inter_bpns if lat >= costs.net_latency_inter_ns
+              else costs.net_bandwidth_intra_bpns)
+        ser = int(nbytes / bw) if nbytes else 0
+        return costs.collective_step_ns + lat + ser
+
+    @staticmethod
+    def _max_arrival(state: CollectiveState) -> int:
+        return max(t for t, _ in state.arrivals.values())
+
+    def _finish_barrier(self, state: CollectiveState) -> None:
+        depth = tree_depth(state.comm.size)
+        release = self._max_arrival(state) + depth * self._step_ns(state.comm)
+        state.releases = {r: (release, None) for r in state.arrivals}
+
+    def _finish_bcast(self, state: CollectiveState) -> None:
+        comm = state.comm
+        root = state.params["root"]
+        root_time, value = state.arrivals[root]
+        nbytes = payload_nbytes(value)
+        depth = tree_depth(comm.size)
+        ready = root_time + depth * self._step_ns(comm, nbytes)
+        state.releases = {}
+        for r, (t, _) in state.arrivals.items():
+            if r == root:
+                state.releases[r] = (max(t, root_time), value)
+            else:
+                state.releases[r] = (max(t, ready), _copy_payload(value))
+
+    def _reduce_result(self, state: CollectiveState) -> tuple[Any, int]:
+        """Run the PE-tree reduction; returns (result, op applications)."""
+        comm = state.comm
+        op: Op = state.params["op"]
+        costs = self.job.costs
+        contributions: dict[int, list[Any]] = {}
+        # Deterministic: contributions in comm-rank order, grouped by the
+        # *current* PE of each rank (this is where migration-created empty
+        # PEs become interior tree nodes).
+        for r in range(comm.size):
+            t, v = state.arrivals[r]
+            pe = self.job.rank_of(comm.vp_of_rank(r)).pe
+            contributions.setdefault(pe.index, []).append(_copy_payload(v))
+        result, ops = reduce_over_pes(
+            self.job.pes, contributions,
+            lambda pe, a, b: op.apply(pe, a, b),
+        )
+        return result, ops
+
+    def _finish_reduce(self, state: CollectiveState) -> None:
+        comm = state.comm
+        root = state.params["root"]
+        result, ops = self._reduce_result(state)
+        nbytes = payload_nbytes(result)
+        depth = tree_depth(len(self.job.pes))
+        T = self._max_arrival(state)
+        root_release = (T + depth * self._step_ns(comm, nbytes)
+                        + ops * self.job.costs.reduction_op_ns)
+        state.releases = {}
+        for r, (t, _) in state.arrivals.items():
+            if r == root:
+                state.releases[r] = (root_release, result)
+            else:
+                # Non-roots contribute and leave.
+                state.releases[r] = (t + self._step_ns(comm), None)
+
+    def _finish_allreduce(self, state: CollectiveState) -> None:
+        comm = state.comm
+        result, ops = self._reduce_result(state)
+        nbytes = payload_nbytes(result)
+        depth = tree_depth(len(self.job.pes))
+        release = (self._max_arrival(state)
+                   + 2 * depth * self._step_ns(comm, nbytes)
+                   + ops * self.job.costs.reduction_op_ns)
+        state.releases = {
+            r: (release, _copy_payload(result)) for r in state.arrivals
+        }
+
+    def _finish_gather(self, state: CollectiveState) -> None:
+        comm = state.comm
+        root = state.params["root"]
+        values = [state.arrivals[r][1] for r in range(comm.size)]
+        total = sum(payload_nbytes(v) for v in values)
+        depth = tree_depth(comm.size)
+        T = self._max_arrival(state)
+        root_release = T + depth * self._step_ns(comm) + int(
+            total / self.job.costs.net_bandwidth_inter_bpns
+        )
+        state.releases = {}
+        for r, (t, _) in state.arrivals.items():
+            if r == root:
+                state.releases[r] = (root_release,
+                                     [_copy_payload(v) for v in values])
+            else:
+                state.releases[r] = (t + self._step_ns(comm), None)
+
+    def _finish_allgather(self, state: CollectiveState) -> None:
+        comm = state.comm
+        values = [state.arrivals[r][1] for r in range(comm.size)]
+        total = sum(payload_nbytes(v) for v in values)
+        depth = tree_depth(comm.size)
+        release = self._max_arrival(state) + depth * self._step_ns(comm, total)
+        state.releases = {
+            r: (release, [_copy_payload(v) for v in values])
+            for r in state.arrivals
+        }
+
+    def _finish_scatter(self, state: CollectiveState) -> None:
+        comm = state.comm
+        root = state.params["root"]
+        root_time, seq = state.arrivals[root]
+        if seq is None or len(seq) != comm.size:
+            raise MpiError(
+                f"scatter root must contribute exactly {comm.size} items"
+            )
+        depth = tree_depth(comm.size)
+        state.releases = {}
+        for r, (t, _) in state.arrivals.items():
+            chunk = seq[r]
+            ready = root_time + depth * self._step_ns(
+                comm, payload_nbytes(chunk)
+            )
+            if r == root:
+                state.releases[r] = (max(t, root_time), _copy_payload(chunk))
+            else:
+                state.releases[r] = (max(t, ready), _copy_payload(chunk))
+
+    def _finish_alltoall(self, state: CollectiveState) -> None:
+        comm = state.comm
+        n = comm.size
+        for r in range(n):
+            seq = state.arrivals[r][1]
+            if seq is None or len(seq) != n:
+                raise MpiError(
+                    f"alltoall rank {r} must contribute exactly {n} items"
+                )
+        total = sum(
+            payload_nbytes(v) for r in range(n) for v in state.arrivals[r][1]
+        )
+        depth = tree_depth(n)
+        release = self._max_arrival(state) + depth * self._step_ns(comm, total)
+        state.releases = {}
+        for r in range(n):
+            t, _ = state.arrivals[r]
+            received = [_copy_payload(state.arrivals[j][1][r]) for j in range(n)]
+            state.releases[r] = (release, received)
+
+    def _finish_comm_dup(self, state: CollectiveState) -> None:
+        comm = state.comm
+        dup = comm.derive(comm.group, f"{comm.name}+dup")
+        self.job.register_comm(dup)
+        depth = tree_depth(comm.size)
+        release_base = self._max_arrival(state) + depth * self._step_ns(comm)
+        state.releases = {r: (release_base, dup) for r in state.arrivals}
+
+    def _finish_comm_split(self, state: CollectiveState) -> None:
+        comm = state.comm
+        by_color: dict[Any, list[tuple[int, int]]] = {}
+        for r in range(comm.size):
+            color, key = state.arrivals[r][1]
+            if color is not None:
+                by_color.setdefault(color, []).append((key, r))
+        comms: dict[Any, Communicator] = {}
+        for color, members in by_color.items():
+            members.sort()
+            group = tuple(comm.vp_of_rank(r) for _, r in members)
+            comms[color] = comm.derive(group, f"{comm.name}/split{color}")
+            self.job.register_comm(comms[color])
+        depth = tree_depth(comm.size)
+        release = self._max_arrival(state) + depth * self._step_ns(comm)
+        state.releases = {}
+        for r in range(comm.size):
+            color, _ = state.arrivals[r][1]
+            state.releases[r] = (release, comms.get(color))
+
+    def _finish_lb_sync(self, state: CollectiveState) -> None:
+        # Load balancing is runtime policy; the job fills state.releases.
+        self.job._lb_finish(state)
+
+    def _finish_resize(self, state: CollectiveState) -> None:
+        self.job._resize_finish(state)
+
+    def _finish_checkpoint(self, state: CollectiveState) -> None:
+        from repro.ampi.checkpoint import Checkpoint
+
+        ckpt = Checkpoint.capture(self.job)
+        self.job.checkpoints.append(ckpt)
+        comm = state.comm
+        # Every process streams its ranks' state to the shared FS.
+        io_ns = self.job.costs.fs_write_ns(
+            ckpt.nbytes, max(1, self.job.layout.total_processes)
+        )
+        release = (self._max_arrival(state)
+                   + tree_depth(comm.size) * self._step_ns(comm) + io_ns)
+        state.releases = {r: (release, None) for r in state.arrivals}
+
+    def _finish_exscan(self, state: CollectiveState) -> None:
+        """Exclusive prefix reduction: rank 0 receives None."""
+        comm = state.comm
+        op: Op = state.params["op"]
+        depth = tree_depth(comm.size)
+        step = self._step_ns(comm)
+        state.releases = {}
+        acc = None
+        prefix_max_t = 0
+        for r in range(comm.size):
+            t, v = state.arrivals[r]
+            prefix_max_t = max(prefix_max_t, t)
+            state.releases[r] = (
+                prefix_max_t + depth * step,
+                _copy_payload(acc) if acc is not None else None,
+            )
+            pe = self.job.rank_of(comm.vp_of_rank(r)).pe
+            acc = _copy_payload(v) if acc is None else op.apply(pe, acc, v)
+
+    def _finish_reduce_scatter(self, state: CollectiveState) -> None:
+        """Elementwise reduce of per-rank vectors; rank i keeps item i."""
+        comm = state.comm
+        op: Op = state.params["op"]
+        n = comm.size
+        for r in range(n):
+            seq = state.arrivals[r][1]
+            if seq is None or len(seq) != n:
+                raise MpiError(
+                    f"reduce_scatter rank {r} must contribute exactly "
+                    f"{n} items"
+                )
+        depth = tree_depth(len(self.job.pes))
+        T = self._max_arrival(state)
+        total = sum(payload_nbytes(state.arrivals[r][1]) for r in range(n))
+        release = T + depth * self._step_ns(comm, total // max(1, n))
+        state.releases = {}
+        ops_applied = 0
+        for i in range(n):
+            pe = self.job.rank_of(comm.vp_of_rank(i)).pe
+            acc = _copy_payload(state.arrivals[0][1][i])
+            for r in range(1, n):
+                acc = op.apply(pe, acc, state.arrivals[r][1][i])
+                ops_applied += 1
+            state.releases[i] = (
+                release + ops_applied * self.job.costs.reduction_op_ns,
+                acc,
+            )
+
+    def _finish_scan(self, state: CollectiveState) -> None:
+        comm = state.comm
+        op: Op = state.params["op"]
+        depth = tree_depth(comm.size)
+        step = self._step_ns(comm)
+        state.releases = {}
+        acc = None
+        prefix_max_t = 0
+        for r in range(comm.size):
+            t, v = state.arrivals[r]
+            prefix_max_t = max(prefix_max_t, t)
+            pe = self.job.rank_of(comm.vp_of_rank(r)).pe
+            acc = _copy_payload(v) if acc is None else op.apply(pe, acc, v)
+            state.releases[r] = (
+                prefix_max_t + depth * step, _copy_payload(acc)
+            )

@@ -1,0 +1,108 @@
+"""The AMPI function-pointer shim (paper Figure 4).
+
+PIP/FS/PIEglobals duplicate the *application's* code per rank — but the
+AMPI runtime itself must stay a single instance per OS process.  The
+trick: the app is linked not against MPI functions but against a shim of
+**function pointers** (one data-segment slot per MPI entry point).  At
+startup, the loader utility ``dlsym``s ``AMPI_FuncPtr_Unpack`` inside each
+privatized copy and hands it a transport struct of pointers into the one
+runtime; the shim stores them in its (per-copy) globals.
+
+This module builds the shim compile unit that gets linked into the user
+binary, and the transport from a runtime instance.  Tests assert the
+defining property: every rank's shim slots hold pointers to the *same*
+runtime object even though the slots themselves are privatized.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.elf.linker import CompileUnit
+from repro.mem.segments import FuncDef, VarDef
+from repro.privatization._util import SHIM_PREFIX
+
+#: The AMPI API surface carried through the shim (names as exposed on
+#: :class:`~repro.ampi.api.MpiHandle`).
+AMPI_API_NAMES: tuple[str, ...] = (
+    "init",
+    "initialized",
+    "finalize",
+    "rank",
+    "size",
+    "send",
+    "recv",
+    "sendrecv",
+    "isend",
+    "irecv",
+    "wait",
+    "test",
+    "waitall",
+    "waitany",
+    "testall",
+    "probe",
+    "iprobe",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "scan",
+    "exscan",
+    "reduce_scatter",
+    "op_create",
+    "comm_dup",
+    "comm_split",
+    "comm_world",
+    "migrate",
+    "migrate_to",
+    "resize",
+    "num_pes",
+    "checkpoint",
+    "yield",
+    "wtime",
+    "abort",
+)
+
+
+def _unpack_body(loader_ctx: Any) -> None:
+    """Placeholder body for ``AMPI_FuncPtr_Unpack``.
+
+    The simulated loader utility performs the unpacking directly (see
+    :func:`repro.privatization._util.unpack_funcptr_shim`); the symbol
+    exists so dlsym can find it, exactly as Figure 4's refactored headers
+    arrange.
+    """
+
+
+def shim_compile_unit() -> CompileUnit:
+    """The translation unit ``ampi_funcptr_shim.C`` contributes."""
+    variables = [
+        VarDef(SHIM_PREFIX + name, init=0, write_once_same=True)
+        for name in AMPI_API_NAMES
+    ]
+    return CompileUnit(
+        name="ampi_funcptr_shim",
+        functions=[FuncDef("AMPI_FuncPtr_Unpack", 192, _unpack_body)],
+        variables=variables,
+    )
+
+
+def pack_transport(runtime: Any) -> dict[str, Callable]:
+    """``AMPI_FuncPtr_Pack``: gather the runtime's API entry points.
+
+    Returns name -> bound method on the *single* runtime instance; each
+    callable takes the acting rank as its first argument.
+    """
+    transport: dict[str, Callable] = {}
+    for name in AMPI_API_NAMES:
+        impl = getattr(runtime, f"_api_{name}".replace("yield", "yield_"), None)
+        if impl is None:
+            raise AttributeError(
+                f"runtime lacks API implementation _api_{name}"
+            )
+        transport[name] = impl
+    return transport

@@ -1,0 +1,47 @@
+"""Nonblocking-communication requests."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_req_ids = itertools.count(1)
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+@dataclass
+class Status:
+    """MPI_Status analogue filled in at completion."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+
+@dataclass
+class Request:
+    """Handle for an in-flight isend/irecv."""
+
+    kind: RequestKind
+    vp: int                      #: owning rank (vp)
+    comm_id: int
+    src: int = -1                #: recv: requested source (comm rank)
+    tag: int = -1
+    rid: int = field(default_factory=lambda: next(_req_ids))
+    completed: bool = False
+    completion_time: int = 0     #: simulated ns at which it completed
+    payload: Any = None          #: recv: delivered data
+    status: Status = field(default_factory=Status)
+
+    def complete(self, when: int, payload: Any = None,
+                 source: int = -1, tag: int = -1, nbytes: int = 0) -> None:
+        self.completed = True
+        self.completion_time = when
+        self.payload = payload
+        self.status = Status(source=source, tag=tag, nbytes=nbytes)

@@ -1,0 +1,25 @@
+"""Workload applications used by the paper's evaluation.
+
+* :mod:`repro.apps.jacobi3d` — the ~100-line Jacobi-3D stencil benchmark
+  (Figures 6, 7, and the Section 4.5 icache study; ~3 MB code segment).
+* :mod:`repro.apps.adcirc` — a storm-surge mini-app with ADCIRC's load
+  structure: a moving wet front over a mostly dry floodplain (Table 2 and
+  Figure 9; ~14 MB code segment, hundreds of mutable globals).
+* :mod:`repro.apps.memhog` — a parameterized heap-filling rank used by
+  the migration-cost experiment (Figure 8).
+"""
+
+from repro.apps.jacobi3d import JacobiConfig, build_jacobi_program, run_jacobi
+from repro.apps.adcirc import AdcircConfig, build_adcirc_program, run_adcirc
+from repro.apps.memhog import MemhogConfig, build_memhog_program
+
+__all__ = [
+    "JacobiConfig",
+    "build_jacobi_program",
+    "run_jacobi",
+    "AdcircConfig",
+    "build_adcirc_program",
+    "run_adcirc",
+    "MemhogConfig",
+    "build_memhog_program",
+]

@@ -1,0 +1,22 @@
+"""Charm++-style runtime substrate: the machine hierarchy
+(node -> OS process -> PE), virtual ranks as migratable entities, the
+location manager, the migration engine, and the load-balancing framework.
+"""
+
+from repro.charm.node import JobLayout, Node, OsProcess, Pe
+from repro.charm.vrank import VirtualRank
+from repro.charm.messages import Message, Mailbox
+from repro.charm.locmgr import LocationManager
+from repro.charm.migration import MigrationEngine
+
+__all__ = [
+    "JobLayout",
+    "Node",
+    "OsProcess",
+    "Pe",
+    "VirtualRank",
+    "Message",
+    "Mailbox",
+    "LocationManager",
+    "MigrationEngine",
+]

@@ -1,0 +1,33 @@
+"""Load metrics the runtime gathers for LB decisions and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charm.lb.strategies import RankStat
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    total_ns: int
+    max_pe_ns: int
+    min_pe_ns: int
+    avg_pe_ns: float
+    imbalance: float    #: max / avg (1.0 == perfectly balanced)
+
+
+def summarize_loads(stats: list[RankStat], n_pes: int) -> LoadSummary:
+    loads = [0] * n_pes
+    for s in stats:
+        if 0 <= s.pe < n_pes:
+            loads[s.pe] += s.load_ns
+    total = sum(loads)
+    avg = total / n_pes if n_pes else 0.0
+    mx = max(loads, default=0)
+    return LoadSummary(
+        total_ns=total,
+        max_pe_ns=mx,
+        min_pe_ns=min(loads, default=0),
+        avg_pe_ns=avg,
+        imbalance=(mx / avg) if avg > 0 else 1.0,
+    )

@@ -1,0 +1,68 @@
+"""Messages and per-rank mailboxes with MPI matching semantics."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_msg_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One in-flight or delivered point-to-point message."""
+
+    src: int              #: sender rank (within the communicator)
+    dst: int              #: receiver rank (within the communicator)
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    sent_at: int          #: sender's simulated send time
+    arrival: int          #: earliest time the receiver can consume it
+    seq: int = field(default_factory=lambda: next(_msg_seq))
+
+    def matches(self, src: int, tag: int, comm_id: int) -> bool:
+        return (
+            self.comm_id == comm_id
+            and (src == ANY_SOURCE or self.src == src)
+            and (tag == ANY_TAG or self.tag == tag)
+        )
+
+
+class Mailbox:
+    """Unexpected-message queue for one rank.
+
+    Messages are kept in send order per (source, tag, comm), which — since
+    each sender's clock is monotone — preserves MPI's non-overtaking rule.
+    """
+
+    def __init__(self) -> None:
+        self._messages: list[Message] = []
+
+    def deliver(self, msg: Message) -> None:
+        self._messages.append(msg)
+
+    def match(self, src: int, tag: int, comm_id: int) -> Message | None:
+        """Remove and return the first matching message (None if absent)."""
+        for i, m in enumerate(self._messages):
+            if m.matches(src, tag, comm_id):
+                return self._messages.pop(i)
+        return None
+
+    def peek(self, src: int, tag: int, comm_id: int) -> Message | None:
+        """Non-destructive match (MPI_Probe / MPI_Iprobe)."""
+        for m in self._messages:
+            if m.matches(src, tag, comm_id):
+                return m
+        return None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def pending(self) -> list[Message]:
+        return list(self._messages)

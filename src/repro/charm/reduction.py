@@ -1,0 +1,98 @@
+"""Reduction spanning tree over PEs.
+
+Charm++ reduces contributions up a spanning tree of *processing
+elements*: each PE combines its resident ranks' contributions locally,
+then partial results flow up a binary tree of PE indices.  Interior tree
+PEs must apply the reduction operator — and with PIEglobals a
+user-defined operator is stored as an *offset* that can only be rebased
+against some rank resident on that PE.  A PE emptied by migration
+therefore raises :class:`~repro.errors.ReductionOffsetError`
+(Section 3.3), which this module reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.node import Pe
+
+
+def tree_parent(i: int) -> int | None:
+    return None if i == 0 else (i - 1) // 2
+
+
+def tree_children(i: int, n: int) -> list[int]:
+    return [c for c in (2 * i + 1, 2 * i + 2) if c < n]
+
+
+def tree_depth(n: int) -> int:
+    """Depth of the binary combining tree over ``n`` PEs."""
+    if n <= 1:
+        return 0
+    d = 0
+    while (1 << d) < n:
+        d += 1
+    return d
+
+
+def reduce_over_pes(
+    pes: Sequence["Pe"],
+    contributions: dict[int, list[Any]],
+    combine: Callable[["Pe", Any, Any], Any],
+) -> tuple[Any, int]:
+    """Combine contributions up the PE tree.
+
+    Parameters
+    ----------
+    pes:
+        All PEs of the job, indexed by tree position.
+    contributions:
+        tree position -> list of values contributed by ranks on that PE.
+    combine:
+        ``combine(pe, a, b)`` applies the operator *on that PE* — the
+        hook where PIEglobals rebases user-op offsets (and where an empty
+        PE fails).
+
+    Returns (result, ops_applied).  Combining is deterministic: within a
+    PE in contribution order, across PEs children-then-parent in index
+    order (valid for commutative/associative ops, which MPI requires
+    unless the op says otherwise).
+    """
+    n = len(pes)
+    ops = 0
+    partial: dict[int, Any] = {}
+
+    # Local combine on each contributing PE.
+    for idx in range(n):
+        vals = contributions.get(idx, [])
+        acc = None
+        for v in vals:
+            if acc is None:
+                acc = v
+            else:
+                acc = combine(pes[idx], acc, v)
+                ops += 1
+        if acc is not None:
+            partial[idx] = acc
+
+    # Walk the tree bottom-up (highest index first reaches parents last).
+    for idx in range(n - 1, 0, -1):
+        if idx not in partial:
+            continue
+        parent = tree_parent(idx)
+        # The parent PE applies the operator when merging a child's
+        # partial result — even if the parent contributed nothing itself.
+        if parent in partial:
+            partial[parent] = combine(pes[parent], partial[parent],
+                                      partial.pop(idx))
+            ops += 1
+        else:
+            # Parent had no value yet: it still *hosts* the pass-through.
+            # No operator application is needed for a single value, so an
+            # empty PE forwards without failing (matching the paper: the
+            # error fires only when a combine must happen there).
+            partial[parent] = partial.pop(idx)
+
+    result = partial.get(0)
+    return result, ops

@@ -1,0 +1,157 @@
+"""The global message-driven scheduler.
+
+One sequential event loop simulates every PE in the job.  It always
+resumes the ULT with the smallest *effective start time*
+(``max(ready_time, its PE's busy_until)``), which preserves causality:
+a running rank can only influence simulated times at or after its own
+clock, and nothing with an earlier effective start exists when it runs.
+
+Per context switch the scheduler charges the baseline switch cost plus
+the active privatization method's surcharge (TLS pointer swap, GOT swap)
+— the quantity Figure 6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import DeadlockError, ReproError
+from repro.perf.costs import CostModel
+from repro.perf.counters import CounterSet, EV_CTX_SWITCH
+from repro.threads.runqueue import RunQueue
+from repro.threads.ult import UltState, UserLevelThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.vrank import VirtualRank
+
+
+class JobScheduler:
+    """Runs all virtual ranks of a job to completion."""
+
+    def __init__(self, costs: CostModel, ctx_switch_extra_ns: int = 0,
+                 record_timeline: bool = True):
+        self.costs = costs
+        self.ctx_switch_extra_ns = ctx_switch_extra_ns
+        self.counters = CounterSet()
+        self.current: "VirtualRank | None" = None
+        self._ranks_by_tid: dict[int, "VirtualRank"] = {}
+        self._all_ranks: list["VirtualRank"] = []
+        self.runq = RunQueue(self._pe_busy_of)
+        #: (pe index, vp, start ns) per scheduling quantum, in order —
+        #: consumed by the instruction-cache study to reconstruct the
+        #: interleaving of rank code on each PE.
+        self.record_timeline = record_timeline
+        self.timeline: list[tuple[int, int, int]] = []
+        #: called after each rank finishes (runtime hooks e.g. finalize)
+        self.on_rank_done: Callable[["VirtualRank"], None] | None = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def register(self, rank: "VirtualRank", start_time: int) -> None:
+        if rank.ult is None:
+            raise ReproError(f"rank {rank.vp} has no ULT")
+        self._ranks_by_tid[rank.ult.tid] = rank
+        self._all_ranks.append(rank)
+        rank.ult.start()
+        self.runq.push(rank.ult, start_time)
+
+    def _pe_busy_of(self, ult: UserLevelThread) -> int:
+        return self._ranks_by_tid[ult.tid].pe.busy_until
+
+    # -- blocking / waking (called by the MPI layer) ---------------------------------
+
+    def block_current(self, reason: str) -> None:
+        """Suspend the running rank (must be called from its ULT)."""
+        rank = self.current
+        if rank is None or rank.ult is None:
+            raise ReproError("block_current outside a running rank")
+        rank.ult.yield_(reason)
+
+    def wake(self, rank: "VirtualRank", at_time: int) -> None:
+        """Make a blocked rank runnable no earlier than ``at_time``."""
+        if rank is self.current or rank.finished:
+            return
+        self.runq.push(rank.ult, max(at_time, rank.clock.now))
+
+    def yield_current(self, resume_at: int) -> None:
+        """Suspend the running rank and requeue it at ``resume_at`` —
+        used after self-migration so it resumes on its *new* PE."""
+        rank = self.current
+        if rank is None or rank.ult is None:
+            raise ReproError("yield_current outside a running rank")
+        self.runq.push(rank.ult, max(resume_at, rank.clock.now))
+        rank.ult.yield_("reschedule")
+
+    # -- the event loop ------------------------------------------------------------------
+
+    def run(self) -> None:
+        ctx_switch_ns = self.costs.context_switch_ns + self.ctx_switch_extra_ns
+        try:
+            while True:
+                item = self.runq.pop()
+                if item is None:
+                    if all(r.finished for r in self._all_ranks):
+                        return
+                    self._report_deadlock()
+                ult, ready_time = item
+                rank = self._ranks_by_tid[ult.tid]
+                pe = rank.pe
+
+                if ready_time > pe.busy_until:
+                    pe.idle_ns += ready_time - pe.busy_until
+                start = max(ready_time, pe.busy_until) + ctx_switch_ns
+                pe.ctx_switches += 1
+                self.counters.incr(EV_CTX_SWITCH)
+                ult.clock.advance_to(start)
+
+                if self.record_timeline:
+                    self.timeline.append((pe.index, rank.vp, start))
+                self.current = rank
+                state = ult.switch_in()
+                self.current = None
+
+                ran_ns = max(0, ult.clock.now - start)
+                rank.record_run(ran_ns)
+                pe.busy_ns += ran_ns
+                pe.busy_until = ult.clock.now
+                pe.last_rank = rank
+
+                if state is UltState.ERROR:
+                    exc = ult.exception
+                    self.shutdown()
+                    raise exc
+                if state is UltState.DONE:
+                    rank.finished = True
+                    rank.exit_value = ult.result
+                    if self.on_rank_done is not None:
+                        self.on_rank_done(rank)
+        finally:
+            # Leave no orphan OS threads behind on any exit path.
+            self.shutdown()
+
+    def _report_deadlock(self) -> None:
+        blocked = [
+            f"vp {r.vp} ({r.ult.block_reason or 'blocked'}) at t={r.clock.now}"
+            for r in self._all_ranks
+            if not r.finished
+        ]
+        self.shutdown()
+        raise DeadlockError(
+            "no runnable rank but the job is not finished; blocked: "
+            + "; ".join(blocked)
+        )
+
+    def shutdown(self) -> None:
+        """Force-unwind every live ULT (idempotent)."""
+        for rank in self._all_ranks:
+            if rank.ult is not None and not rank.ult.finished:
+                rank.ult.kill()
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def makespan_ns(self) -> int:
+        """Job completion time: the latest rank clock."""
+        return max((r.clock.now for r in self._all_ranks), default=0)
+
+    def ranks(self) -> list["VirtualRank"]:
+        return list(self._all_ranks)

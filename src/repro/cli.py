@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-methods``
+    The privatization methods and their declared capabilities.
+``list-machines``
+    Machine presets and their toolchains.
+``probe <method>``
+    Run the executed capability probes for one method.
+``tables``
+    Regenerate the paper's Tables 1 and 3 from probes.
+``run <experiment>``
+    Run one experiment driver: fig5, fig6, fig7, fig8, icache, adcirc.
+``hello [--method M] [--vp N]``
+    The Figure 2/3 hello world under a chosen method.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.tables import format_table
+
+
+def cmd_list_methods(_args) -> int:
+    from repro.privatization import get_method, method_names
+
+    rows = []
+    for name in method_names():
+        m = get_method(name)
+        c = m.capabilities
+        rows.append([name, c.automation, c.smp_support, c.migration,
+                     "yes" if m.uses_funcptr_shim else "no"])
+    print(format_table(
+        ["method", "automation", "SMP", "migration", "funcptr shim"],
+        rows, title="Registered privatization methods"))
+    return 0
+
+
+def cmd_list_machines(_args) -> int:
+    from repro.machine import PRESETS
+
+    rows = []
+    for name, m in sorted(PRESETS.items()):
+        t = m.toolchain
+        rows.append([
+            name, m.arch.value, m.os.value,
+            f"{t.compiler} {'.'.join(map(str, t.compiler_version))}",
+            f"ld {'.'.join(map(str, t.linker_version))}",
+            t.libc.value, m.cores_per_node,
+        ])
+    print(format_table(
+        ["preset", "arch", "os", "compiler", "linker", "libc",
+         "cores/node"],
+        rows, title="Machine presets"))
+    return 0
+
+
+def cmd_probe(args) -> int:
+    from repro.harness.capabilities import probe_method
+
+    row = probe_method(args.method)
+    print(f"method      : {row.display_name}")
+    print(f"automation  : {row.automation}")
+    print(f"portability : {row.portability}")
+    print(f"SMP support : {row.smp_support}")
+    print(f"migration   : {row.migration}")
+    print(f"privatizes  : "
+          + ", ".join(k for k, v in row.privatizes.items() if v))
+    print(f"runs on     : {', '.join(row.works_on) or '(nowhere probed)'}")
+    return 0
+
+
+def cmd_tables(_args) -> int:
+    from repro.harness.capabilities import (
+        TABLE1_METHODS,
+        TABLE3_METHODS,
+        capability_table,
+    )
+
+    print(capability_table(TABLE1_METHODS,
+                           title="Table 1: existing methods"))
+    print()
+    print(capability_table(TABLE3_METHODS,
+                           title="Table 3: incl. the 3 new methods"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.harness import experiments as ex
+
+    name = args.experiment
+    if name == "fig5":
+        rows = ex.startup_experiment()
+        print(format_table(
+            ["method", "startup (ms)", "overhead %"],
+            [[r.method, r.startup_ns / 1e6, r.overhead_pct] for r in rows],
+            title="Figure 5: startup overhead (8x virtualization)"))
+    elif name == "fig6":
+        rows = ex.context_switch_experiment(yields_per_rank=args.quick_n
+                                            or 20_000)
+        print(format_table(
+            ["method", "ns/switch", "delta vs baseline"],
+            [[r.method, r.ns_per_switch, r.delta_vs_baseline_ns]
+             for r in rows],
+            title="Figure 6: ULT context-switch time"))
+    elif name == "fig7":
+        rows = ex.jacobi_access_experiment()
+        print(format_table(
+            ["method", "exec (ms)", "relative"],
+            [[r.method, r.exec_ns / 1e6, r.rel_to_baseline] for r in rows],
+            title="Figure 7: privatized-access overhead (-O2)"))
+    elif name == "fig8":
+        rows = ex.migration_experiment()
+        print(format_table(
+            ["method", "heap MB", "migrate (ms)", "moved MB"],
+            [[r.method, r.heap_mb, r.migrate_ns / 1e6,
+              r.bytes_moved / 2**20] for r in rows],
+            title="Figure 8: migration time vs heap"))
+    elif name == "icache":
+        rows = ex.icache_experiment()
+        print(format_table(
+            ["machine", "method", "fetches", "misses", "miss rate"],
+            [[r.machine, r.method, r.accesses, r.misses,
+              f"{100 * r.miss_rate:.1f}%"] for r in rows],
+            title="Section 4.5: L1 icache misses"))
+    elif name == "adcirc":
+        cores = tuple(int(c) for c in (args.cores or "1,2,4,8").split(","))
+        _, summaries = ex.adcirc_scaling_experiment(cores_list=cores)
+        print(format_table(
+            ["cores", "best ratio", "baseline (ms)", "best (ms)",
+             "speedup %"],
+            [[s.cores, s.best_ratio, s.baseline_ns / 1e6, s.best_ns / 1e6,
+              s.speedup_pct] for s in summaries],
+            title="Table 2: ADCIRC speedup over baseline"))
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_hello(args) -> int:
+    from repro.ampi.runtime import AmpiJob
+    from repro.charm.node import JobLayout
+    from repro.machine import GENERIC_LINUX
+    from repro.program.source import Program
+
+    p = Program("hello_world")
+    p.add_global("my_rank", -1)
+
+    @p.function()
+    def main(ctx):
+        ctx.g.my_rank = ctx.mpi.rank()
+        ctx.mpi.barrier()
+        return f"rank: {ctx.g.my_rank}"
+
+    job = AmpiJob(p.build(), nvp=args.vp, method=args.method,
+                  machine=GENERIC_LINUX,
+                  layout=JobLayout.single(1), slot_size=1 << 24)
+    result = job.run()
+    print(f"$ ./hello_world +vp {args.vp}    (method={args.method})")
+    for vp in range(args.vp):
+        print(result.exit_values[vp])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Process-virtualization reproduction toolkit",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-methods").set_defaults(fn=cmd_list_methods)
+    sub.add_parser("list-machines").set_defaults(fn=cmd_list_machines)
+
+    probe = sub.add_parser("probe")
+    probe.add_argument("method")
+    probe.set_defaults(fn=cmd_probe)
+
+    sub.add_parser("tables").set_defaults(fn=cmd_tables)
+
+    run = sub.add_parser("run")
+    run.add_argument("experiment",
+                     choices=["fig5", "fig6", "fig7", "fig8", "icache",
+                              "adcirc"])
+    run.add_argument("--cores", help="adcirc: comma-separated core counts")
+    run.add_argument("--quick-n", type=int, default=None,
+                     help="fig6: yields per rank")
+    run.set_defaults(fn=cmd_run)
+
+    hello = sub.add_parser("hello")
+    hello.add_argument("--method", default="none")
+    hello.add_argument("--vp", type=int, default=2)
+    hello.set_defaults(fn=cmd_hello)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Simulated ELF object format and GNU-flavoured dynamic loader.
+
+This package models exactly the pieces of the ELF/glibc machinery the
+paper's privatization methods exploit: Position Independent Executables,
+the Global Offset Table, TLS segments, ``dlopen``, ``dlmopen`` with
+link-map namespaces (and glibc's 12-namespace practical limit), ``dlsym``,
+and ``dl_iterate_phdr``.
+"""
+
+from repro.elf.symbols import Symbol, SymbolKind, SymbolBinding, SymbolTable
+from repro.elf.got import GotTemplate, GotInstance
+from repro.elf.relocation import Relocation, RelocKind
+from repro.elf.image import ElfImage, ElfType
+from repro.elf.linker import StaticLinker, CompileUnit
+from repro.elf.loader import DynamicLoader, LinkMap, LM_ID_BASE, LM_ID_NEWLM
+
+__all__ = [
+    "Symbol",
+    "SymbolKind",
+    "SymbolBinding",
+    "SymbolTable",
+    "GotTemplate",
+    "GotInstance",
+    "Relocation",
+    "RelocKind",
+    "ElfImage",
+    "ElfType",
+    "StaticLinker",
+    "CompileUnit",
+    "DynamicLoader",
+    "LinkMap",
+    "LM_ID_BASE",
+    "LM_ID_NEWLM",
+]

@@ -1,0 +1,110 @@
+"""Global Offset Table model.
+
+The GOT is the indirection table PIC code uses to reach global data and
+(via the PLT) external functions.  Two privatization methods hang off it:
+
+* **Swapglobals** keeps one GOT *copy per virtual rank*, each pointing at
+  that rank's private copies of the global variables, and swaps the active
+  GOT at every ULT context switch.  Static variables never have GOT
+  entries — that is precisely why Swapglobals cannot privatize them.
+* **PIEglobals** must *fix up* GOT entries after manually copying a PIE's
+  code+data segments, because the entries still point into the original
+  segments mapped by the system loader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LinkError
+
+
+@dataclass(frozen=True)
+class GotSlot:
+    """One GOT entry: which symbol it resolves."""
+
+    symbol: str
+    is_func: bool = False   #: PLT-style entry for a function
+
+
+class GotTemplate:
+    """Linker-produced GOT layout: ordered slots, one per referenced symbol."""
+
+    def __init__(self) -> None:
+        self._slots: list[GotSlot] = []
+        self._index: dict[str, int] = {}
+
+    def add(self, symbol: str, is_func: bool = False) -> int:
+        """Add a slot for ``symbol`` (idempotent); returns its index."""
+        if symbol in self._index:
+            return self._index[symbol]
+        idx = len(self._slots)
+        self._slots.append(GotSlot(symbol, is_func))
+        self._index[symbol] = idx
+        return idx
+
+    def index_of(self, symbol: str) -> int:
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise LinkError(f"no GOT slot for symbol {symbol!r}") from None
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[GotSlot]:
+        return iter(self._slots)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self._slots)
+
+    def instantiate(self) -> "GotInstance":
+        return GotInstance(self)
+
+
+class GotInstance:
+    """One materialized GOT: slot index -> resolved simulated address."""
+
+    __slots__ = ("template", "addresses")
+
+    def __init__(self, template: GotTemplate):
+        self.template = template
+        self.addresses: list[int] = [0] * len(template)
+
+    def resolve(self, symbol: str, address: int) -> None:
+        self.addresses[self.template.index_of(symbol)] = address
+
+    def address_of(self, symbol: str) -> int:
+        addr = self.addresses[self.template.index_of(symbol)]
+        if addr == 0:
+            raise LinkError(f"GOT slot for {symbol!r} is unresolved")
+        return addr
+
+    def entries(self) -> Iterator[tuple[GotSlot, int]]:
+        return zip(iter(self.template), self.addresses)
+
+    def clone(self) -> "GotInstance":
+        inst = GotInstance(self.template)
+        inst.addresses = list(self.addresses)
+        return inst
+
+    def rebase(self, old_base: int, old_end: int, delta: int) -> int:
+        """Shift every entry pointing into [old_base, old_end) by ``delta``.
+
+        Returns the number of entries updated.  This is the *precise* GOT
+        fixup; PIEglobals in the paper instead scans raw data memory for
+        pointer-looking values (see
+        :meth:`repro.privatization.pieglobals.PieGlobals`), which this
+        method serves as ground truth for in tests.
+        """
+        n = 0
+        for i, a in enumerate(self.addresses):
+            if old_base <= a < old_end:
+                self.addresses[i] = a + delta
+                n += 1
+        return n

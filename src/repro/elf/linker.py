@@ -1,0 +1,184 @@
+"""Static linker: compile units -> one ELF image.
+
+The linker's job here is to produce the structures the privatization
+methods depend on:
+
+* which variables get **GOT entries** (PIC globals — not statics, not
+  const data), with the Swapglobals caveat that modern ``ld`` optimizes
+  the GOT reference away at each access unless the binary is linked with
+  an old or patched linker;
+* which variables live in the **TLS segment** (tagged ``thread_local``);
+* ABS64 relocations for address-initialized data (``int *p = &x;``);
+* the **code/data/rodata layouts** whose sizes drive copy, migration and
+  icache costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError, UnsupportedToolchain
+from repro.elf.got import GotTemplate
+from repro.elf.image import ElfImage, ElfType
+from repro.elf.relocation import Relocation, RelocKind
+from repro.elf.symbols import Symbol, SymbolBinding, SymbolKind, SymbolTable
+from repro.machine import Toolchain
+from repro.mem.segments import CodeImage, FuncDef, SegmentImage, SegmentKind, VarDef
+
+
+@dataclass
+class CompileUnit:
+    """One translation unit handed to the linker."""
+
+    name: str
+    functions: list[FuncDef] = field(default_factory=list)
+    variables: list[VarDef] = field(default_factory=list)
+    static_ctors: list[str] = field(default_factory=list)
+    #: `int *p = &x;`-style initializations: var name -> target symbol
+    addr_inits: dict[str, str] = field(default_factory=dict)
+    #: symbols this unit references but does not define
+    undefined_refs: list[str] = field(default_factory=list)
+
+
+class StaticLinker:
+    """Links compile units into an :class:`ElfImage`."""
+
+    def __init__(self, toolchain: Toolchain):
+        self.toolchain = toolchain
+
+    def link(
+        self,
+        name: str,
+        units: list[CompileUnit],
+        *,
+        pie: bool = True,
+        swapglobals_got: bool = False,
+        entry: str = "main",
+        pad_code_to: int = 0,
+        needed: list[str] | None = None,
+        allow_undefined: frozenset[str] | None = None,
+    ) -> ElfImage:
+        """Produce a linked image.
+
+        Parameters
+        ----------
+        pie:
+            Build as ET_DYN (Position Independent Executable).  Required
+            by PIP/FS/PIEglobals.
+        swapglobals_got:
+            Keep a GOT reference at *every* global-variable access, the
+            Swapglobals prerequisite.  Raises
+            :class:`UnsupportedToolchain` when the linker would optimize
+            those references away (ld > 2.23 without the patch).
+        pad_code_to:
+            Grow .text to at least this many bytes (models real code
+            size: e.g. ADCIRC's ~14 MB segment).
+        allow_undefined:
+            Symbols that may stay unresolved at static-link time because
+            the dynamic loader (or the AMPI function-pointer shim) will
+            provide them.
+        """
+        if swapglobals_got and not self.toolchain.linker_keeps_got_refs:
+            raise UnsupportedToolchain(
+                f"Swapglobals needs ld <= 2.23 or a patched linker; this "
+                f"toolchain has ld {'.'.join(map(str, self.toolchain.linker_version))} "
+                f"which optimizes out the GOT reference at each global access"
+            )
+        if pie and not self.toolchain.supports_pie:
+            raise UnsupportedToolchain("toolchain cannot produce PIE binaries")
+
+        symbols = SymbolTable()
+        funcs: list[FuncDef] = []
+        data_vars: list[VarDef] = []
+        ro_vars: list[VarDef] = []
+        tls_vars: list[VarDef] = []
+        ctors: list[str] = []
+        addr_inits: dict[str, str] = {}
+        relocations: list[Relocation] = []
+
+        for unit in units:
+            for f in unit.functions:
+                symbols.define(
+                    Symbol(f.name, SymbolKind.FUNC, SymbolBinding.GLOBAL,
+                           "text", f.code_bytes),
+                    unit=unit.name,
+                )
+                funcs.append(f)
+            for v in unit.variables:
+                binding = (SymbolBinding.LOCAL if v.static
+                           else SymbolBinding.GLOBAL)
+                if v.tls:
+                    kind, section = SymbolKind.TLS, "tls"
+                    tls_vars.append(v)
+                elif v.const:
+                    kind, section = SymbolKind.OBJECT, "rodata"
+                    ro_vars.append(v)
+                else:
+                    kind, section = SymbolKind.OBJECT, "data"
+                    data_vars.append(v)
+                symbols.define(Symbol(v.name, kind, binding, section, v.size),
+                               unit=unit.name)
+            ctors.extend(unit.static_ctors)
+            addr_inits.update(unit.addr_inits)
+            for ref in unit.undefined_refs:
+                if ref not in symbols:
+                    symbols.define(
+                        Symbol(ref, SymbolKind.FUNC, SymbolBinding.GLOBAL,
+                               "text", defined=False)
+                    )
+
+        # Undefined-symbol check.
+        allowed = allow_undefined or frozenset()
+        missing = [s for s in symbols.undefined() if s not in allowed]
+        if missing:
+            raise LinkError(f"undefined symbols: {', '.join(sorted(missing))}")
+
+        for c in ctors:
+            if not any(f.name == c for f in funcs):
+                raise LinkError(f"static ctor {c!r} has no definition")
+        if entry and not any(f.name == entry for f in funcs):
+            raise LinkError(f"entry point {entry!r} has no definition")
+
+        # --- GOT construction -------------------------------------------------
+        got = GotTemplate()
+        pic = pie or swapglobals_got
+        for v in data_vars:
+            if v.static:
+                continue  # statics are local: PC-relative, never in the GOT
+            if pic or swapglobals_got:
+                got.add(v.name)
+                relocations.append(Relocation(RelocKind.GOT_ENTRY, v.name))
+        for v in tls_vars:
+            relocations.append(Relocation(RelocKind.TPOFF, v.name))
+        for var, target in addr_inits.items():
+            tgt = symbols.lookup(target)
+            if tgt is None:
+                raise LinkError(
+                    f"address initializer of {var!r} references undefined "
+                    f"symbol {target!r}"
+                )
+            relocations.append(
+                Relocation(RelocKind.ABS64, target, where=f"data:{var}")
+            )
+
+        code = CodeImage(funcs, pad_to=pad_code_to)
+        data = SegmentImage(SegmentKind.DATA, data_vars)
+        rodata = SegmentImage(SegmentKind.RODATA, ro_vars)
+        tls = SegmentImage(SegmentKind.TLS, tls_vars)
+
+        return ElfImage(
+            name=name,
+            etype=ElfType.ET_DYN if pie else ElfType.ET_EXEC,
+            code=code,
+            data=data,
+            rodata=rodata,
+            tls=tls,
+            got=got,
+            symbols=symbols,
+            relocations=relocations,
+            static_ctors=ctors,
+            needed=list(needed or []),
+            entry=entry,
+            link_base=0 if pie else 0x40_0000,
+            addr_inits=addr_inits,
+        )

@@ -1,0 +1,40 @@
+"""Relocations for the simulated ELF format.
+
+Only the relocation *kinds* that matter to the paper's techniques are
+modelled; the loader charges a per-entry processing cost, which is part of
+why ``dlmopen``-per-rank startup (PIPglobals) costs more than mapping the
+segments once (Figure 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RelocKind(enum.Enum):
+    #: data symbol reached through a GOT slot (PIC global access)
+    GOT_ENTRY = "got"
+    #: function call through the PLT
+    PLT_CALL = "plt"
+    #: absolute 64-bit address patched into data (e.g. a global holding
+    #: the address of another global: `int *p = &x;`)
+    ABS64 = "abs64"
+    #: PC-relative access (PIE direct data access; no runtime work)
+    PC_REL = "pcrel"
+    #: TLS offset relative to the thread pointer
+    TPOFF = "tpoff"
+
+
+@dataclass(frozen=True)
+class Relocation:
+    kind: RelocKind
+    symbol: str
+    #: where the relocation is applied: "got", or "data:<varname>" for
+    #: ABS64 slots inside the data segment
+    where: str = "got"
+
+    @property
+    def needs_runtime_work(self) -> bool:
+        """PC-relative references are resolved by construction."""
+        return self.kind is not RelocKind.PC_REL

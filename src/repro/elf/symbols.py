@@ -1,0 +1,91 @@
+"""Symbol tables for the simulated ELF format."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LinkError
+
+
+class SymbolKind(enum.Enum):
+    FUNC = "func"
+    OBJECT = "object"   # data variable
+    TLS = "tls"
+
+
+class SymbolBinding(enum.Enum):
+    GLOBAL = "global"
+    LOCAL = "local"     # static linkage: invisible to other units, NOT in the GOT
+    WEAK = "weak"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    kind: SymbolKind
+    binding: SymbolBinding
+    section: str          #: "text", "data", "rodata", "tls"
+    size: int = 8
+    defined: bool = True
+
+
+class SymbolTable:
+    """Name -> Symbol with ELF-style binding resolution.
+
+    Strong (GLOBAL) duplicate definitions are a link error; a strong
+    definition overrides weak ones; LOCAL symbols are kept under a
+    unit-qualified key so different units can each have a ``static count``.
+    """
+
+    def __init__(self) -> None:
+        self._syms: dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, unit: str = "") -> str:
+        """Add a symbol; returns the key it was stored under."""
+        key = sym.name
+        if sym.binding is SymbolBinding.LOCAL:
+            key = f"{unit}::{sym.name}" if unit else sym.name
+            if key in self._syms:
+                raise LinkError(f"duplicate local symbol {key!r}")
+            self._syms[key] = sym
+            return key
+
+        existing = self._syms.get(key)
+        if existing is None or not existing.defined:
+            self._syms[key] = sym
+            return key
+        if not sym.defined:
+            return key  # reference to an already-defined symbol
+        if existing.binding is SymbolBinding.WEAK and sym.binding is SymbolBinding.GLOBAL:
+            self._syms[key] = sym
+            return key
+        if sym.binding is SymbolBinding.WEAK:
+            return key  # keep the existing strong/weak definition
+        raise LinkError(f"duplicate strong symbol {sym.name!r}")
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self._syms.get(name)
+
+    def require(self, name: str) -> Symbol:
+        s = self._syms.get(name)
+        if s is None or not s.defined:
+            raise LinkError(f"undefined symbol {name!r}")
+        return s
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._syms
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._syms.values())
+
+    def __len__(self) -> int:
+        return len(self._syms)
+
+    def globals_(self) -> list[Symbol]:
+        return [s for s in self._syms.values()
+                if s.binding is not SymbolBinding.LOCAL]
+
+    def undefined(self) -> list[str]:
+        return [k for k, s in self._syms.items() if not s.defined]

@@ -1,0 +1,138 @@
+"""Exception hierarchy for the process-virtualization simulator.
+
+Every failure mode the paper discusses has a dedicated exception type so
+that tests can assert on the *specific* limitation being exercised (e.g.
+the glibc namespace limit for PIPglobals, or the missing-rank reduction
+error for PIEglobals).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+# ---------------------------------------------------------------------------
+# Memory / address-space errors
+# ---------------------------------------------------------------------------
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors."""
+
+
+class MapError(MemoryError_):
+    """An mmap-style request could not be satisfied (overlap/exhaustion)."""
+
+
+class SegFault(MemoryError_):
+    """An access touched an unmapped simulated address."""
+
+    def __init__(self, address: int, message: str = ""):
+        self.address = address
+        super().__init__(message or f"segmentation fault at {address:#x}")
+
+
+class IsomallocError(MemoryError_):
+    """Isomalloc invariant violation (range collision, double free, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Linker / loader errors
+# ---------------------------------------------------------------------------
+
+class LinkError(ReproError):
+    """Static-link failure (duplicate/undefined symbols, bad relocation)."""
+
+
+class LoaderError(ReproError):
+    """Dynamic-loader failure (dlopen/dlmopen/dlsym)."""
+
+
+class NamespaceLimitError(LoaderError):
+    """glibc's dlmopen namespace limit was exhausted.
+
+    Stock glibc supports only 16 link-map namespaces, of which PIP-style
+    usage can claim about 12 before running out; the PIP project ships a
+    patched glibc raising the limit.  PIPglobals inherits this ceiling.
+    """
+
+
+class SymbolNotFound(LoaderError):
+    """dlsym failed to resolve a symbol."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler / toolchain errors
+# ---------------------------------------------------------------------------
+
+class CompileError(ReproError):
+    """The simulated compiler rejected the program or flag combination."""
+
+
+class UnsupportedToolchain(CompileError):
+    """A method's compiler/linker requirement is not met.
+
+    Examples from the paper: Swapglobals needs ld <= 2.23 or a patched
+    newer ld; TLSglobals needs GCC or Clang >= 10 for
+    ``-mno-tls-direct-seg-refs``; -fmpc-privatize needs the Intel compiler
+    or a patched GCC.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Privatization / runtime errors
+# ---------------------------------------------------------------------------
+
+class PrivatizationError(ReproError):
+    """A privatization method could not be applied."""
+
+
+class SmpUnsupportedError(PrivatizationError):
+    """Method cannot run with multiple scheduler threads per OS process.
+
+    Swapglobals has exactly one active GOT per process, so SMP mode (many
+    PEs per process) is impossible.
+    """
+
+
+class MigrationUnsupportedError(PrivatizationError):
+    """The rank's memory cannot be migrated between address spaces.
+
+    PIPglobals and FSglobals cannot intercept the loader's internal mmap
+    calls, leaving their code/data segments outside Isomalloc.
+    """
+
+
+class ReductionOffsetError(ReproError):
+    """A user-defined reduction op must be applied on a PE with no
+    resident virtual ranks while PIEglobals is active (no code base to
+    rebase the function-pointer offset against)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint/restart failure."""
+
+
+# ---------------------------------------------------------------------------
+# MPI-layer errors
+# ---------------------------------------------------------------------------
+
+class MpiError(ReproError):
+    """Generic MPI-layer error (bad communicator, count mismatch, ...)."""
+
+
+class MpiAbort(ReproError):
+    """MPI_Abort was invoked by a rank."""
+
+    def __init__(self, errorcode: int = 1, message: str = ""):
+        self.errorcode = errorcode
+        super().__init__(message or f"MPI_Abort(errorcode={errorcode})")
+
+
+class DeadlockError(ReproError):
+    """The scheduler found no runnable ULT while ranks are still blocked."""
+
+
+class SharedFsError(ReproError):
+    """Simulated shared-filesystem failure (missing file, out of space)."""

@@ -1,0 +1,5 @@
+"""Simulated shared filesystem (the FSglobals substrate)."""
+
+from repro.fs.sharedfs import SharedFileSystem, FsFile
+
+__all__ = ["SharedFileSystem", "FsFile"]

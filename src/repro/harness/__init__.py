@@ -1,0 +1,28 @@
+"""Experiment harness shared by the benchmarks, examples, and docs:
+capability probes (Tables 1/3), table formatting, and the per-figure
+experiment drivers."""
+
+from repro.harness.tables import format_table, format_markdown_table
+from repro.harness.capabilities import CapabilityRow, probe_method, capability_table
+from repro.harness.experiments import (
+    adcirc_scaling_experiment,
+    context_switch_experiment,
+    icache_experiment,
+    jacobi_access_experiment,
+    migration_experiment,
+    startup_experiment,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "CapabilityRow",
+    "probe_method",
+    "capability_table",
+    "startup_experiment",
+    "context_switch_experiment",
+    "jacobi_access_experiment",
+    "migration_experiment",
+    "icache_experiment",
+    "adcirc_scaling_experiment",
+]

@@ -1,0 +1,242 @@
+"""Capability probes: Tables 1 and 3, *executed* rather than transcribed.
+
+For every privatization method the probes actually run the simulator:
+
+* **correctness probe** — a program with a mutable global, a mutable
+  static, and a TLS-tagged global; each rank writes its number into all
+  three and checks what it reads back after a barrier.  What survives
+  determines the automation rating (statics are Swapglobals' hole; the
+  untagged global is TLSglobals' hole).
+* **portability probe** — try building + starting on each machine preset.
+* **SMP probe** — try an SMP-mode layout (and, for PIPglobals, more ranks
+  per process than stock glibc has namespaces).
+* **migration probe** — actually migrate a rank across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.errors import (
+    CompileError,
+    LoaderError,
+    MigrationUnsupportedError,
+    NamespaceLimitError,
+    PrivatizationError,
+    ReproError,
+    SmpUnsupportedError,
+    UnsupportedToolchain,
+)
+from repro.machine import (
+    BRIDGES2,
+    BRIDGES2_PATCHED_GLIBC,
+    LEGACY_LINUX_OLD_LD,
+    MACOS_ARM,
+    STAMPEDE2_ICX,
+    MachineModel,
+    TEST_MACHINE,
+)
+from repro.privatization import get_method
+from repro.program.source import Program, ProgramSource
+
+#: presets the portability probe tries, in order
+PORTABILITY_MACHINES: tuple[MachineModel, ...] = (
+    BRIDGES2,
+    LEGACY_LINUX_OLD_LD,
+    STAMPEDE2_ICX,
+    MACOS_ARM,
+    BRIDGES2_PATCHED_GLIBC,
+)
+
+
+def correctness_program(language: str = "c") -> ProgramSource:
+    """Mutable global + mutable static + TLS-tagged global probe."""
+    p = Program("privprobe", language=language)
+    p.add_global("g_var", -1)
+    p.add_static("s_var", -1)
+    p.add_global("t_var", -1, tls=True)
+    p.add_global("ro_var", 7, const=True)
+
+    @p.function()
+    def main(ctx):
+        me = ctx.mpi.rank()
+        ctx.g.g_var = me
+        ctx.g.s_var = me
+        ctx.g.t_var = me
+        ctx.mpi.barrier()
+        return {
+            "global": ctx.g.g_var == me,
+            "static": ctx.g.s_var == me,
+            "tls": ctx.g.t_var == me,
+            "const": ctx.g.ro_var == 7,
+        }
+
+    return p.build()
+
+
+@dataclass(frozen=True)
+class CapabilityRow:
+    method: str
+    display_name: str
+    automation: str
+    portability: str
+    smp_support: str
+    migration: str
+    #: raw probe evidence
+    privatizes: dict
+    works_on: tuple[str, ...]
+
+
+def _probe_machine(method_name: str, language: str) -> MachineModel:
+    """A machine each method can run on for the correctness probe."""
+    if method_name == "swapglobals":
+        return TEST_MACHINE.copy_with(toolchain=LEGACY_LINUX_OLD_LD.toolchain)
+    if method_name == "mpc":
+        return TEST_MACHINE.copy_with(toolchain=STAMPEDE2_ICX.toolchain)
+    return TEST_MACHINE
+
+
+def probe_correctness(method_name: str) -> dict:
+    """Which variable classes does the method actually privatize?"""
+    method = get_method(method_name)
+    language = "fortran" if method_name == "photran" else "c"
+    machine = _probe_machine(method_name, language)
+    layout = (JobLayout(1, 2, 1) if method_name == "swapglobals"
+              else JobLayout.single(2))
+    job = AmpiJob(correctness_program(language), nvp=4, method=method,
+                  machine=machine, layout=layout)
+    result = job.run()
+    verdict = {"global": True, "static": True, "tls": True, "const": True}
+    for flags in result.exit_values.values():
+        for k, ok in flags.items():
+            verdict[k] = verdict[k] and ok
+    return verdict
+
+
+def probe_portability(method_name: str) -> tuple[str, ...]:
+    """Machine presets on which the method builds and starts."""
+    works = []
+    language = "fortran" if method_name == "photran" else "c"
+    for machine in PORTABILITY_MACHINES:
+        method = get_method(method_name)
+        layout = (JobLayout(1, 2, 1) if method_name == "swapglobals"
+                  else JobLayout.single(2))
+        try:
+            job = AmpiJob(correctness_program(language), nvp=2,
+                          method=method, machine=machine, layout=layout)
+            job.start()
+            job.scheduler.shutdown()
+        except (UnsupportedToolchain, PrivatizationError, LoaderError,
+                CompileError, SmpUnsupportedError, ReproError):
+            continue
+        works.append(machine.name)
+    return tuple(works)
+
+
+def probe_smp(method_name: str) -> str:
+    """Can the method run many scheduler threads per process?"""
+    method = get_method(method_name)
+    language = "fortran" if method_name == "photran" else "c"
+    machine = _probe_machine(method_name, language)
+    try:
+        # SMP mode with enough virtualization to exceed stock glibc's
+        # dlmopen namespace budget in one process (the PIP pain point).
+        job = AmpiJob(correctness_program(language), nvp=16, method=method,
+                      machine=machine, layout=JobLayout.single(4))
+        job.start()
+        job.scheduler.shutdown()
+        return "Yes"
+    except SmpUnsupportedError:
+        return "No"
+    except NamespaceLimitError:
+        return "Limited w/o patched glibc"
+    except (UnsupportedToolchain, PrivatizationError):
+        return "No"
+
+
+def probe_migration(method_name: str) -> str:
+    """Actually migrate a rank between OS processes."""
+    method = get_method(method_name)
+    language = "fortran" if method_name == "photran" else "c"
+    machine = _probe_machine(method_name, language)
+    p = Program("migprobe", language=language)
+    p.add_global("x", 0)
+
+    @p.function()
+    def main(ctx):
+        ctx.g.x = ctx.mpi.rank() * 10
+        ctx.mpi.barrier()
+        if ctx.mpi.rank() == 0:
+            ctx.mpi.migrate_to(1)
+        ctx.mpi.barrier()
+        return ctx.g.x == ctx.mpi.rank() * 10
+
+    try:
+        job = AmpiJob(p.build(), nvp=2, method=method, machine=machine,
+                      layout=JobLayout(1, 2, 1), slot_size=1 << 26)
+        result = job.run()
+    except MigrationUnsupportedError as e:
+        if "never built" in str(e) or "possible" in str(e):
+            return "Not implemented, but possible"
+        return "No"
+    ok = all(result.exit_values.values())
+    moved = any(m.cross_process for m in result.migrations)
+    return "Yes" if (ok and moved) else "No"
+
+
+def _automation_rating(method_name: str, verdict: dict) -> str:
+    method = get_method(method_name)
+    caps = method.capabilities
+    if method_name == "none":
+        return "n/a"
+    if caps.requires_source_changes:
+        return caps.automation  # Poor / Fortran-specific: human-in-the-loop
+    if verdict["global"] and verdict["static"]:
+        return "Good"
+    if verdict["global"] and not verdict["static"]:
+        return "No static vars"
+    if verdict["tls"] and not verdict["global"]:
+        return "Mediocre"
+    return "Poor"
+
+
+def probe_method(method_name: str) -> CapabilityRow:
+    """Run all four probes and assemble one feature-matrix row."""
+    method = get_method(method_name)
+    verdict = probe_correctness(method_name)
+    works_on = probe_portability(method_name)
+    return CapabilityRow(
+        method=method_name,
+        display_name=method.capabilities.method,
+        automation=_automation_rating(method_name, verdict),
+        portability=method.capabilities.portability,
+        smp_support=probe_smp(method_name),
+        migration=probe_migration(method_name),
+        privatizes=verdict,
+        works_on=works_on,
+    )
+
+
+#: Table 1's rows (existing methods) and Table 3's additions, in paper order
+TABLE1_METHODS = ("manual", "photran", "swapglobals", "tlsglobals", "mpc",
+                  "pipglobals")
+TABLE3_METHODS = TABLE1_METHODS + ("fsglobals", "pieglobals")
+
+
+def capability_table(method_names: tuple[str, ...],
+                     title: str = "") -> str:
+    from repro.harness.tables import format_table
+
+    rows = []
+    for name in method_names:
+        r = probe_method(name)
+        rows.append([r.display_name, r.automation, r.portability,
+                     r.smp_support, r.migration])
+    return format_table(
+        ["Method", "Automation", "Portability", "SMP Mode Support",
+         "Migration Support"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,33 @@
+"""Simulated memory substrate: virtual address spaces, mmap, segments,
+and the Isomalloc migratable allocator."""
+
+from repro.mem.layout import PAGE_SIZE, page_align_up
+from repro.mem.address_space import VirtualMemory, Mapping, MapKind
+from repro.mem.segments import (
+    SegmentKind,
+    VarDef,
+    SegmentImage,
+    SegmentInstance,
+    CodeImage,
+    CodeInstance,
+)
+from repro.mem.isomalloc import Isomalloc, IsomallocArena
+from repro.mem.heap import RankHeap, Allocation
+
+__all__ = [
+    "PAGE_SIZE",
+    "page_align_up",
+    "VirtualMemory",
+    "Mapping",
+    "MapKind",
+    "SegmentKind",
+    "VarDef",
+    "SegmentImage",
+    "SegmentInstance",
+    "CodeImage",
+    "CodeInstance",
+    "Isomalloc",
+    "IsomallocArena",
+    "RankHeap",
+    "Allocation",
+]

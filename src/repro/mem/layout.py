@@ -1,0 +1,54 @@
+"""Canonical simulated address-space layout.
+
+A single 47-bit user address space, laid out the way the real systems in
+the paper lay theirs out:
+
+====================  =====================================================
+range                 use
+====================  =====================================================
+0x0000__0000_0000     NULL guard (never mapped)
+0x0000__0040_0000     non-PIE executable load base (``ET_EXEC``)
+0x0100__0000_0000     PIE / shared-object load area used by the system
+                      dynamic loader (its *internal* mmap — the one
+                      Isomalloc cannot intercept)
+0x1000__0000_0000     Isomalloc arena: carved into per-virtual-rank slots
+                      that are globally unique across the whole job, so a
+                      migrated rank's memory lands at identical virtual
+                      addresses on the destination
+0x7F00__0000_0000     system anonymous mmap area (runtime-internal)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE = 4096
+
+NULL_GUARD_END = 0x0001_0000
+EXEC_BASE = 0x0040_0000
+
+LOADER_AREA_BASE = 0x0100_0000_0000
+LOADER_AREA_END = 0x0FFF_0000_0000
+
+ISOMALLOC_BASE = 0x1000_0000_0000
+ISOMALLOC_END = 0x7000_0000_0000
+
+SYSTEM_MMAP_BASE = 0x7F00_0000_0000
+SYSTEM_MMAP_END = 0x7FFF_0000_0000
+
+#: Default size of one rank's Isomalloc slot (virtual reservation, not RSS).
+DEFAULT_SLOT_SIZE = 1 << 30  # 1 GiB
+
+
+def page_align_up(n: int) -> int:
+    """Round ``n`` up to the next page boundary."""
+    if n < 0:
+        raise ValueError("negative size")
+    return (n + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def page_align_down(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def is_page_aligned(addr: int) -> bool:
+    return (addr & (PAGE_SIZE - 1)) == 0

@@ -1,0 +1,5 @@
+"""Interconnect model."""
+
+from repro.net.network import Network, Endpoint
+
+__all__ = ["Network", "Endpoint"]

@@ -1,0 +1,9 @@
+"""Performance-model substrate: simulated clocks, cost models, counters,
+and an L1 instruction-cache simulator (the PAPI stand-in)."""
+
+from repro.perf.clock import SimClock
+from repro.perf.costs import CostModel
+from repro.perf.counters import CounterSet
+from repro.perf.icache import SetAssociativeCache
+
+__all__ = ["SimClock", "CostModel", "CounterSet", "SetAssociativeCache"]

@@ -1,0 +1,89 @@
+"""Simulated nanosecond clocks.
+
+Every virtual rank (user-level thread) owns a :class:`SimClock`; processing
+elements aggregate them.  All figures in the reproduction report *simulated*
+time, so the wall-clock cost of running the simulator itself never leaks
+into results.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+class SimClock:
+    """A monotonically non-decreasing nanosecond counter.
+
+    Parameters
+    ----------
+    start:
+        Initial time in nanoseconds.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: int = 0):
+        self.now = int(start)
+
+    def advance(self, ns: int | float) -> int:
+        """Advance the clock by ``ns`` nanoseconds and return the new time.
+
+        Negative advances are rejected: simulated time never runs backward.
+        """
+        ns = int(ns)
+        if ns < 0:
+            raise ValueError(f"cannot advance clock by negative {ns} ns")
+        self.now += ns
+        return self.now
+
+    def advance_to(self, t: int | float) -> int:
+        """Move the clock forward to at least ``t`` (no-op if already past)."""
+        t = int(t)
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def copy(self) -> "SimClock":
+        return SimClock(self.now)
+
+    # -- conversions -------------------------------------------------------
+
+    @property
+    def us(self) -> float:
+        return self.now / NS_PER_US
+
+    @property
+    def ms(self) -> float:
+        return self.now / NS_PER_MS
+
+    @property
+    def seconds(self) -> float:
+        return self.now / NS_PER_S
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({self.now} ns)"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SimClock):
+            return self.now == other.now
+        return NotImplemented
+
+    def __lt__(self, other: "SimClock") -> bool:
+        return self.now < other.now
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+
+def fmt_ns(ns: int | float) -> str:
+    """Human-readable duration: picks ns/us/ms/s units."""
+    ns = float(ns)
+    if ns < 1_000:
+        return f"{ns:.0f} ns"
+    if ns < NS_PER_MS:
+        return f"{ns / NS_PER_US:.2f} us"
+    if ns < NS_PER_S:
+        return f"{ns / NS_PER_MS:.2f} ms"
+    return f"{ns / NS_PER_S:.3f} s"

@@ -1,0 +1,76 @@
+"""PAPI-style event counters.
+
+The paper uses PAPI to count L1 instruction-cache misses (Section 4.5).
+:class:`CounterSet` is the simulator's stand-in: a named bag of integer
+event counts that subsystems increment as they run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+# Canonical event names used across the simulator (PAPI-flavoured).
+PAPI_L1_ICM = "PAPI_L1_ICM"   #: L1 instruction-cache misses
+PAPI_L1_ICA = "PAPI_L1_ICA"   #: L1 instruction-cache accesses
+PAPI_TOT_INS = "PAPI_TOT_INS"  #: instructions (simulated blocks)
+EV_CTX_SWITCH = "ULT_CTX_SWITCH"
+EV_MSG_SENT = "MSG_SENT"
+EV_MSG_BYTES = "MSG_BYTES"
+EV_MIGRATIONS = "MIGRATIONS"
+EV_MIGRATION_BYTES = "MIGRATION_BYTES"
+EV_GLOBAL_READ = "GLOBAL_READ"
+EV_GLOBAL_WRITE = "GLOBAL_WRITE"
+EV_DLOPEN = "DLOPEN"
+EV_DLMOPEN = "DLMOPEN"
+EV_FS_BYTES = "FS_BYTES_COPIED"
+
+
+class CounterSet:
+    """A mutable multiset of named event counts.
+
+    Supports addition/merging so that per-rank counters can be rolled up
+    into per-PE and job-wide totals.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, initial: dict[str, int] | None = None):
+        self._counts: Counter[str] = Counter(initial or {})
+
+    def incr(self, event: str, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counter increments must be non-negative")
+        self._counts[event] += n
+
+    def __getitem__(self, event: str) -> int:
+        return self._counts.get(event, 0)
+
+    def __contains__(self, event: str) -> bool:
+        return event in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        return self._counts.items()
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add all of ``other``'s counts into this set."""
+        self._counts.update(other._counts)
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        out = CounterSet(dict(self._counts))
+        out.merge(other)
+        return out
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """An immutable-ish copy for reporting."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterSet({inner})"

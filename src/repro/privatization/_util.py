@@ -1,0 +1,99 @@
+"""Shared helpers for privatization method implementations."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.elf.loader import LinkMap
+from repro.mem.address_space import MapKind, Mapping
+from repro.mem.segments import SegmentInstance
+from repro.privatization.base import SetupEnv
+from repro.program.binary import Binary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.vrank import VirtualRank
+
+#: data-segment variables the AMPI function-pointer shim injects
+SHIM_PREFIX = "__ampi_fp_"
+
+
+def load_base(env: SetupEnv, binary: Binary) -> LinkMap:
+    """dlopen the program once per process (refcounted across methods).
+
+    The loader runs on its own clock; the elapsed time is transferred to
+    the process startup clock so Figure 5 accounting sees it.
+    """
+    t0 = env.loader.clock.now
+    lm = env.loader.dlopen(binary.image)
+    env.process.startup_clock.advance(env.loader.clock.now - t0)
+    return lm
+
+
+def clone_instance_private(
+    env: SetupEnv,
+    rank: "VirtualRank",
+    src: SegmentInstance,
+    kind: MapKind,
+    tag: str,
+) -> tuple[SegmentInstance, Mapping]:
+    """Give ``rank`` a private, Isomalloc-backed copy of a segment.
+
+    The copy inherits the *current* values of ``src`` (i.e. after static
+    constructors ran), is placed inside the rank's Isomalloc slot (hence
+    migratable), and its creation cost (allocation + memcpy) is charged to
+    the process startup clock.
+    """
+    mapping = env.process.isomalloc.alloc(
+        rank.vp, max(src.image.size, 8), kind, tag=tag
+    )
+    inst = src.clone_at(mapping.start)
+    mapping.payload = inst
+    clk = env.process.startup_clock
+    clk.advance(env.costs.isomalloc_alloc_ns)
+    clk.advance(env.costs.memcpy_ns(src.image.size))
+    return inst, mapping
+
+
+def route_shared_from_linkmap(
+    lm: LinkMap, tls_shared: SegmentInstance | None
+) -> dict[str, "AccessRoute"]:
+    """Routes where every name resolves to the link map's single instances
+    (plus an optional shared TLS instance) — the unprivatized layout."""
+    from repro.program.context import AccessKind, AccessRoute
+
+    routes: dict[str, AccessRoute] = {}
+    for name in lm.data.image.var_names():
+        routes[name] = AccessRoute(lm.data, AccessKind.DIRECT)
+    for name in lm.rodata.image.var_names():
+        routes[name] = AccessRoute(lm.rodata, AccessKind.DIRECT)
+    if tls_shared is not None:
+        for name in tls_shared.image.var_names():
+            routes[name] = AccessRoute(tls_shared, AccessKind.TLS)
+    return routes
+
+
+def unpack_funcptr_shim(
+    data_instance: SegmentInstance, env: SetupEnv
+) -> dict[str, object] | None:
+    """Populate the shim's function-pointer slots in one data instance.
+
+    Models ``AMPI_FuncPtr_Unpack`` (Figure 4): the loader utility passes a
+    transport struct of pointers into the single runtime; the shim stores
+    them in its per-instance globals.  Returns the resulting calltable, or
+    None when the binary was not built with the shim.
+    """
+    transport = env.funcptr_transport
+    if transport is None:
+        return None
+    calltable: dict[str, object] = {}
+    found = False
+    for api_name, fn in transport.items():
+        slot = SHIM_PREFIX + api_name
+        if slot in data_instance.image:
+            data_instance.write(slot, fn)
+            calltable[api_name] = fn
+            found = True
+    if not found:
+        return None
+    env.process.startup_clock.advance(env.costs.dlsym_ns * 2)
+    return calltable

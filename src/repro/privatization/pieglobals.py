@@ -1,0 +1,428 @@
+"""PIEglobals: manual PIE segment copies through Isomalloc — the paper's
+most fully automated *and* migratable method.
+
+Startup, per OS process (once, SMP-safe), then per rank:
+
+1. ``dl_iterate_phdr`` before and after a single ``dlopen`` of the PIE
+   locates the freshly mapped code/data segments;
+2. each rank receives a contiguous **Isomalloc** allocation holding
+   private copies of the code, data, and rodata segments at the original
+   relative offsets (PIE data sits right after code, so IP-relative
+   global access keeps working in the copy);
+3. the rank's GOT and data segment are *scanned* for values that look
+   like pointers into the original segments and rebased by the copy
+   delta — fast, but vulnerable to false positives (an integer variable
+   whose value happens to fall in the range is corrupted; the paper plans
+   a more robust scheme, available here as ``robust_scan=True`` which
+   rebases only relocation-known slots);
+4. heap allocations made by C++ static constructors at ``dlopen`` time are
+   replicated into the rank's heap, with interior data pointers and
+   function pointers rebased;
+5. TLS variables are handled by composing with TLSglobals (per-rank TLS
+   segment, pointer swap at context switch).
+
+Because everything a rank owns — code and data copies included — lives in
+its Isomalloc slot, dynamic migration works: the slot is copied and
+re-installed at identical virtual addresses on the destination.
+
+Extras implemented from the paper:
+
+* ``MPI_Op`` function pointers are stored as *offsets from the rank's
+  code base* and rebased against a resident rank when applied on another
+  PE; a PE with no resident ranks raises
+  :class:`~repro.errors.ReductionOffsetError` (Section 3.3);
+* :meth:`PieGlobals.pieglobalsfind` translates a privatized address back
+  to the loader's original mapping for debugger symbolication;
+* ``share_rodata=True`` is the future-work read-only dedup optimization
+  (skips per-rank rodata copies), available for ablation.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    PrivatizationError,
+    ReductionOffsetError,
+    UnsupportedToolchain,
+)
+from repro.machine import MachineModel, Os
+from repro.mem.address_space import MapKind
+from repro.mem.layout import page_align_up
+from repro.privatization.base import (
+    Capabilities,
+    PrivatizationMethod,
+    RankWiring,
+    SetupEnv,
+)
+from repro.privatization.registry import register
+from repro.privatization._util import clone_instance_private, unpack_funcptr_shim
+from repro.program.binary import Binary
+from repro.program.compiler import CompileOptions
+from repro.program.context import AccessKind, AccessRoute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.node import JobLayout, Pe
+    from repro.charm.vrank import VirtualRank
+
+
+@dataclass(frozen=True)
+class PieRegion:
+    """One rank's privatized image copy (for pieglobalsfind and MPI_Op)."""
+
+    vp: int
+    new_base: int
+    size: int
+    orig_base: int
+
+    def contains(self, addr: int) -> bool:
+        return self.new_base <= addr < self.new_base + self.size
+
+    def to_original(self, addr: int) -> int:
+        return addr - self.new_base + self.orig_base
+
+
+@dataclass
+class ScanReport:
+    """What one data-segment pointer scan did."""
+
+    slots_scanned: int = 0
+    segment_pointers_fixed: int = 0
+    heap_pointers_fixed: int = 0
+    got_entries_fixed: int = 0
+
+
+class PieGlobals(PrivatizationMethod):
+    name = "pieglobals"
+    capabilities = Capabilities(
+        method="PIEglobals",
+        automation="Good",
+        portability="Implemented w/ GNU libc extension",
+        smp_support="Yes",
+        migration="Yes",
+        is_runtime_method=True,
+    )
+    supports_migration = True
+    uses_funcptr_shim = True
+
+    def __init__(self, *, share_rodata: bool = False,
+                 robust_scan: bool = False,
+                 dedup_migration: bool = False,
+                 mmap_code_sharing: bool = False):
+        self.share_rodata = share_rodata
+        self.robust_scan = robust_scan
+        #: future-work optimization: code segments are identical across
+        #: ranks, so a migration to a process that already hosts another
+        #: rank's copy only transfers the data portion
+        self.dedup_migration = dedup_migration
+        #: future-work optimization (Section 6): per-rank code *mappings*
+        #: come from one file descriptor, so the physical pages are
+        #: shared — rss and migration wire bytes drop by the code size
+        self.mmap_code_sharing = mmap_code_sharing
+        self._regions: list[PieRegion] = []
+        self.scan_reports: dict[int, ScanReport] = {}
+        self._binary_code_bytes: int = 0
+        self._code_only_bytes: int = 0
+
+    # -- build time ----------------------------------------------------------
+
+    def compile_options(self, base: CompileOptions,
+                        machine: MachineModel) -> CompileOptions:
+        opts = base.with_(pie=True)
+        # Compose with TLSglobals where the toolchain supports it.
+        if machine.toolchain.supports_tls_seg_refs_flag:
+            opts = opts.with_(tls_seg_refs=True)
+        return opts
+
+    def check_supported(self, machine: MachineModel,
+                        layout: "JobLayout") -> None:
+        if machine.os is not Os.LINUX:
+            raise UnsupportedToolchain(
+                "PIEglobals is implemented for GNU/Linux (glibc loader "
+                "extensions, stable since 2005); macOS support is future work"
+            )
+        if not machine.toolchain.has_dl_iterate_phdr:
+            raise UnsupportedToolchain(
+                "PIEglobals requires dl_iterate_phdr"
+            )
+
+    def validate_binary(self, binary: Binary) -> None:
+        if not binary.is_pie:
+            raise UnsupportedToolchain(
+                "PIEglobals requires building with -pieglobals (PIE mode)"
+            )
+
+    def context_switch_extra_ns(self, costs) -> int:
+        # PIEglobals implies TLSglobals for TLS variables, so it pays the
+        # TLS segment-pointer swap at every switch (Figure 6).
+        return costs.tls_segment_switch_ns
+
+    # -- startup -----------------------------------------------------------------
+
+    def setup_process(self, env: SetupEnv, binary: Binary,
+                      ranks: list["VirtualRank"]) -> dict[int, RankWiring]:
+        loader = env.loader
+        clk = env.process.startup_clock
+
+        # dl_iterate_phdr diff around a single dlopen finds the segments.
+        t0 = loader.clock.now
+        before = {(i.name, i.lmid) for i in loader.dl_iterate_phdr()}
+        lm = loader.dlopen(binary.image)
+        new_infos = [
+            i for i in loader.dl_iterate_phdr()
+            if (i.name, i.lmid) not in before
+        ]
+        clk.advance(loader.clock.now - t0)
+        if new_infos:
+            info = new_infos[0]
+            orig_base, orig_end = info.code_start, (
+                info.rodata_start + info.rodata_size
+            )
+        else:
+            # Already open (SMP: another PE's setup did it).  Reuse it.
+            orig_base, orig_end = lm.segment_span()
+
+        image = binary.image
+        copy_span = orig_end - orig_base
+        self._binary_code_bytes = image.code.size + image.rodata.size
+        self._code_only_bytes = image.code.size
+        tls_initial = image.tls.instantiate(lm.rodata.end)
+
+        wirings: dict[int, RankWiring] = {}
+        for rank in ranks:
+            wirings[rank.vp] = self._setup_rank(
+                env, binary, rank, lm, orig_base, copy_span, tls_initial
+            )
+        return wirings
+
+    def _setup_rank(self, env: SetupEnv, binary: Binary,
+                    rank: "VirtualRank", lm, orig_base: int,
+                    copy_span: int, tls_initial) -> RankWiring:
+        image = binary.image
+        clk = env.process.startup_clock
+        iso = env.process.isomalloc
+
+        # One contiguous allocation preserving the original relative
+        # layout (code, then data, then rodata).  With the read-only
+        # dedup option the rodata tail is neither copied nor mapped.
+        if self.share_rodata:
+            alloc_span = lm.rodata.base - orig_base
+        else:
+            alloc_span = copy_span
+        # With mmap code sharing, the code pages of every rank's mapping
+        # are file-backed views of one physical copy: virtual size is
+        # unchanged, resident bytes exclude the code span, and the code
+        # is *mapped* (page tables) rather than memcpy'd.
+        rss = (alloc_span - image.code.size if self.mmap_code_sharing
+               else None)
+        mapping = iso.alloc(
+            rank.vp, alloc_span, MapKind.CODE,
+            tag=f"pie:image[{rank.vp}]", rss_bytes=rss,
+        )
+        new_base = mapping.start
+        delta = new_base - orig_base
+
+        code_priv = image.code.instantiate(new_base)
+        data_priv = lm.data.clone_at(lm.data.base + delta)
+        if self.share_rodata:
+            rodata_priv = lm.rodata
+            copied = alloc_span
+        else:
+            rodata_priv = lm.rodata.clone_at(lm.rodata.base + delta)
+            copied = copy_span
+        if self.mmap_code_sharing:
+            copied = max(0, copied - image.code.size)
+            clk.advance(env.costs.remap_resident_ns(image.code.size))
+        mapping.payload = {
+            "code": code_priv, "data": data_priv, "rodata": rodata_priv
+        }
+        clk.advance(env.costs.isomalloc_alloc_ns)
+        clk.advance(env.costs.memcpy_ns(copied))
+
+        region = PieRegion(vp=rank.vp, new_base=new_base, size=copy_span,
+                           orig_base=orig_base)
+        self._regions.append(region)
+
+        # Replicate constructor-made heap allocations, then fix pointers.
+        heap_map = self._replicate_ctor_allocations(env, rank, lm)
+        got_priv = lm.got.clone()
+        report = self._scan_and_fixup(
+            env, binary, rank, data_priv, got_priv, orig_base,
+            orig_base + copy_span, delta, heap_map,
+        )
+        self.scan_reports[rank.vp] = report
+        rank.method_data.update(
+            pie_region=region, got=got_priv, orig_base=orig_base
+        )
+
+        # TLSglobals composition: per-rank TLS segment.
+        tls_priv = None
+        if len(image.tls.vars):
+            tls_priv, _ = clone_instance_private(
+                env, rank, tls_initial, MapKind.TLS, f"pie:tls[{rank.vp}]"
+            )
+
+        calltable = unpack_funcptr_shim(data_priv, env)
+
+        routes: dict[str, AccessRoute] = {}
+        for name in data_priv.image.var_names():
+            routes[name] = AccessRoute(data_priv, AccessKind.DIRECT)
+        for name in rodata_priv.image.var_names():
+            routes[name] = AccessRoute(rodata_priv, AccessKind.DIRECT)
+        if tls_priv is not None:
+            for name in tls_priv.image.var_names():
+                routes[name] = AccessRoute(tls_priv, AccessKind.TLS)
+
+        return RankWiring(routes=routes, code=code_priv,
+                          tls_instance=tls_priv, shim_calltable=calltable)
+
+    def _replicate_ctor_allocations(self, env: SetupEnv,
+                                    rank: "VirtualRank", lm) -> dict[int, int]:
+        """Copy every dlopen-time constructor allocation into the rank's
+        heap; returns old address -> new address."""
+        heap_map: dict[int, int] = {}
+        if rank.heap is None or not lm.ctor_allocations:
+            return heap_map
+        clk = env.process.startup_clock
+        for alloc in lm.ctor_allocations:
+            new = rank.heap.malloc(
+                alloc.nbytes,
+                data=_copy.deepcopy(alloc.data),
+                tag=f"pie-ctor:{alloc.tag}",
+            )
+            new.ptr_slots = dict(alloc.ptr_slots)
+            new.fn_ptr_slots = dict(alloc.fn_ptr_slots)
+            heap_map[alloc.addr] = new.addr
+            clk.advance(env.costs.memcpy_ns(alloc.nbytes))
+        return heap_map
+
+    def _scan_and_fixup(self, env: SetupEnv, binary: Binary,
+                        rank: "VirtualRank", data_priv,
+                        got_priv, orig_start: int, orig_end: int,
+                        delta: int, heap_map: dict[int, int]) -> ScanReport:
+        """Rebase pointers into the original image found in the rank's
+        private data segment, GOT, and replicated constructor allocations.
+
+        The default mode mirrors the paper: *scan for anything that looks
+        like a pointer* into [orig_start, orig_end).  ``robust_scan``
+        instead trusts relocation records only (no false positives).
+        """
+        report = ScanReport()
+        clk = env.process.startup_clock
+        costs = env.costs
+
+        known_slots: set[str] | None = None
+        if self.robust_scan:
+            known_slots = set(binary.image.addr_inits)
+
+        for addr, name, value in data_priv.slots():
+            report.slots_scanned += 1
+            clk.advance(costs.pointer_scan_ns_per_slot)
+            if not isinstance(value, int) or isinstance(value, bool):
+                continue
+            if known_slots is not None and name not in known_slots:
+                continue
+            if orig_start <= value < orig_end:
+                data_priv.values[name] = value + delta
+                report.segment_pointers_fixed += 1
+            elif value in heap_map:
+                data_priv.values[name] = heap_map[value]
+                report.heap_pointers_fixed += 1
+
+        report.got_entries_fixed = got_priv.rebase(orig_start, orig_end, delta)
+        clk.advance(costs.pointer_scan_ns_per_slot * len(got_priv.template))
+
+        # Interior pointers of replicated constructor allocations: data
+        # pointers may reference the original segments or *other* ctor
+        # allocations; function pointers (vtables) reference original code.
+        if heap_map and rank.heap is not None:
+            for new_addr in heap_map.values():
+                alloc = rank.heap.allocations[new_addr]
+                for slot, value in list(alloc.ptr_slots.items()):
+                    clk.advance(costs.pointer_scan_ns_per_slot)
+                    if orig_start <= value < orig_end:
+                        alloc.ptr_slots[slot] = value + delta
+                        report.heap_pointers_fixed += 1
+                    elif value in heap_map:
+                        alloc.ptr_slots[slot] = heap_map[value]
+                        report.heap_pointers_fixed += 1
+                for slot, value in list(alloc.fn_ptr_slots.items()):
+                    clk.advance(costs.pointer_scan_ns_per_slot)
+                    if orig_start <= value < orig_end:
+                        alloc.fn_ptr_slots[slot] = value + delta
+                        report.heap_pointers_fixed += 1
+        return report
+
+    # -- differential migration (Section 6 future work) ------------------------------
+
+    def migration_discount_bytes(self, rank, dest_process) -> int:
+        """Bytes that need not cross the wire on migration.
+
+        * ``mmap_code_sharing``: the code pages are file-backed — the
+          destination re-maps them from the same descriptor, always.
+        * ``dedup_migration``: code+rodata are skipped whenever the
+          destination process already hosts another rank of the same
+          binary (identical content is already resident there).
+        """
+        discount = 0
+        if self.mmap_code_sharing:
+            discount = self._code_only_bytes
+        if self.dedup_migration:
+            residents = dest_process.resident_ranks()
+            if any(r.vp != rank.vp and "pie_region" in r.method_data
+                   for r in residents):
+                discount = max(discount, self._binary_code_bytes)
+        return discount
+
+    # -- MPI_Op offset translation (Section 3.3) ------------------------------------
+
+    def fnptr_to_offset(self, rank: "VirtualRank", addr: int) -> int:
+        region: PieRegion | None = rank.method_data.get("pie_region")
+        if region is None or not region.contains(addr):
+            raise PrivatizationError(
+                f"address {addr:#x} is not in rank {rank.vp}'s code copy"
+            )
+        return addr - region.new_base
+
+    def offset_to_fnptr(self, pe: "Pe", offset: int) -> int:
+        """Rebase a stored op offset against *some* rank resident on ``pe``."""
+        rank = pe.any_resident()
+        if rank is None:
+            raise ReductionOffsetError(
+                f"PE {pe.index} has no resident virtual ranks: cannot "
+                "rebase a user-defined reduction function offset "
+                "(PIEglobals requires at least one rank per PE during "
+                "reduction processing)"
+            )
+        region: PieRegion = rank.method_data["pie_region"]
+        return region.new_base + offset
+
+    # -- debugging (Section 3.3, pieglobalsfind) ---------------------------------------
+
+    def pieglobalsfind(self, addr: int) -> tuple[int, int]:
+        """Translate a privatized address back to the loader's original
+        mapping; returns (original address, owning vp).
+
+        Call from "inside a debugger" to symbolicate backtraces that point
+        into a rank's manually copied code segment.
+        """
+        for region in self._regions:
+            if region.contains(addr):
+                return region.to_original(addr), region.vp
+        raise PrivatizationError(
+            f"pieglobalsfind: {addr:#x} is not inside any privatized "
+            "code/data copy"
+        )
+
+
+register("pieglobals", PieGlobals)
+register("pieglobals-shared-rodata",
+         lambda: PieGlobals(share_rodata=True))
+register("pieglobals-robust-scan",
+         lambda: PieGlobals(robust_scan=True))
+register("pieglobals-dedup-migration",
+         lambda: PieGlobals(dedup_migration=True))
+register("pieglobals-mmap-code",
+         lambda: PieGlobals(mmap_code_sharing=True))

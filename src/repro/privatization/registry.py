@@ -1,0 +1,34 @@
+"""Name -> method registry (factories, so each job gets fresh bookkeeping)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PrivatizationError
+from repro.privatization.base import PrivatizationMethod
+
+_REGISTRY: dict[str, Callable[[], PrivatizationMethod]] = {}
+
+
+def register(name: str, factory: Callable[[], PrivatizationMethod]) -> None:
+    if name in _REGISTRY:
+        raise PrivatizationError(f"method {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_method(name_or_method: "str | PrivatizationMethod") -> PrivatizationMethod:
+    """Resolve a method by name, or pass an instance through."""
+    if isinstance(name_or_method, PrivatizationMethod):
+        return name_or_method
+    try:
+        return _REGISTRY[name_or_method]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PrivatizationError(
+            f"unknown privatization method {name_or_method!r}; "
+            f"known: {known}"
+        ) from None
+
+
+def method_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,110 @@
+"""The simulated compiler driver (AMPI's toolchain wrappers).
+
+Flags correspond to the paper's build-time requirements:
+
+``pie``
+    ``-fPIE -pie`` — required by PIPglobals/FSglobals/PIEglobals.
+``fmpc_privatize``
+    MPC's compiler pass: automatically treat every unsafe global/static
+    as ``thread_local``.  Needs the Intel compiler or a patched GCC.
+``swapglobals``
+    Link keeping a GOT reference at every global access.  Needs
+    ld <= 2.23 or a patched newer ld.
+``tls_seg_refs``
+    ``-mno-tls-direct-seg-refs`` — forces TLS access through the segment
+    pointer so the runtime can swap it (TLSglobals).  Needs GCC or
+    Clang >= 10.
+``optimize``
+    At ``-O2`` the TLS indirection on privatized variable accesses is
+    hoisted/optimized away (the paper's Figure 7 observation); at ``-O0``
+    each access pays it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import CompileError, UnsupportedToolchain
+from repro.elf.linker import CompileUnit, StaticLinker
+from repro.machine import Toolchain
+from repro.mem.segments import VarDef
+from repro.program.binary import Binary
+from repro.program.source import ProgramSource
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    pie: bool = True
+    optimize: int = 2
+    fmpc_privatize: bool = False
+    swapglobals: bool = False
+    tls_seg_refs: bool = False
+    pad_code_to: int = 0
+    #: symbols resolved at run time by the AMPI function-pointer shim
+    allow_undefined: frozenset[str] = frozenset()
+
+    def with_(self, **kw) -> "CompileOptions":
+        return replace(self, **kw)
+
+
+class Compiler:
+    """Lowers :class:`ProgramSource` to a :class:`Binary` for a toolchain."""
+
+    def __init__(self, toolchain: Toolchain):
+        self.toolchain = toolchain
+        self.linker = StaticLinker(toolchain)
+
+    def compile(
+        self,
+        source: ProgramSource,
+        options: CompileOptions = CompileOptions(),
+        extra_units: list[CompileUnit] | None = None,
+    ) -> Binary:
+        variables = list(source.variables)
+
+        if options.fmpc_privatize:
+            if not self.toolchain.mpc_privatize_support:
+                raise UnsupportedToolchain(
+                    "-fmpc-privatize needs the Intel compiler or a patched "
+                    f"GCC; this toolchain is {self.toolchain.compiler} "
+                    f"{'.'.join(map(str, self.toolchain.compiler_version))}"
+                )
+            variables = [self._auto_tag_tls(v) for v in variables]
+
+        if options.tls_seg_refs and not self.toolchain.supports_tls_seg_refs_flag:
+            raise UnsupportedToolchain(
+                "-mno-tls-direct-seg-refs needs GCC or Clang >= 10.0; this "
+                f"toolchain is {self.toolchain.compiler} "
+                f"{'.'.join(map(str, self.toolchain.compiler_version))}"
+            )
+
+        # Note: TLS-tagged variables *compile* without -mno-tls-direct-seg-refs,
+        # but the runtime can only swap TLS segments under code built with
+        # it; Binary.tls_switchable records which build this is, and
+        # TLSglobals-family methods force the flag on.
+        unit = CompileUnit(
+            name=source.name,
+            functions=list(source.functions),
+            variables=variables,
+            static_ctors=list(source.static_ctors),
+            addr_inits=dict(source.addr_inits),
+        )
+        units = [unit] + list(extra_units or [])
+
+        image = self.linker.link(
+            source.name,
+            units,
+            pie=options.pie,
+            swapglobals_got=options.swapglobals,
+            entry=source.entry,
+            pad_code_to=max(source.code_bytes, options.pad_code_to),
+            allow_undefined=options.allow_undefined,
+        )
+        return Binary(image=image, source=source, options=options)
+
+    @staticmethod
+    def _auto_tag_tls(v: VarDef) -> VarDef:
+        """The -fmpc-privatize transform: unsafe globals/statics -> TLS."""
+        if v.unsafe and not v.tls:
+            return replace(v, tls=True)
+        return v

@@ -1,0 +1,13 @@
+"""User-level threads (ULTs) and scheduling primitives.
+
+Virtual MPI ranks run as ULTs, exactly as in AMPI: blocking communication
+suspends the ULT and the processing element's scheduler switches to
+another ready rank.  The simulator implements ULTs as baton-passing OS
+threads — only one ever runs at a time, handed off explicitly — with all
+*reported* time coming from per-ULT simulated clocks.
+"""
+
+from repro.threads.ult import UserLevelThread, UltState, UltKilled
+from repro.threads.runqueue import RunQueue
+
+__all__ = ["UserLevelThread", "UltState", "UltKilled", "RunQueue"]

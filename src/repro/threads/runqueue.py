@@ -1,0 +1,110 @@
+"""Global run queue for the discrete-event ULT scheduler.
+
+The simulator runs every PE of the whole job from a single sequential
+event loop.  Correct parallel timing requires always resuming the ULT
+with the globally smallest *effective start time*:
+
+    effective_start(ult) = max(ult ready time, busy_until of its PE)
+
+because a PE serializes its resident ranks.  The queue is a lazy binary
+heap: entries are pushed with the effective start computed at push time
+and re-validated at pop time (a PE may have become busier since).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable
+
+from repro.threads.ult import UserLevelThread, UltState
+
+
+class RunQueue:
+    """Priority queue of (ULT, ready_time) honouring per-PE serialization.
+
+    ``pe_busy_until`` maps a ULT to its PE's current ``busy_until`` time;
+    it is supplied by the owner (the charm scheduler) so this module stays
+    free of runtime dependencies.
+    """
+
+    def __init__(self, pe_busy_until: Callable[[UserLevelThread], int]):
+        self._pe_busy_until = pe_busy_until
+        self._heap: list[tuple[int, int, UserLevelThread, int]] = []
+        self._seq = itertools.count()
+        #: authoritative ready time per queued ULT (tid -> time); a ULT not
+        #: present here is not ready, whatever stale heap entries say.
+        self._ready_time: dict[int, int] = {}
+        self._ults: dict[int, UserLevelThread] = {}
+
+    def __len__(self) -> int:
+        return len(self._ready_time)
+
+    def __contains__(self, ult: UserLevelThread) -> bool:
+        return ult.tid in self._ready_time
+
+    def push(self, ult: UserLevelThread, ready_time: int) -> None:
+        """Mark ``ult`` ready at ``ready_time`` (idempotent; earliest wins)."""
+        prev = self._ready_time.get(ult.tid)
+        if prev is not None and prev <= ready_time:
+            return
+        self._ready_time[ult.tid] = ready_time
+        self._ults[ult.tid] = ult
+        eff = max(ready_time, self._pe_busy_until(ult))
+        heapq.heappush(self._heap, (eff, next(self._seq), ult, ready_time))
+
+    def pop(self) -> tuple[UserLevelThread, int] | None:
+        """Remove and return (ULT, ready_time) with the smallest effective
+        start, or None when empty."""
+        while self._heap:
+            eff, _, ult, pushed_ready = heapq.heappop(self._heap)
+            current_ready = self._ready_time.get(ult.tid)
+            if current_ready is None or current_ready != pushed_ready:
+                continue  # stale: ULT was popped or re-pushed earlier
+            true_eff = max(current_ready, self._pe_busy_until(ult))
+            if true_eff > eff:
+                # PE got busier since this entry was pushed; re-queue.
+                heapq.heappush(
+                    self._heap, (true_eff, next(self._seq), ult, current_ready)
+                )
+                continue
+            del self._ready_time[ult.tid]
+            del self._ults[ult.tid]
+            return ult, current_ready
+        return None
+
+    def peek_effective(self) -> int | None:
+        """Smallest effective start currently queued (None when empty)."""
+        while self._heap:
+            eff, seq, ult, pushed_ready = self._heap[0]
+            current_ready = self._ready_time.get(ult.tid)
+            if current_ready is None or current_ready != pushed_ready:
+                heapq.heappop(self._heap)
+                continue
+            true_eff = max(current_ready, self._pe_busy_until(ult))
+            if true_eff > eff:
+                heapq.heappop(self._heap)
+                heapq.heappush(
+                    self._heap, (true_eff, next(self._seq), ult, current_ready)
+                )
+                continue
+            return eff
+        return None
+
+    def drain(self) -> Iterable[UserLevelThread]:
+        """Remove and yield everything (shutdown path)."""
+        out = list(self._ults.values())
+        self._heap.clear()
+        self._ready_time.clear()
+        self._ults.clear()
+        return out
+
+    def blocked_elsewhere(self, all_ults: Iterable[UserLevelThread]) -> list[UserLevelThread]:
+        """ULTs alive but neither queued here nor finished (deadlock report)."""
+        return [
+            u
+            for u in all_ults
+            if not u.finished
+            and u.tid not in self._ready_time
+            and u.state is UltState.BLOCKED
+        ]

@@ -1,0 +1,154 @@
+"""Baton-passing user-level threads.
+
+Each :class:`UserLevelThread` wraps a real OS thread that spends almost
+all of its life blocked on a private event.  Control is handed over
+explicitly: the scheduler calls :meth:`UserLevelThread.switch_in`, which
+wakes the ULT and blocks the caller until the ULT either *yields* (blocks
+on communication) or finishes.  At any instant exactly one thread — the
+scheduler or one ULT — is runnable, so no user-visible locking is needed
+and execution is fully deterministic.
+
+Simulated time lives in ``ult.clock`` (a :class:`~repro.perf.clock.SimClock`);
+the real threads exist only to give user code an ordinary blocking call
+stack, like AMPI gives legacy MPI code.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.perf.clock import SimClock
+
+
+class UltState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    ERROR = "error"
+
+
+class UltKilled(BaseException):
+    """Raised inside a ULT to unwind its stack at forced shutdown.
+
+    Derives from BaseException so user ``except Exception`` blocks cannot
+    swallow it.
+    """
+
+
+class UserLevelThread:
+    """One cooperative thread of execution with its own simulated clock."""
+
+    _id_counter = 0
+
+    def __init__(
+        self,
+        name: str,
+        target: Callable[..., Any],
+        args: tuple = (),
+        stack_bytes: int = 1 << 20,
+    ):
+        UserLevelThread._id_counter += 1
+        self.tid = UserLevelThread._id_counter
+        self.name = name
+        self.target = target
+        self.args = args
+        self.stack_bytes = stack_bytes  #: simulated ULT stack reservation
+        self.clock = SimClock()
+        self.state = UltState.NEW
+        self.block_reason: str = ""
+        self.result: Any = None
+        self.exception: BaseException | None = None
+
+        self._my_turn = threading.Event()
+        self._caller_turn = threading.Event()
+        self._kill = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle (scheduler side) ---------------------------------------------
+
+    def start(self) -> None:
+        """Create the backing thread, paused before user code runs."""
+        if self.state is not UltState.NEW:
+            raise ReproError(f"ULT {self.name} already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"ult-{self.name}", daemon=True
+        )
+        self.state = UltState.READY
+        self._thread.start()
+
+    def switch_in(self) -> UltState:
+        """Hand the baton to this ULT; returns when it yields or finishes."""
+        if self.state not in (UltState.READY, UltState.BLOCKED):
+            raise ReproError(
+                f"cannot switch to ULT {self.name} in state {self.state.value}"
+            )
+        self.state = UltState.RUNNING
+        self._caller_turn.clear()
+        self._my_turn.set()
+        self._caller_turn.wait()
+        return self.state
+
+    def kill(self) -> None:
+        """Force the ULT to unwind (used at abnormal shutdown)."""
+        if self.state in (UltState.DONE, UltState.ERROR, UltState.NEW):
+            return
+        self._kill = True
+        self._caller_turn.clear()
+        self._my_turn.set()
+        self._caller_turn.wait()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def join_thread(self) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    # -- ULT side -----------------------------------------------------------------
+
+    def yield_(self, reason: str = "yield") -> None:
+        """Suspend; returns when the scheduler switches back in."""
+        self.block_reason = reason
+        self.state = UltState.BLOCKED
+        self._my_turn.clear()
+        self._caller_turn.set()
+        self._my_turn.wait()
+        if self._kill:
+            raise UltKilled(self.name)
+        self.block_reason = ""
+
+    def _run(self) -> None:
+        self._my_turn.wait()
+        if self._kill:
+            self.state = UltState.ERROR
+            self.exception = UltKilled(self.name)
+            self._caller_turn.set()
+            return
+        try:
+            self.result = self.target(*self.args)
+            self.state = UltState.DONE
+        except UltKilled as e:
+            self.state = UltState.ERROR
+            self.exception = e
+        except BaseException as e:  # noqa: BLE001 - reported to the scheduler
+            self.state = UltState.ERROR
+            self.exception = e
+        finally:
+            self._caller_turn.set()
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (UltState.DONE, UltState.ERROR)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ULT({self.name}, {self.state.value}, t={self.clock.now}ns"
+            + (f", blocked on {self.block_reason}" if self.block_reason else "")
+            + ")"
+        )

@@ -1,0 +1,119 @@
+"""Tests for checkpoint/restart."""
+
+import pytest
+
+from repro.ampi.checkpoint import Checkpoint
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.errors import CheckpointError
+from repro.machine import TEST_MACHINE
+from repro.program.source import Program
+
+
+def restartable_program(total_steps=6):
+    """A restart-aware app: consults cur_step before iterating."""
+    p = Program("ckpt")
+    p.add_global("cur_step", 0)
+    p.add_global("acc", 0)
+
+    @p.function()
+    def main(ctx):
+        start = ctx.g.cur_step
+        for step in range(start, total_steps):
+            ctx.g.acc = ctx.g.acc + ctx.mpi.rank() + 1
+            ctx.g.cur_step = step + 1
+            if step + 1 == total_steps // 2 and start == 0:
+                ctx.mpi.checkpoint()
+        ctx.mpi.barrier()
+        return (ctx.g.cur_step, ctx.g.acc)
+
+    return p.build()
+
+
+def run(src, nvp=2, method="pieglobals", **kw):
+    kw.setdefault("slot_size", 1 << 24)
+    job = AmpiJob(src, nvp, method=method, machine=TEST_MACHINE,
+                  layout=JobLayout.single(2), **kw)
+    return job, job.run()
+
+
+class TestCapture:
+    def test_collective_checkpoint_captured(self):
+        job, result = run(restartable_program())
+        assert len(job.checkpoints) == 1
+        ckpt = job.checkpoints[0]
+        assert ckpt.nvp == 2
+        assert ckpt.nbytes > 0
+
+    def test_snapshot_holds_mid_run_state(self):
+        job, _ = run(restartable_program(total_steps=6))
+        ckpt = job.checkpoints[0]
+        for vp in (0, 1):
+            snap = ckpt.snapshots[vp]
+            assert snap.globals_["cur_step"] == 3
+            assert snap.globals_["acc"] == 3 * (vp + 1)
+
+    def test_checkpoint_costs_time(self):
+        src = restartable_program()
+        job, result = run(src)
+        # the checkpoint collective charged shared-FS I/O
+        assert result.makespan_ns > 0
+
+
+class TestRestart:
+    def test_restart_resumes_from_checkpoint(self):
+        src = restartable_program(total_steps=6)
+        job, first = run(src)
+        ckpt = job.checkpoints[0]
+
+        job2 = AmpiJob(src, 2, method="pieglobals", machine=TEST_MACHINE,
+                       layout=JobLayout.single(2), slot_size=1 << 24,
+                       restore_from=ckpt)
+        second = job2.run()
+        # The restarted run continues from step 3 and reaches the same
+        # final state as the uninterrupted one.
+        assert second.exit_values == first.exit_values
+
+    def test_restart_rank_count_mismatch(self):
+        src = restartable_program()
+        job, _ = run(src)
+        ckpt = job.checkpoints[0]
+        with pytest.raises(CheckpointError, match="ranks"):
+            AmpiJob(src, 4, method="pieglobals", machine=TEST_MACHINE,
+                    layout=JobLayout.single(2), slot_size=1 << 24,
+                    restore_from=ckpt).run()
+
+    def test_restart_program_mismatch(self):
+        src = restartable_program()
+        job, _ = run(src)
+        ckpt = job.checkpoints[0]
+
+        other = Program("other")
+        other.add_global("different", 0)
+        other.add_function(lambda ctx: 0, name="main")
+        with pytest.raises(CheckpointError, match="does not exist"):
+            AmpiJob(other.build(), 2, method="pieglobals",
+                    machine=TEST_MACHINE, layout=JobLayout.single(2),
+                    slot_size=1 << 24, restore_from=ckpt).run()
+
+
+class TestUnsupportedMethods:
+    @pytest.mark.parametrize("method", ["pipglobals", "fsglobals"])
+    def test_loader_backed_methods_cannot_checkpoint(self, method):
+        with pytest.raises(CheckpointError, match="migratable"):
+            run(restartable_program(), method=method)
+
+    def test_tlsglobals_can_checkpoint(self):
+        p = Program("tlsck")
+        p.add_global("state", 0, tls=True)
+
+        @p.function()
+        def main(ctx):
+            ctx.g.state = ctx.mpi.rank()
+            ctx.mpi.checkpoint()
+            return ctx.g.state
+
+        job, result = run(p.build(), method="tlsglobals")
+        assert len(job.checkpoints) == 1
+        snap = job.checkpoints[0].snapshots[1]
+        assert snap.globals_["state"] == 1

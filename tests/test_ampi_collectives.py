@@ -1,0 +1,244 @@
+"""Collective-communication semantics, exercised through real jobs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ampi.ops import MAX, MIN, PROD, SUM
+from repro.charm.node import JobLayout
+from repro.errors import MpiError
+from repro.program.source import Program
+
+from conftest import run_job
+
+
+def program(body, name="coll"):
+    p = Program(name)
+    p.add_global("pad", 0)
+    p.add_function(body, name="main")
+    return p.build()
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        def main(ctx):
+            ctx.compute(1000 * (ctx.mpi.rank() + 1))  # skewed arrivals
+            ctx.mpi.barrier()
+            return ctx.clock.now
+
+        r = run_job(program(main), 4)
+        times = list(r.exit_values.values())
+        # All released at/after the slowest arrival.
+        assert min(times) >= 4000
+
+    def test_multiple_barriers_match_in_order(self):
+        def main(ctx):
+            for _ in range(3):
+                ctx.mpi.barrier()
+            return "ok"
+
+        r = run_job(program(main), 3)
+        assert set(r.exit_values.values()) == {"ok"}
+
+
+class TestBcast:
+    def test_root_value_distributed(self):
+        def main(ctx):
+            value = {"data": 42} if ctx.mpi.rank() == 0 else None
+            return ctx.mpi.bcast(value, root=0)
+
+        r = run_job(program(main), 4)
+        assert all(v == {"data": 42} for v in r.exit_values.values())
+
+    def test_nonzero_root(self):
+        def main(ctx):
+            value = "fromtwo" if ctx.mpi.rank() == 2 else None
+            return ctx.mpi.bcast(value, root=2)
+
+        r = run_job(program(main), 4)
+        assert set(r.exit_values.values()) == {"fromtwo"}
+
+    def test_receivers_get_private_copies(self):
+        def main(ctx):
+            value = [1, 2] if ctx.mpi.rank() == 0 else None
+            got = ctx.mpi.bcast(value, root=0)
+            got.append(ctx.mpi.rank())   # mutate own copy
+            ctx.mpi.barrier()
+            return tuple(got)
+
+        r = run_job(program(main), 3)
+        assert r.exit_values[1] == (1, 2, 1)
+        assert r.exit_values[2] == (1, 2, 2)
+
+    def test_inconsistent_root_rejected(self):
+        def main(ctx):
+            return ctx.mpi.bcast("x", root=ctx.mpi.rank())
+
+        with pytest.raises(MpiError, match="inconsistent"):
+            run_job(program(main), 2)
+
+
+class TestReduceAllreduce:
+    def test_reduce_sum_at_root(self):
+        def main(ctx):
+            return ctx.mpi.reduce(ctx.mpi.rank() + 1, op=SUM, root=0)
+
+        r = run_job(program(main), 4)
+        assert r.exit_values[0] == 10
+        assert all(v is None for vp, v in r.exit_values.items() if vp != 0)
+
+    def test_allreduce_everyone_gets_result(self):
+        def main(ctx):
+            return ctx.mpi.allreduce(ctx.mpi.rank(), op=MAX)
+
+        r = run_job(program(main), 5)
+        assert set(r.exit_values.values()) == {4}
+
+    def test_allreduce_numpy_elementwise(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            return ctx.mpi.allreduce(np.array([me, 10 * me]), op=SUM)
+
+        r = run_job(program(main), 3)
+        assert list(r.exit_values[0]) == [3, 30]
+
+    def test_reduce_min_prod(self):
+        def main(ctx):
+            lo = ctx.mpi.allreduce(ctx.mpi.rank() + 1, op=MIN)
+            pr = ctx.mpi.allreduce(2, op=PROD)
+            return (lo, pr)
+
+        r = run_job(program(main), 3)
+        assert set(r.exit_values.values()) == {(1, 8)}
+
+    def test_collective_kind_mismatch_detected(self):
+        def main(ctx):
+            if ctx.mpi.rank() == 0:
+                ctx.mpi.barrier()
+            else:
+                ctx.mpi.allreduce(1, op=SUM)
+            return None
+
+        with pytest.raises(MpiError, match="mismatch"):
+            run_job(program(main), 2)
+
+
+class TestGatherScatter:
+    def test_gather_orders_by_rank(self):
+        def main(ctx):
+            return ctx.mpi.gather(ctx.mpi.rank() * 2, root=1)
+
+        r = run_job(program(main), 3)
+        assert r.exit_values[1] == [0, 2, 4]
+        assert r.exit_values[0] is None
+
+    def test_allgather(self):
+        def main(ctx):
+            return ctx.mpi.allgather(chr(ord("a") + ctx.mpi.rank()))
+
+        r = run_job(program(main), 3)
+        assert set(map(tuple, r.exit_values.values())) == {("a", "b", "c")}
+
+    def test_scatter_distributes_chunks(self):
+        def main(ctx):
+            chunks = ["r0", "r1", "r2"] if ctx.mpi.rank() == 0 else None
+            return ctx.mpi.scatter(chunks, root=0)
+
+        r = run_job(program(main), 3)
+        assert r.exit_values == {0: "r0", 1: "r1", 2: "r2"}
+
+    def test_scatter_wrong_count_rejected(self):
+        def main(ctx):
+            chunks = ["only-one"] if ctx.mpi.rank() == 0 else None
+            return ctx.mpi.scatter(chunks, root=0)
+
+        with pytest.raises(MpiError, match="exactly"):
+            run_job(program(main), 2)
+
+    def test_alltoall_transpose(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            n = ctx.mpi.size()
+            return ctx.mpi.alltoall([f"{me}->{j}" for j in range(n)])
+
+        r = run_job(program(main), 3)
+        assert r.exit_values[1] == ["0->1", "1->1", "2->1"]
+
+    def test_scan_prefix_sums(self):
+        def main(ctx):
+            return ctx.mpi.scan(ctx.mpi.rank() + 1, op=SUM)
+
+        r = run_job(program(main), 4)
+        assert r.exit_values == {0: 1, 1: 3, 2: 6, 3: 10}
+
+
+class TestCommManagement:
+    def test_comm_dup_isolated_tag_space(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            dup = ctx.mpi.comm_dup()
+            if me == 0:
+                ctx.mpi.send("world", dest=1, tag=1)
+                ctx.mpi.send("dup", dest=1, tag=1, comm=dup)
+                return None
+            on_dup = ctx.mpi.recv(source=0, tag=1, comm=dup)
+            on_world = ctx.mpi.recv(source=0, tag=1)
+            return (on_world, on_dup)
+
+        r = run_job(program(main), 2)
+        assert r.exit_values[1] == ("world", "dup")
+
+    def test_comm_split_groups_by_color(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            sub = ctx.mpi.comm_split(color=me % 2, key=me)
+            return (ctx.mpi.rank(sub), ctx.mpi.size(sub))
+
+        r = run_job(program(main), 4)
+        # vps 0,2 -> color 0 with ranks 0,1; vps 1,3 -> color 1.
+        assert r.exit_values[0] == (0, 2)
+        assert r.exit_values[2] == (1, 2)
+        assert r.exit_values[1] == (0, 2)
+        assert r.exit_values[3] == (1, 2)
+
+    def test_comm_split_key_order(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            sub = ctx.mpi.comm_split(color=0, key=-me)  # reversed
+            return ctx.mpi.rank(sub)
+
+        r = run_job(program(main), 3)
+        assert r.exit_values == {0: 2, 1: 1, 2: 0}
+
+    def test_split_with_none_color_excluded(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            sub = ctx.mpi.comm_split(color=None if me == 0 else 1, key=me)
+            if sub is None:
+                return "excluded"
+            return ctx.mpi.size(sub)
+
+        r = run_job(program(main), 3)
+        assert r.exit_values[0] == "excluded"
+        assert r.exit_values[1] == 2
+
+    def test_collective_on_subcomm(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            sub = ctx.mpi.comm_split(color=me % 2, key=me)
+            return ctx.mpi.allreduce(me, op=SUM, comm=sub)
+
+        r = run_job(program(main), 4)
+        assert r.exit_values[0] == 2   # 0 + 2
+        assert r.exit_values[1] == 4   # 1 + 3
+
+
+class TestProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=2, max_size=6))
+    def test_allreduce_matches_local_sum(self, values):
+        def main(ctx):
+            return ctx.mpi.allreduce(values[ctx.mpi.rank()], op=SUM)
+
+        r = run_job(program(main), len(values))
+        assert set(r.exit_values.values()) == {sum(values)}

@@ -1,0 +1,46 @@
+"""Tests for communicators."""
+
+import pytest
+
+from repro.ampi.comm import Communicator
+from repro.errors import MpiError
+
+
+class TestWorld:
+    def test_world_identity_mapping(self):
+        w = Communicator.world(4)
+        assert w.size == 4
+        assert w.rank_of_vp(2) == 2
+        assert w.vp_of_rank(3) == 3
+
+    def test_unique_cids(self):
+        assert Communicator.world(2).cid != Communicator.world(2).cid
+
+
+class TestDerived:
+    def test_derive_remaps_ranks(self):
+        w = Communicator.world(6)
+        sub = w.derive((4, 2, 0), "sub")
+        assert sub.size == 3
+        assert sub.vp_of_rank(0) == 4
+        assert sub.rank_of_vp(2) == 1
+
+    def test_membership(self):
+        sub = Communicator.world(6).derive((1, 3), "s")
+        assert 3 in sub and 0 not in sub
+
+    def test_nonmember_rank_of_vp_raises(self):
+        sub = Communicator.world(6).derive((1, 3), "s")
+        with pytest.raises(MpiError, match="not a member"):
+            sub.rank_of_vp(0)
+
+    def test_rank_out_of_range(self):
+        w = Communicator.world(2)
+        with pytest.raises(MpiError, match="out of range"):
+            w.vp_of_rank(2)
+        with pytest.raises(MpiError):
+            w.vp_of_rank(-1)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MpiError, match="empty"):
+            Communicator.world(2).derive((), "nil")

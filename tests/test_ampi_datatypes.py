@@ -1,0 +1,63 @@
+"""Tests for payload sizing and datatypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ampi.datatypes import BYTE, DOUBLE, INT, Datatype, payload_nbytes
+
+
+class TestDatatypes:
+    def test_extents(self):
+        assert INT.extent == 4
+        assert DOUBLE.extent == 8
+        assert BYTE.extent == 1
+
+    def test_count_multiplication(self):
+        assert DOUBLE * 10 == 80
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_array_true_size(self):
+        a = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes(a) == 800
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float32(1.5)) == 4
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert payload_nbytes("abc") == 3
+
+    def test_bool_is_one(self):
+        assert payload_nbytes(True) == 1
+
+    def test_scalars(self):
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(1 + 2j) == 8
+
+    def test_list_sums_elements(self):
+        assert payload_nbytes([1, 2, 3]) == 8 + 24
+
+    def test_dict_sums_pairs(self):
+        assert payload_nbytes({"k": 1}) == 8 + 1 + 8
+
+    def test_unknown_object_envelope(self):
+        class Custom:
+            pass
+
+        assert payload_nbytes(Custom()) == 64
+
+    @given(st.integers(1, 1000))
+    def test_array_size_scales(self, n):
+        assert payload_nbytes(np.zeros(n)) == 8 * n
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_list_at_least_envelope(self, xs):
+        assert payload_nbytes(xs) >= 8

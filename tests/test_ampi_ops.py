@@ -1,0 +1,96 @@
+"""Tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.ampi.ops import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    UserOp,
+)
+from repro.errors import MpiError
+
+
+class TestBuiltins:
+    def test_sum_scalars(self):
+        assert SUM.apply(None, 2, 3) == 5
+
+    def test_sum_arrays_elementwise(self):
+        out = SUM.apply(None, np.array([1, 2]), np.array([10, 20]))
+        assert list(out) == [11, 22]
+
+    def test_prod(self):
+        assert PROD.apply(None, 3, 4) == 12
+
+    def test_max_min(self):
+        assert MAX.apply(None, 3, 7) == 7
+        assert MIN.apply(None, 3, 7) == 3
+
+    def test_max_arrays(self):
+        out = MAX.apply(None, np.array([1, 9]), np.array([5, 2]))
+        assert list(out) == [5, 9]
+
+    def test_logical(self):
+        assert LAND.apply(None, 1, 0) is False
+        assert LOR.apply(None, 1, 0) is True
+
+    def test_bitwise(self):
+        assert BAND.apply(None, 0b110, 0b011) == 0b010
+        assert BOR.apply(None, 0b110, 0b011) == 0b111
+
+    def test_builtins_commutative(self):
+        for op in (SUM, PROD, MAX, MIN):
+            assert op.commutative
+
+
+class TestUserOp:
+    def test_unbound_op_raises(self):
+        op = UserOp(name="f", commutative=True, fn_addr=0x100)
+        with pytest.raises(MpiError, match="not bound"):
+            op.apply(None, 1, 2)
+
+    def test_absolute_address_invocation(self):
+        calls = []
+
+        def invoke(pe, addr, a, b):
+            calls.append(addr)
+            return a * b
+
+        op = UserOp(name="f", commutative=True, fn_addr=0x40,
+                    invoke=invoke)
+        assert op.apply("pe", 3, 4) == 12
+        assert calls == [0x40]
+
+    def test_offset_rebased_per_pe(self):
+        """The PIEglobals path: stored offset + per-PE code base."""
+        def rebase(pe, offset):
+            return {"peA": 0x1000, "peB": 0x2000}[pe] + offset
+
+        seen = []
+
+        def invoke(pe, addr, a, b):
+            seen.append((pe, addr))
+            return a + b
+
+        op = UserOp(name="f", commutative=True, fn_offset=0x10,
+                    rebase=rebase, invoke=invoke)
+        op.apply("peA", 1, 2)
+        op.apply("peB", 1, 2)
+        assert seen == [("peA", 0x1010), ("peB", 0x2010)]
+
+    def test_offset_without_rebase_raises(self):
+        op = UserOp(name="f", commutative=True, fn_offset=0x10,
+                    invoke=lambda *a: 0)
+        with pytest.raises(MpiError, match="rebase"):
+            op.apply(None, 1, 2)
+
+    def test_no_function_at_all(self):
+        op = UserOp(name="f", commutative=True, invoke=lambda *a: 0)
+        with pytest.raises(MpiError, match="no function"):
+            op.apply(None, 1, 2)

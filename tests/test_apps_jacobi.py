@@ -1,0 +1,104 @@
+"""Tests for the Jacobi-3D workload."""
+
+import pytest
+
+from repro.apps.jacobi3d import (
+    JacobiConfig,
+    _block_bounds,
+    build_jacobi_program,
+    dims_create,
+    run_jacobi,
+)
+from repro.charm.node import JobLayout
+from repro.errors import ReproError
+from repro.machine import TEST_MACHINE
+
+
+class TestDimsCreate:
+    def test_products(self):
+        for n in (1, 2, 4, 6, 8, 12, 16, 24):
+            dims = dims_create(n)
+            assert dims[0] * dims[1] * dims[2] == n
+
+    def test_balanced(self):
+        assert dims_create(8) == (2, 2, 2)
+        assert dims_create(4) == (2, 2, 1)
+
+    def test_prime(self):
+        assert dims_create(7) == (7, 1, 1)
+
+
+class TestBlockBounds:
+    def test_covers_domain_exactly(self):
+        n, parts = 17, 4
+        spans = [_block_bounds(n, parts, i) for i in range(parts)]
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_sizes_differ_by_at_most_one(self):
+        spans = [_block_bounds(10, 3, i) for i in range(3)]
+        sizes = [b - a for a, b in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestJacobiRuns:
+    def run(self, nvp=8, method="pieglobals", **cfg_kw):
+        cfg = JacobiConfig(n=12, iters=6, **cfg_kw)
+        return run_jacobi(cfg, nvp, method=method, machine=TEST_MACHINE,
+                          layout=JobLayout.single(4))
+
+    def test_all_ranks_agree_on_residual(self):
+        r = self.run()
+        assert len(set(r.exit_values.values())) == 1
+
+    def test_residual_positive_and_finite(self):
+        r = self.run()
+        resid = next(iter(r.exit_values.values()))
+        assert 0 < resid < float("inf")
+
+    def test_residual_decreases_with_more_iterations(self):
+        short = run_jacobi(JacobiConfig(n=12, iters=4), 4,
+                           machine=TEST_MACHINE)
+        long = run_jacobi(JacobiConfig(n=12, iters=20), 4,
+                          machine=TEST_MACHINE)
+        assert (next(iter(long.exit_values.values()))
+                < next(iter(short.exit_values.values())))
+
+    def test_answer_independent_of_decomposition(self):
+        r1 = run_jacobi(JacobiConfig(n=12, iters=5), 1,
+                        machine=TEST_MACHINE, layout=JobLayout(1, 1, 1))
+        r8 = run_jacobi(JacobiConfig(n=12, iters=5), 8,
+                        machine=TEST_MACHINE, layout=JobLayout.single(4))
+        assert next(iter(r1.exit_values.values())) == pytest.approx(
+            next(iter(r8.exit_values.values())))
+
+    @pytest.mark.parametrize("method", ["none", "tlsglobals", "pipglobals",
+                                        "pieglobals"])
+    def test_same_numerics_under_every_method(self, method):
+        """The solver's *values* never depend on the privatization method
+        (only rank-identity state does, and Jacobi keeps that local)."""
+        r = self.run(method=method)
+        baseline = self.run(method="manual")
+        assert next(iter(r.exit_values.values())) == pytest.approx(
+            next(iter(baseline.exit_values.values())))
+
+    def test_code_segment_is_3mb(self):
+        src = build_jacobi_program(JacobiConfig())
+        assert src.code_bytes == 3 * 1024 * 1024
+
+    def test_lb_period_runs_migrations_sync(self):
+        r = self.run(nvp=8, lb_period=2)
+        assert len(r.lb_reports) >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            JacobiConfig(n=1)
+        with pytest.raises(ReproError):
+            JacobiConfig(iters=0)
+
+    def test_tag_tls_places_inner_loop_vars_in_tls(self):
+        src = build_jacobi_program(JacobiConfig(tag_tls=True))
+        assert src.var("omega").tls and src.var("inv6").tls
+        src2 = build_jacobi_program(JacobiConfig())
+        assert not src2.var("omega").tls

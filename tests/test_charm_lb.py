@@ -1,0 +1,153 @@
+"""Tests for load-balancing strategies and instrumentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.charm.lb import (
+    GreedyLB,
+    GreedyRefineLB,
+    NullLB,
+    RandomLB,
+    RankStat,
+    RotateLB,
+    get_strategy,
+    summarize_loads,
+)
+from repro.errors import ReproError
+
+
+def stats(loads, pes=None):
+    pes = pes or [0] * len(loads)
+    return [RankStat(vp=i, load_ns=l, pe=p)
+            for i, (l, p) in enumerate(zip(loads, pes))]
+
+
+def max_pe_load(st_list, assignment, n_pes):
+    loads = [0] * n_pes
+    for s in st_list:
+        loads[assignment[s.vp]] += s.load_ns
+    return max(loads)
+
+
+class TestNullLB:
+    def test_keeps_placement(self):
+        s = stats([5, 5], pes=[0, 1])
+        assert NullLB().assign(s, 2) == {0: 0, 1: 1}
+
+
+class TestGreedyLB:
+    def test_balances_equal_loads(self):
+        s = stats([10] * 4)
+        a = GreedyLB().assign(s, 4)
+        assert sorted(a.values()) == [0, 1, 2, 3]
+
+    def test_heaviest_ranks_separated(self):
+        s = stats([100, 100, 1, 1])
+        a = GreedyLB().assign(s, 2)
+        assert a[0] != a[1]
+
+    def test_optimal_for_classic_case(self):
+        s = stats([7, 6, 5, 4])
+        a = GreedyLB().assign(s, 2)
+        assert max_pe_load(s, a, 2) == 11
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ReproError):
+            GreedyLB().assign(stats([1]), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+           st.integers(1, 8))
+    def test_greedy_within_bound(self, loads, n_pes):
+        """LPT-style greedy stays within (4/3)·OPT >= max(avg, biggest)."""
+        s = stats(loads)
+        a = GreedyLB().assign(s, n_pes)
+        lower = max(max(loads), sum(loads) / n_pes)
+        assert max_pe_load(s, a, n_pes) <= lower * 4 / 3 + 1e-9
+
+
+class TestGreedyRefineLB:
+    def test_keeps_balanced_placement(self):
+        s = stats([10, 10, 10, 10], pes=[0, 1, 2, 3])
+        a = GreedyRefineLB().assign(s, 4)
+        assert a == {0: 0, 1: 1, 2: 2, 3: 3}   # zero migrations
+
+    def test_deflates_overloaded_pe(self):
+        s = stats([10, 10, 10, 10], pes=[0, 0, 0, 0])
+        a = GreedyRefineLB().assign(s, 4)
+        assert max_pe_load(s, a, 4) == 10
+
+    def test_moves_rank_larger_than_average(self):
+        """The hot-band case: one rank with most of the load sharing a
+        PE must migrate to an idle PE."""
+        s = stats([100, 5, 5, 5], pes=[0, 0, 1, 1])
+        a = GreedyRefineLB().assign(s, 4)
+        new_max = max_pe_load(s, a, 4)
+        assert new_max == 100
+        # the hot rank sits alone
+        assert sum(1 for vp, pe in a.items() if pe == a[0]) == 1
+
+    def test_fewer_moves_than_greedy(self):
+        s = stats(list(range(1, 17)), pes=[i % 4 for i in range(16)])
+        refine = GreedyRefineLB().assign(s, 4)
+        greedy = GreedyLB().assign(s, 4)
+        moves_r = sum(1 for x in s if refine[x.vp] != x.pe)
+        moves_g = sum(1 for x in s if greedy[x.vp] != x.pe)
+        assert moves_r <= moves_g
+
+    def test_zero_total_load_is_noop(self):
+        s = stats([0, 0], pes=[1, 1])
+        assert GreedyRefineLB().assign(s, 2) == {0: 1, 1: 1}
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ReproError):
+            GreedyRefineLB(tolerance=0.9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=24),
+           st.integers(2, 8))
+    def test_never_worse_than_current(self, loads, n_pes):
+        pes = [i % n_pes for i in range(len(loads))]
+        s = stats(loads, pes)
+        before = max_pe_load(s, {x.vp: x.pe for x in s}, n_pes)
+        after = max_pe_load(s, GreedyRefineLB().assign(s, n_pes), n_pes)
+        assert after <= before
+
+
+class TestOtherStrategies:
+    def test_rotate_shifts_by_one(self):
+        s = stats([1, 1], pes=[0, 1])
+        assert RotateLB().assign(s, 2) == {0: 1, 1: 0}
+
+    def test_random_is_seeded_deterministic(self):
+        s = stats([1] * 8)
+        assert RandomLB(seed=3).assign(s, 4) == RandomLB(seed=3).assign(s, 4)
+
+    def test_get_strategy_by_name(self):
+        assert isinstance(get_strategy("greedyrefine"), GreedyRefineLB)
+        assert isinstance(get_strategy("GREEDY"), GreedyLB)
+
+    def test_get_strategy_passthrough(self):
+        obj = GreedyLB()
+        assert get_strategy(obj) is obj
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(ReproError, match="known"):
+            get_strategy("magic")
+
+
+class TestInstrumentation:
+    def test_summary_balanced(self):
+        s = stats([10, 10], pes=[0, 1])
+        summary = summarize_loads(s, 2)
+        assert summary.imbalance == 1.0
+        assert summary.total_ns == 20
+
+    def test_summary_imbalanced(self):
+        s = stats([30, 10], pes=[0, 1])
+        summary = summarize_loads(s, 2)
+        assert summary.imbalance == pytest.approx(1.5)
+        assert summary.max_pe_ns == 30 and summary.min_pe_ns == 10
+
+    def test_summary_empty(self):
+        assert summarize_loads([], 4).imbalance == 1.0

@@ -1,0 +1,71 @@
+"""Tests for the location manager (rank placement + forwarding)."""
+
+import pytest
+
+from repro.charm.locmgr import LocationManager
+from repro.charm.node import JobLayout, build_topology
+from repro.charm.vrank import VirtualRank
+from repro.errors import ReproError
+from repro.machine import TEST_MACHINE
+from repro.mem.isomalloc import IsomallocArena
+
+
+def setup():
+    arena = IsomallocArena(8, 1 << 20)
+    _, _, pes = build_topology(JobLayout(1, 2, 2), TEST_MACHINE, arena)
+    lm = LocationManager()
+    ranks = []
+    for vp, pe in enumerate(pes):
+        r = VirtualRank(vp, pe)
+        lm.register(r)
+        ranks.append(r)
+    return lm, ranks, pes
+
+
+class TestRegistry:
+    def test_pe_of(self):
+        lm, ranks, pes = setup()
+        assert lm.pe_of(2) is pes[2]
+
+    def test_unknown_rank(self):
+        lm, _, _ = setup()
+        with pytest.raises(ReproError):
+            lm.pe_of(99)
+
+    def test_contains_len_iter(self):
+        lm, ranks, _ = setup()
+        assert 0 in lm and 99 not in lm
+        assert len(lm) == 4
+        assert sorted(lm.ranks()) == [0, 1, 2, 3]
+
+    def test_unregister(self):
+        lm, _, _ = setup()
+        lm.unregister(0)
+        assert 0 not in lm
+
+
+class TestForwarding:
+    def test_first_send_not_forwarded(self):
+        lm, _, pes = setup()
+        pe, forwarded = lm.lookup_for_send(0, 1)
+        assert pe is pes[1] and not forwarded
+
+    def test_stale_cache_forwards_once(self):
+        lm, ranks, pes = setup()
+        lm.lookup_for_send(0, 1)           # cache warm
+        ranks[1].move_to(pes[3])
+        lm.moved(ranks[1], pes[3])
+        pe, forwarded = lm.lookup_for_send(0, 1)
+        assert pe is pes[3] and forwarded  # pays forwarding hop once
+        pe, forwarded = lm.lookup_for_send(0, 1)
+        assert not forwarded               # cache updated
+        assert lm.forwarded_messages == 1
+
+    def test_unrelated_senders_have_own_caches(self):
+        lm, ranks, pes = setup()
+        lm.lookup_for_send(0, 1)
+        ranks[1].move_to(pes[3])
+        lm.moved(ranks[1], pes[3])
+        # A sender that never cached the old location doesn't forward.
+        _, forwarded = lm.lookup_for_send(2, 1)
+        assert not forwarded

@@ -1,0 +1,76 @@
+"""Tests for the machine hierarchy (nodes, OS processes, PEs)."""
+
+import pytest
+
+from repro.charm.node import JobLayout, build_topology
+from repro.errors import ReproError
+from repro.machine import TEST_MACHINE
+from repro.mem.isomalloc import IsomallocArena
+
+
+class TestJobLayout:
+    def test_totals(self):
+        lay = JobLayout(nodes=2, processes_per_node=3, pes_per_process=4)
+        assert lay.total_processes == 6
+        assert lay.total_pes == 24
+
+    def test_smp_mode_detection(self):
+        assert JobLayout(1, 1, 2).smp_mode
+        assert not JobLayout(4, 2, 1).smp_mode
+
+    def test_single_helper(self):
+        lay = JobLayout.single(8)
+        assert lay.total_pes == 8 and lay.total_processes == 1
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ReproError):
+            JobLayout(0, 1, 1)
+
+
+class TestTopology:
+    def build(self, layout):
+        arena = IsomallocArena(8, 1 << 20)
+        return build_topology(layout, TEST_MACHINE, arena)
+
+    def test_counts(self):
+        nodes, procs, pes = self.build(JobLayout(2, 2, 1))
+        assert len(nodes) == 2 and len(procs) == 4 and len(pes) == 4
+
+    def test_global_indices_sequential(self):
+        _, procs, pes = self.build(JobLayout(2, 1, 2))
+        assert [p.index for p in procs] == [0, 1]
+        assert [pe.index for pe in pes] == [0, 1, 2, 3]
+
+    def test_pe_knows_its_process_and_node(self):
+        nodes, procs, pes = self.build(JobLayout(2, 1, 2))
+        assert pes[3].process is procs[1]
+        assert pes[3].node_index == 1
+        assert pes[3].endpoint.node == 1
+
+    def test_processes_have_isolated_address_spaces(self):
+        _, procs, _ = self.build(JobLayout(1, 2, 1))
+        assert procs[0].vm is not procs[1].vm
+
+    def test_oversubscription_rejected(self):
+        arena = IsomallocArena(8, 1 << 20)
+        with pytest.raises(ReproError, match="cores"):
+            build_topology(JobLayout(1, 1, TEST_MACHINE.cores_per_node + 1),
+                           TEST_MACHINE, arena)
+
+    def test_smp_processes_share_vm_across_pes(self):
+        _, procs, pes = self.build(JobLayout(1, 1, 4))
+        assert len({pe.process for pe in pes}) == 1
+        assert all(pe.process.vm is procs[0].vm for pe in pes)
+
+
+class TestPeState:
+    def test_resident_tracking(self):
+        from repro.charm.vrank import VirtualRank
+
+        _, _, pes = self.build(JobLayout(1, 1, 2))
+        r = VirtualRank(0, pes[0])
+        assert pes[0].resident[0] is r
+        assert pes[0].any_resident() is r
+        assert pes[1].any_resident() is None
+
+    build = TestTopology.build

@@ -1,0 +1,116 @@
+"""Tests for the PE reduction spanning tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.charm.reduction import (
+    reduce_over_pes,
+    tree_children,
+    tree_depth,
+    tree_parent,
+)
+
+
+class FakePe:
+    def __init__(self, index, empty=False):
+        self.index = index
+        self._empty = empty
+
+    def any_resident(self):
+        return None if self._empty else object()
+
+
+def pes(n, empty=()):
+    return [FakePe(i, i in empty) for i in range(n)]
+
+
+def plain_combine(pe, a, b):
+    return a + b
+
+
+class TestTreeShape:
+    def test_root_has_no_parent(self):
+        assert tree_parent(0) is None
+
+    def test_parent_child_consistency(self):
+        for i in range(1, 50):
+            assert i in tree_children(tree_parent(i), 64)
+
+    def test_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(8) == 3
+        assert tree_depth(9) == 4
+
+
+class TestReduce:
+    def test_single_pe(self):
+        result, ops = reduce_over_pes(pes(1), {0: [1, 2, 3]}, plain_combine)
+        assert result == 6 and ops == 2
+
+    def test_multi_pe_sum(self):
+        contribs = {0: [1], 1: [2], 2: [3], 3: [4]}
+        result, ops = reduce_over_pes(pes(4), contribs, plain_combine)
+        assert result == 10
+
+    def test_sparse_contributions(self):
+        result, _ = reduce_over_pes(pes(8), {7: [5], 2: [6]}, plain_combine)
+        assert result == 11
+
+    def test_empty_interior_pe_passes_through_single_values(self):
+        """An empty PE forwards a lone partial without applying the op —
+        no failure unless it must *combine*."""
+        calls = []
+
+        def combine(pe, a, b):
+            calls.append(pe.index)
+            return a + b
+
+        # PE 1 (interior, empty) has only one child subtree contributing.
+        result, _ = reduce_over_pes(pes(4, empty={1, 0}), {3: [9]}, combine)
+        assert result == 9
+        assert calls == []
+
+    def test_empty_interior_pe_that_must_combine_is_exercised(self):
+        """When both children contribute, the parent PE applies the op —
+        the hook where PIEglobals' empty-PE error fires."""
+        combined_on = []
+
+        def combine(pe, a, b):
+            combined_on.append(pe.index)
+            return a + b
+
+        # PEs 3..6 are leaves of 1 and 2; PE 0 must merge 1's and 2's.
+        contribs = {3: [1], 4: [2], 5: [3], 6: [4]}
+        result, ops = reduce_over_pes(pes(7), contribs, combine)
+        assert result == 10
+        assert 0 in combined_on or 1 in combined_on
+
+    def test_combine_error_propagates(self):
+        def combine(pe, a, b):
+            raise RuntimeError("empty PE")
+
+        with pytest.raises(RuntimeError):
+            reduce_over_pes(pes(2), {0: [1], 1: [2]}, combine)
+
+    def test_no_contributions(self):
+        result, ops = reduce_over_pes(pes(4), {}, plain_combine)
+        assert result is None and ops == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 16), st.data())
+    def test_matches_flat_sum(self, n_pes, data):
+        contribs = {}
+        total = 0
+        for i in range(n_pes):
+            vals = data.draw(st.lists(st.integers(-100, 100), max_size=4))
+            if vals:
+                contribs[i] = list(vals)
+                total += sum(vals)
+        result, ops = reduce_over_pes(pes(n_pes), contribs, plain_combine)
+        n_vals = sum(len(v) for v in contribs.values())
+        if n_vals == 0:
+            assert result is None
+        else:
+            assert result == total
+            assert ops == n_vals - 1  # exactly n-1 combines

@@ -1,0 +1,203 @@
+"""Tests for the global discrete-event scheduler."""
+
+import pytest
+
+from repro.charm.node import JobLayout, build_topology
+from repro.charm.scheduler import JobScheduler
+from repro.charm.vrank import VirtualRank
+from repro.errors import DeadlockError
+from repro.machine import TEST_MACHINE
+from repro.mem.isomalloc import IsomallocArena
+from repro.perf.costs import TEST_COSTS
+from repro.threads.ult import UserLevelThread
+
+CS = TEST_COSTS.context_switch_ns
+
+
+def make_ranks(n, pes_layout=JobLayout(1, 1, 2), bodies=None):
+    arena = IsomallocArena(max(n, 1), 1 << 20)
+    _, _, pes = build_topology(pes_layout, TEST_MACHINE, arena)
+    sched = JobScheduler(TEST_COSTS)
+    ranks = []
+    for vp in range(n):
+        rank = VirtualRank(vp, pes[vp % len(pes)])
+        body = bodies[vp] if bodies else (lambda: vp)
+        rank.ult = UserLevelThread(f"vp{vp}", body)
+        ranks.append(rank)
+    return sched, ranks, pes
+
+
+class TestBasicRun:
+    def test_single_rank_completes(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.register(r, start_time=0)
+        sched.run()
+        assert r.finished
+
+    def test_exit_values_captured(self):
+        sched, ranks, _ = make_ranks(2, bodies=[lambda: "a", lambda: "b"])
+        for r in ranks:
+            sched.register(r, 0)
+        sched.run()
+        assert ranks[0].exit_value == "a"
+        assert ranks[1].exit_value == "b"
+
+    def test_context_switch_charged(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.register(r, start_time=100)
+        sched.run()
+        assert r.clock.now == 100 + CS
+
+    def test_pe_serializes_coresident_ranks(self):
+        def work(rank_holder=[]):
+            pass
+
+        sched, ranks, pes = make_ranks(
+            2, JobLayout(1, 1, 1),
+            bodies=[lambda: None, lambda: None],
+        )
+        for r in ranks:
+            sched.register(r, 0)
+        sched.run()
+        # Second rank started only after the first's switch completed.
+        assert ranks[1].clock.now >= 2 * CS
+
+    def test_parallel_pes_run_concurrently_in_simtime(self):
+        bodies = []
+        sched, ranks, pes = make_ranks(2, JobLayout(1, 1, 2))
+
+        def make_body(rank):
+            def body():
+                rank.ult.clock.advance(1000)
+            return body
+
+        for r in ranks:
+            r.ult.target = make_body(r)
+            sched.register(r, 0)
+        sched.run()
+        # Both finish at ~CS+1000: simulated concurrency across PEs.
+        assert ranks[0].clock.now == ranks[1].clock.now == CS + 1000
+
+    def test_makespan(self):
+        sched, ranks, _ = make_ranks(2)
+        for r in ranks:
+            sched.register(r, 0)
+        sched.run()
+        assert sched.makespan_ns() == max(r.clock.now for r in ranks)
+
+    def test_timeline_recorded(self):
+        sched, ranks, _ = make_ranks(2)
+        for r in ranks:
+            sched.register(r, 0)
+        sched.run()
+        assert len(sched.timeline) >= 2
+        assert {vp for _, vp, _ in sched.timeline} == {0, 1}
+
+
+class TestBlockingAndWaking:
+    def test_block_then_wake(self):
+        sched, ranks, _ = make_ranks(2, JobLayout(1, 1, 2))
+        log = []
+
+        def blocker():
+            log.append("blocking")
+            sched.block_current("wait-x")
+            log.append("resumed")
+            return "ok"
+
+        def waker():
+            sched.wake(ranks[0], at_time=500)
+            return "woke"
+
+        ranks[0].ult.target = blocker
+        ranks[1].ult.target = waker
+        sched.register(ranks[0], 0)
+        sched.register(ranks[1], 10)
+        sched.run()
+        assert log == ["blocking", "resumed"]
+        assert ranks[0].clock.now >= 500
+
+    def test_wake_respects_rank_clock(self):
+        """Waking at a time before the rank blocked cannot rewind it."""
+        sched, ranks, _ = make_ranks(2, JobLayout(1, 1, 2))
+
+        def blocker():
+            ranks[0].ult.clock.advance(1000)
+            sched.block_current("x")
+
+        def waker():
+            sched.wake(ranks[0], at_time=5)
+
+        ranks[0].ult.target = blocker
+        ranks[1].ult.target = waker
+        sched.register(ranks[0], 0)
+        sched.register(ranks[1], 0)
+        sched.run()
+        assert ranks[0].clock.now >= 1000
+
+    def test_yield_current_reschedules(self):
+        sched, ranks, _ = make_ranks(1)
+        hits = []
+
+        def body():
+            hits.append(ranks[0].clock.now)
+            sched.yield_current(ranks[0].clock.now + 100)
+            hits.append(ranks[0].clock.now)
+
+        ranks[0].ult.target = body
+        sched.register(ranks[0], 0)
+        sched.run()
+        assert hits[1] >= hits[0] + 100
+
+
+class TestFailureModes:
+    def test_deadlock_detected(self):
+        sched, ranks, _ = make_ranks(1)
+
+        def forever():
+            sched.block_current("never woken")
+
+        ranks[0].ult.target = forever
+        sched.register(ranks[0], 0)
+        with pytest.raises(DeadlockError, match="never woken"):
+            sched.run()
+
+    def test_user_exception_propagates_and_cleans_up(self):
+        sched, ranks, _ = make_ranks(2, JobLayout(1, 1, 2))
+
+        def boom():
+            raise ValueError("app bug")
+
+        def innocent():
+            sched.block_current("waiting")
+
+        ranks[0].ult.target = innocent
+        ranks[1].ult.target = boom
+        sched.register(ranks[0], 0)
+        sched.register(ranks[1], 5)
+        with pytest.raises(ValueError, match="app bug"):
+            sched.run()
+        # The blocked ULT was force-unwound: no orphan threads.
+        assert ranks[0].ult.finished
+
+    def test_rank_load_recorded(self):
+        sched, ranks, _ = make_ranks(1)
+
+        def body():
+            ranks[0].ult.clock.advance(777)
+
+        ranks[0].ult.target = body
+        sched.register(ranks[0], 0)
+        sched.run()
+        assert ranks[0].total_cpu_ns == 777
+
+    def test_ctx_switch_extra_charged(self):
+        sched_extra = None
+        arena = IsomallocArena(1, 1 << 20)
+        _, _, pes = build_topology(JobLayout(1, 1, 1), TEST_MACHINE, arena)
+        sched = JobScheduler(TEST_COSTS, ctx_switch_extra_ns=7)
+        r = VirtualRank(0, pes[0])
+        r.ult = UserLevelThread("vp0", lambda: None)
+        sched.register(r, 0)
+        sched.run()
+        assert r.clock.now == CS + 7

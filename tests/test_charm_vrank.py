@@ -1,0 +1,55 @@
+"""Tests for the VirtualRank entity."""
+
+import pytest
+
+from repro.charm.node import JobLayout, build_topology
+from repro.charm.vrank import VirtualRank
+from repro.machine import TEST_MACHINE
+from repro.mem.address_space import MapKind
+from repro.mem.isomalloc import IsomallocArena
+from repro.threads.ult import UserLevelThread
+
+
+def setup():
+    arena = IsomallocArena(4, 1 << 20)
+    _, procs, pes = build_topology(JobLayout(1, 2, 1), TEST_MACHINE, arena)
+    return procs, pes
+
+
+class TestVirtualRank:
+    def test_registers_with_pe(self):
+        _, pes = setup()
+        r = VirtualRank(0, pes[0])
+        assert pes[0].resident[0] is r
+        assert r.process is pes[0].process
+
+    def test_clock_requires_ult(self):
+        _, pes = setup()
+        r = VirtualRank(0, pes[0])
+        with pytest.raises(RuntimeError):
+            _ = r.clock
+        r.ult = UserLevelThread("vp0", lambda: 0)
+        assert r.clock.now == 0
+
+    def test_move_to_updates_both_pes(self):
+        _, pes = setup()
+        r = VirtualRank(0, pes[0])
+        r.move_to(pes[1])
+        assert 0 not in pes[0].resident
+        assert pes[1].resident[0] is r
+        assert r.migrations == 1
+
+    def test_load_accounting(self):
+        _, pes = setup()
+        r = VirtualRank(0, pes[0])
+        r.record_run(100)
+        r.record_run(50)
+        assert r.load_ns == 150 and r.total_cpu_ns == 150
+        r.reset_load()
+        assert r.load_ns == 0 and r.total_cpu_ns == 150
+
+    def test_memory_footprint_tracks_vm(self):
+        procs, pes = setup()
+        r = VirtualRank(1, pes[0])
+        procs[0].isomalloc.alloc(1, 8192, MapKind.HEAP)
+        assert r.memory_footprint() == 8192

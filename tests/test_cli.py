@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_list_methods(self, capsys):
+        assert main(["list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "pieglobals" in out and "swapglobals" in out
+
+    def test_list_machines(self, capsys):
+        assert main(["list-machines"]) == 0
+        out = capsys.readouterr().out
+        assert "bridges2" in out and "power9" in out
+
+    def test_hello_broken(self, capsys):
+        assert main(["hello", "--method", "none", "--vp", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("rank:")]
+        assert len(lines) == 2 and lines[0] == lines[1]
+
+    def test_hello_fixed(self, capsys):
+        assert main(["hello", "--method", "pieglobals", "--vp", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rank: 0" in out and "rank: 1" in out
+
+    def test_probe(self, capsys):
+        assert main(["probe", "pipglobals"]) == 0
+        out = capsys.readouterr().out
+        assert "Limited w/o patched glibc" in out
+
+    def test_run_fig6_quick(self, capsys):
+        assert main(["run", "fig6", "--quick-n", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "ns/switch" in out and "pieglobals" in out

@@ -1,0 +1,102 @@
+"""Determinism: the simulator is a sequential discrete-event system, so
+identical inputs must give bit-identical simulated outcomes — the
+property that makes every benchmark reproducible."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ampi.runtime import AmpiJob
+from repro.apps.adcirc import AdcircConfig, run_adcirc
+from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+from repro.charm.node import JobLayout
+from repro.machine import TEST_MACHINE
+from repro.program.source import Program
+
+from conftest import make_hello, run_job
+
+
+def fingerprint(result):
+    return (
+        result.makespan_ns,
+        result.startup_ns,
+        tuple(sorted(result.rank_cpu_ns.items())),
+        tuple((p.index, p.busy_ns, p.idle_ns, p.ctx_switches)
+              for p in result.pe_stats),
+        tuple((m.vp, m.src_pe, m.dst_pe, m.nbytes, m.ns)
+              for m in result.migrations),
+    )
+
+
+class TestJobDeterminism:
+    def test_hello_identical_across_runs(self):
+        a = run_job(make_hello(), 6, layout=JobLayout.single(2))
+        b = run_job(make_hello(), 6, layout=JobLayout.single(2))
+        assert fingerprint(a) == fingerprint(b)
+        assert a.exit_values == b.exit_values
+
+    def test_jacobi_identical_across_runs(self):
+        cfg = JacobiConfig(n=12, iters=5)
+        a = run_jacobi(cfg, 8, machine=TEST_MACHINE,
+                       layout=JobLayout.single(4))
+        b = run_jacobi(cfg, 8, machine=TEST_MACHINE,
+                       layout=JobLayout.single(4))
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_adcirc_with_lb_identical_across_runs(self):
+        cfg = AdcircConfig(width=16, height=48, steps=15, reduce_every=5,
+                           lb_period=5)
+        a = run_adcirc(cfg, 8, machine=TEST_MACHINE,
+                       layout=JobLayout.single(2))
+        b = run_adcirc(cfg, 8, machine=TEST_MACHINE,
+                       layout=JobLayout.single(2))
+        assert fingerprint(a) == fingerprint(b)
+        assert [r.moves for r in a.lb_reports] == \
+            [r.moves for r in b.lb_reports]
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 8), st.sampled_from(["pieglobals", "manual"]))
+    def test_any_config_is_deterministic(self, nvp, method):
+        a = run_job(make_hello(), nvp, method=method,
+                    layout=JobLayout.single(min(nvp, 4)))
+        b = run_job(make_hello(), nvp, method=method,
+                    layout=JobLayout.single(min(nvp, 4)))
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestSimulatedTimeInvariance:
+    def test_wall_time_does_not_leak_into_results(self):
+        """Injecting real-time delays leaves simulated results unchanged."""
+        import time
+
+        p = Program("sleepy")
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            time.sleep(0.01)   # real time, not simulated time
+            ctx.compute(1_000)
+            ctx.mpi.barrier()
+            return ctx.clock.now
+
+        a = run_job(p.build(), 2)
+        q = Program("sleepy2")
+        q.add_global("x", 0)
+
+        @q.function()
+        def main(ctx):  # noqa: F811
+            ctx.compute(1_000)
+            ctx.mpi.barrier()
+            return ctx.clock.now
+
+        b = run_job(q.build(), 2)
+        assert list(a.exit_values.values()) == list(b.exit_values.values())
+
+    def test_scheduler_timeline_is_reproducible(self):
+        def go():
+            job = AmpiJob(make_hello(), 4, method="pieglobals",
+                          machine=TEST_MACHINE, layout=JobLayout.single(2),
+                          slot_size=1 << 24)
+            job.run()
+            return list(job.scheduler.timeline)
+
+        assert go() == go()

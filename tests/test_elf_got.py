@@ -1,0 +1,81 @@
+"""Tests for the Global Offset Table model."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.elf.got import GotInstance, GotTemplate
+
+
+def template(*names):
+    t = GotTemplate()
+    for n in names:
+        t.add(n)
+    return t
+
+
+class TestTemplate:
+    def test_add_is_idempotent(self):
+        t = GotTemplate()
+        assert t.add("x") == t.add("x") == 0
+        assert len(t) == 1
+
+    def test_index_order(self):
+        t = template("a", "b", "c")
+        assert t.index_of("b") == 1
+
+    def test_missing_symbol(self):
+        with pytest.raises(LinkError):
+            template("a").index_of("z")
+
+    def test_size_bytes(self):
+        assert template("a", "b").size_bytes == 16
+
+    def test_contains(self):
+        t = template("a")
+        assert "a" in t and "b" not in t
+
+
+class TestInstance:
+    def test_resolve_and_read(self):
+        g = template("x").instantiate()
+        g.resolve("x", 0x1000)
+        assert g.address_of("x") == 0x1000
+
+    def test_unresolved_slot_raises(self):
+        g = template("x").instantiate()
+        with pytest.raises(LinkError, match="unresolved"):
+            g.address_of("x")
+
+    def test_clone_is_independent(self):
+        """Swapglobals: one GOT copy per rank."""
+        g = template("x").instantiate()
+        g.resolve("x", 0x1000)
+        c = g.clone()
+        c.resolve("x", 0x2000)
+        assert g.address_of("x") == 0x1000
+        assert c.address_of("x") == 0x2000
+
+    def test_entries(self):
+        g = template("a", "b").instantiate()
+        g.resolve("a", 1)
+        g.resolve("b", 2)
+        assert [(s.symbol, addr) for s, addr in g.entries()] == \
+            [("a", 1), ("b", 2)]
+
+    def test_rebase_shifts_only_in_range(self):
+        """PIEglobals GOT fixup: entries into the old segments move by
+        the copy delta; everything else is untouched."""
+        g = template("in1", "in2", "out").instantiate()
+        g.resolve("in1", 0x1000)
+        g.resolve("in2", 0x1FFF)
+        g.resolve("out", 0x9000)
+        n = g.rebase(0x1000, 0x2000, delta=0x100000)
+        assert n == 2
+        assert g.address_of("in1") == 0x101000
+        assert g.address_of("in2") == 0x101FFF
+        assert g.address_of("out") == 0x9000
+
+    def test_rebase_boundary_exclusive(self):
+        g = template("edge").instantiate()
+        g.resolve("edge", 0x2000)
+        assert g.rebase(0x1000, 0x2000, 0x10) == 0

@@ -1,0 +1,55 @@
+"""Tests for the ElfImage model."""
+
+from repro.elf.image import ELF_HEADER_BYTES, ElfType
+from repro.elf.linker import CompileUnit, StaticLinker
+from repro.machine import BRIDGES2
+from repro.mem.segments import FuncDef, VarDef
+
+
+def build(pie=True, variables=None, needed=None, pad=0):
+    linker = StaticLinker(BRIDGES2.toolchain)
+    unit = CompileUnit(
+        "u",
+        functions=[FuncDef("main", 100, lambda c: 0)],
+        variables=variables or [VarDef("g", init=1)],
+    )
+    return linker.link("img", [unit], pie=pie, pad_code_to=pad,
+                       needed=needed)
+
+
+class TestElfImage:
+    def test_is_pie(self):
+        assert build(pie=True).is_pie
+        assert not build(pie=False).is_pie
+
+    def test_load_size_sums_segments(self):
+        img = build(pad=4096)
+        assert img.load_size == (img.code.size + img.data.size
+                                 + img.rodata.size)
+
+    def test_file_size_exceeds_load_size(self):
+        img = build()
+        assert img.file_size >= img.load_size + ELF_HEADER_BYTES
+
+    def test_needed_sonames_carried(self):
+        img = build(needed=["libm.so.6"])
+        assert img.needed == ["libm.so.6"]
+
+    def test_etype_values(self):
+        assert build(pie=True).etype is ElfType.ET_DYN
+        assert build(pie=False).etype is ElfType.ET_EXEC
+
+    def test_describe_lists_counts(self):
+        desc = build().describe()
+        assert "got=" in desc and "relocs" in desc
+
+    def test_addr_inits_surface(self):
+        linker = StaticLinker(BRIDGES2.toolchain)
+        unit = CompileUnit(
+            "u",
+            functions=[FuncDef("main", 100, lambda c: 0)],
+            variables=[VarDef("p"), VarDef("x")],
+            addr_inits={"p": "x"},
+        )
+        img = linker.link("img", [unit], pie=True)
+        assert img.addr_inits == {"p": "x"}

@@ -1,0 +1,156 @@
+"""Tests for the static linker."""
+
+import pytest
+
+from repro.errors import LinkError, UnsupportedToolchain
+from repro.elf.image import ElfType
+from repro.elf.linker import CompileUnit, StaticLinker
+from repro.elf.relocation import RelocKind
+from repro.machine import LEGACY_LINUX_OLD_LD, BRIDGES2, Toolchain
+from repro.mem.segments import FuncDef, VarDef
+
+
+def unit(name="main.c", funcs=None, variables=None, **kw):
+    return CompileUnit(
+        name=name,
+        functions=funcs or [FuncDef("main", 100, lambda ctx: 0)],
+        variables=variables or [],
+        **kw,
+    )
+
+
+def link(units=None, toolchain=None, **kw):
+    linker = StaticLinker(toolchain or BRIDGES2.toolchain)
+    return linker.link("prog", units or [unit()], **kw)
+
+
+class TestBasics:
+    def test_pie_produces_et_dyn(self):
+        assert link(pie=True).etype is ElfType.ET_DYN
+
+    def test_non_pie_produces_et_exec_with_base(self):
+        img = link(pie=False)
+        assert img.etype is ElfType.ET_EXEC
+        assert img.link_base != 0
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(LinkError, match="entry point"):
+            link([unit(funcs=[FuncDef("notmain", 10, lambda c: 0)])])
+
+    def test_duplicate_global_across_units_rejected(self):
+        u1 = unit("a.c", variables=[VarDef("g")])
+        u2 = unit("b.c", funcs=[FuncDef("f", 10, lambda c: 0)],
+                  variables=[VarDef("g")])
+        with pytest.raises(LinkError, match="duplicate strong"):
+            link([u1, u2])
+
+    def test_statics_with_same_name_in_two_units_ok(self):
+        u1 = unit("a.c", variables=[VarDef("s", static=True)])
+        u2 = unit("b.c", funcs=[FuncDef("f", 10, lambda c: 0)],
+                  variables=[VarDef("s2", static=True)])
+        img = link([u1, u2])
+        assert "s" in img.data and "s2" in img.data
+
+    def test_pad_code_to(self):
+        img = link(pad_code_to=1 << 20)
+        assert img.code.size == 1 << 20
+
+    def test_undefined_reference_rejected(self):
+        u = unit(undefined_refs=["mystery_fn"])
+        with pytest.raises(LinkError, match="undefined symbols"):
+            link([u])
+
+    def test_allow_undefined_for_shim_symbols(self):
+        u = unit(undefined_refs=["MPI_Send"])
+        img = link([u], allow_undefined=frozenset({"MPI_Send"}))
+        assert img is not None
+
+    def test_missing_ctor_definition_rejected(self):
+        u = unit(static_ctors=["ctor_x"])
+        with pytest.raises(LinkError, match="static ctor"):
+            link([u])
+
+
+class TestSectionPlacement:
+    def test_variables_routed_by_kind(self):
+        u = unit(variables=[
+            VarDef("g"), VarDef("ro", const=True), VarDef("t", tls=True),
+            VarDef("s", static=True),
+        ])
+        img = link([u])
+        assert "g" in img.data and "s" in img.data
+        assert "ro" in img.rodata
+        assert "t" in img.tls
+        assert "t" not in img.data
+
+
+class TestGotConstruction:
+    def test_pie_globals_get_got_entries(self):
+        u = unit(variables=[VarDef("g"), VarDef("s", static=True)])
+        img = link([u], pie=True)
+        assert "g" in img.got
+        # Statics are local symbols: never in the GOT (the Swapglobals hole).
+        assert "s" not in img.got
+
+    def test_tls_vars_not_in_got(self):
+        u = unit(variables=[VarDef("t", tls=True)])
+        img = link([u], pie=True)
+        assert "t" not in img.got
+        assert any(r.kind is RelocKind.TPOFF for r in img.relocations)
+
+    def test_const_vars_not_in_got(self):
+        u = unit(variables=[VarDef("c", const=True)])
+        img = link([u], pie=True)
+        assert "c" not in img.got
+
+    def test_swapglobals_needs_old_or_patched_ld(self):
+        with pytest.raises(UnsupportedToolchain, match="ld"):
+            link(swapglobals_got=True, toolchain=BRIDGES2.toolchain)
+
+    def test_swapglobals_links_on_old_ld(self):
+        u = unit(variables=[VarDef("g")])
+        img = link([u], swapglobals_got=True,
+                   toolchain=LEGACY_LINUX_OLD_LD.toolchain)
+        assert "g" in img.got
+
+    def test_pie_unsupported_toolchain(self):
+        t = Toolchain(supports_pie=False)
+        with pytest.raises(UnsupportedToolchain, match="PIE"):
+            link(pie=True, toolchain=t)
+
+
+class TestAddrInits:
+    def test_addr_init_produces_abs64_reloc(self):
+        u = unit(variables=[VarDef("p"), VarDef("x")],
+                 addr_inits={"p": "x"})
+        img = link([u])
+        abs64 = [r for r in img.relocations if r.kind is RelocKind.ABS64]
+        assert len(abs64) == 1
+        assert abs64[0].symbol == "x"
+        assert abs64[0].where == "data:p"
+
+    def test_addr_init_to_function(self):
+        u = unit(variables=[VarDef("fp")], addr_inits={"fp": "main"})
+        img = link([u])
+        assert any(r.kind is RelocKind.ABS64 for r in img.relocations)
+
+    def test_addr_init_to_missing_symbol_rejected(self):
+        u = unit(variables=[VarDef("p")], addr_inits={"p": "ghost"})
+        with pytest.raises(LinkError, match="ghost"):
+            link([u])
+
+
+class TestImageMetrics:
+    def test_file_size_includes_everything(self):
+        img = link(pad_code_to=4096)
+        assert img.file_size >= 4096 + img.data.size
+
+    def test_runtime_reloc_count_excludes_pcrel(self):
+        u = unit(variables=[VarDef("g")])
+        img = link([u], pie=True)
+        assert img.runtime_reloc_count == len(
+            [r for r in img.relocations if r.needs_runtime_work]
+        )
+
+    def test_describe_mentions_name(self):
+        assert "prog" in link().describe()

@@ -1,0 +1,224 @@
+"""Tests for the dynamic loader: dlopen/dlmopen/dlsym/dl_iterate_phdr."""
+
+import pytest
+
+from repro.errors import LoaderError, NamespaceLimitError, SymbolNotFound
+from repro.elf.linker import CompileUnit, StaticLinker
+from repro.elf.loader import LM_ID_BASE, DynamicLoader
+from repro.machine import BRIDGES2, MACOS_ARM, Toolchain
+from repro.mem.address_space import VirtualMemory
+from repro.mem.segments import FuncDef, VarDef
+from repro.perf.costs import TEST_COSTS
+
+
+def make_image(name="prog", variables=None, ctors=None, funcs=None,
+               pie=True):
+    linker = StaticLinker(BRIDGES2.toolchain)
+    unit = CompileUnit(
+        name="main.c",
+        functions=funcs or [FuncDef("main", 128, lambda ctx: 0)],
+        variables=variables if variables is not None else [VarDef("g", init=5)],
+        static_ctors=ctors or [],
+    )
+    return linker.link(name, [unit], pie=pie)
+
+
+def make_loader(toolchain=None):
+    vm = VirtualMemory()
+    return DynamicLoader(vm, toolchain or BRIDGES2.toolchain, TEST_COSTS), vm
+
+
+class TestDlopen:
+    def test_maps_code_and_data(self):
+        loader, vm = make_loader()
+        lm = loader.dlopen(make_image())
+        kinds = {m.kind.value for m in lm.mappings}
+        assert kinds == {"code", "data"}
+        assert all(m.via_loader for m in lm.mappings)
+
+    def test_data_follows_code(self):
+        """PIE layout: data right after code -> IP-relative access works."""
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        assert lm.data.base >= lm.code.base + 0  # after code mapping
+        assert lm.data.base == lm.mappings[0].end
+
+    def test_refcounted_single_instance(self):
+        """dlopen of the same image returns the same link map — the
+        open-once-per-process behaviour PIEglobals needs in SMP mode."""
+        loader, _ = make_loader()
+        img = make_image()
+        lm1 = loader.dlopen(img)
+        lm2 = loader.dlopen(img)
+        assert lm1 is lm2
+        assert lm1.refcount == 2
+
+    def test_initial_values_materialized(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        assert lm.data.read("g") == 5
+
+    def test_got_resolved_to_data(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        assert lm.got.address_of("g") == lm.data.addr_of("g")
+
+    def test_charges_time(self):
+        loader, _ = make_loader()
+        t0 = loader.clock.now
+        loader.dlopen(make_image())
+        assert loader.clock.now > t0
+
+    def test_dlclose_unmaps_at_zero_refcount(self):
+        loader, vm = make_loader()
+        img = make_image()
+        lm = loader.dlopen(img)
+        loader.dlopen(img)
+        loader.dlclose(lm)
+        assert vm.find(lm.code.base) is not None  # still referenced
+        loader.dlclose(lm)
+        assert vm.find(lm.code.base) is None
+
+    def test_abs64_patched_into_data(self):
+        linker = StaticLinker(BRIDGES2.toolchain)
+        unit = CompileUnit(
+            "u", functions=[FuncDef("main", 64, lambda c: 0)],
+            variables=[VarDef("p"), VarDef("x", init=3)],
+            addr_inits={"p": "x"},
+        )
+        img = linker.link("prog", [unit], pie=True)
+        loader, _ = make_loader()
+        lm = loader.dlopen(img)
+        assert lm.data.read("p") == lm.data.addr_of("x")
+
+
+class TestDlmopen:
+    def test_namespaces_get_separate_copies(self):
+        loader, _ = make_loader()
+        img = make_image()
+        a = loader.dlmopen(img)
+        b = loader.dlmopen(img)
+        assert a is not b
+        assert a.code.base != b.code.base
+        a.data.write("g", 111)
+        assert b.data.read("g") == 5
+
+    def test_namespace_limit_enforced(self):
+        """Stock glibc: ~12 usable namespaces, then dlmopen fails."""
+        loader, _ = make_loader()
+        img = make_image()
+        limit = BRIDGES2.toolchain.dlmopen_namespace_limit
+        for _ in range(limit):
+            loader.dlmopen(img)
+        with pytest.raises(NamespaceLimitError, match="patched glibc"):
+            loader.dlmopen(img)
+
+    def test_patched_glibc_lifts_limit(self):
+        t = Toolchain(glibc_patched_namespaces=True)
+        loader, _ = make_loader(t)
+        img = make_image()
+        for _ in range(30):
+            loader.dlmopen(img)
+        assert loader.namespace_count() == 30
+
+    def test_requires_glibc(self):
+        loader, _ = make_loader(MACOS_ARM.toolchain)
+        with pytest.raises(LoaderError, match="glibc"):
+            loader.dlmopen(make_image())
+
+    def test_same_image_same_namespace_refcounts(self):
+        loader, _ = make_loader()
+        img = make_image()
+        a = loader.dlmopen(img, lmid=5)
+        b = loader.dlmopen(img, lmid=5)
+        assert a is b and a.refcount == 2
+
+
+class TestDlsym:
+    def test_function_address(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        assert loader.dlsym(lm, "main") == lm.code.addr_of("main")
+
+    def test_data_address(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        assert loader.dlsym(lm, "g") == lm.data.addr_of("g")
+
+    def test_missing_symbol(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(make_image())
+        with pytest.raises(SymbolNotFound):
+            loader.dlsym(lm, "nothere")
+
+
+class TestDlIteratePhdr:
+    def test_reports_loaded_objects_in_order(self):
+        loader, _ = make_loader()
+        a = loader.dlopen(make_image("a"))
+        b = loader.dlopen(make_image("b"))
+        infos = loader.dl_iterate_phdr()
+        assert [i.name for i in infos] == ["a", "b"]
+        assert infos[0].code_start == a.code.base
+
+    def test_callback_invoked(self):
+        loader, _ = make_loader()
+        loader.dlopen(make_image())
+        seen = []
+        loader.dl_iterate_phdr(seen.append)
+        assert len(seen) == 1
+
+    def test_diff_before_after_finds_new_segments(self):
+        """The PIEglobals discovery idiom."""
+        loader, _ = make_loader()
+        loader.dlopen(make_image("runtime"))
+        before = {(i.name, i.lmid) for i in loader.dl_iterate_phdr()}
+        lm = loader.dlopen(make_image("app"))
+        new = [i for i in loader.dl_iterate_phdr()
+               if (i.name, i.lmid) not in before]
+        assert len(new) == 1
+        assert new[0].code_start == lm.code.base
+
+    def test_unavailable_without_glibc(self):
+        loader, _ = make_loader(MACOS_ARM.toolchain)
+        with pytest.raises(LoaderError):
+            loader.dl_iterate_phdr()
+
+
+class TestStaticCtors:
+    def make_ctor_image(self):
+        state = {}
+
+        def ctor(loader_ctx):
+            alloc = loader_ctx.malloc(
+                64, data=[1, 2, 3], tag="vec",
+                fn_ptr_slots={"vptr": loader_ctx.addr_of("main")},
+            )
+            loader_ctx.data.write("vec_ptr", alloc.addr)
+
+        linker = StaticLinker(BRIDGES2.toolchain)
+        unit = CompileUnit(
+            "u",
+            functions=[FuncDef("main", 64, lambda c: 0),
+                       FuncDef("_GLOBAL__sub_I_vec", 64, ctor)],
+            variables=[VarDef("vec_ptr", init=0)],
+            static_ctors=["_GLOBAL__sub_I_vec"],
+        )
+        return linker.link("cxxprog", [unit], pie=True)
+
+    def test_ctor_runs_at_dlopen(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(self.make_ctor_image())
+        assert len(lm.ctor_allocations) == 1
+        assert lm.ctor_allocations[0].data == [1, 2, 3]
+
+    def test_ctor_heap_pointer_recorded_in_data(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(self.make_ctor_image())
+        assert lm.data.read("vec_ptr") == lm.ctor_allocations[0].addr
+
+    def test_ctor_function_pointer_recorded(self):
+        loader, _ = make_loader()
+        lm = loader.dlopen(self.make_ctor_image())
+        assert lm.ctor_allocations[0].fn_ptr_slots["vptr"] == \
+            lm.code.addr_of("main")

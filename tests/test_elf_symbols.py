@@ -1,0 +1,90 @@
+"""Tests for ELF symbol tables."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.elf.symbols import Symbol, SymbolBinding, SymbolKind, SymbolTable
+
+
+def sym(name, binding=SymbolBinding.GLOBAL, defined=True,
+        kind=SymbolKind.OBJECT):
+    return Symbol(name, kind, binding, "data", defined=defined)
+
+
+class TestDefine:
+    def test_simple_define_lookup(self):
+        t = SymbolTable()
+        t.define(sym("x"))
+        assert t.lookup("x").name == "x"
+
+    def test_duplicate_strong_rejected(self):
+        t = SymbolTable()
+        t.define(sym("x"))
+        with pytest.raises(LinkError, match="duplicate strong"):
+            t.define(sym("x"))
+
+    def test_strong_overrides_weak(self):
+        t = SymbolTable()
+        t.define(sym("x", SymbolBinding.WEAK))
+        t.define(sym("x", SymbolBinding.GLOBAL))
+        assert t.lookup("x").binding is SymbolBinding.GLOBAL
+
+    def test_weak_does_not_override_strong(self):
+        t = SymbolTable()
+        t.define(sym("x", SymbolBinding.GLOBAL))
+        t.define(sym("x", SymbolBinding.WEAK))
+        assert t.lookup("x").binding is SymbolBinding.GLOBAL
+
+    def test_two_weaks_keep_first(self):
+        t = SymbolTable()
+        t.define(Symbol("x", SymbolKind.OBJECT, SymbolBinding.WEAK, "data",
+                        size=1))
+        t.define(Symbol("x", SymbolKind.OBJECT, SymbolBinding.WEAK, "data",
+                        size=2))
+        assert t.lookup("x").size == 1
+
+    def test_locals_namespaced_per_unit(self):
+        """Two translation units can each have `static int count`."""
+        t = SymbolTable()
+        k1 = t.define(sym("count", SymbolBinding.LOCAL), unit="a.c")
+        k2 = t.define(sym("count", SymbolBinding.LOCAL), unit="b.c")
+        assert k1 != k2
+
+    def test_duplicate_local_same_unit_rejected(self):
+        t = SymbolTable()
+        t.define(sym("count", SymbolBinding.LOCAL), unit="a.c")
+        with pytest.raises(LinkError):
+            t.define(sym("count", SymbolBinding.LOCAL), unit="a.c")
+
+    def test_reference_then_definition(self):
+        t = SymbolTable()
+        t.define(sym("f", defined=False))
+        t.define(sym("f"))
+        assert t.lookup("f").defined
+
+    def test_undefined_listing(self):
+        t = SymbolTable()
+        t.define(sym("missing", defined=False))
+        t.define(sym("ok"))
+        assert t.undefined() == ["missing"]
+
+    def test_require_raises_on_undefined(self):
+        t = SymbolTable()
+        t.define(sym("missing", defined=False))
+        with pytest.raises(LinkError):
+            t.require("missing")
+        with pytest.raises(LinkError):
+            t.require("absent")
+
+    def test_globals_excludes_locals(self):
+        t = SymbolTable()
+        t.define(sym("g"))
+        t.define(sym("l", SymbolBinding.LOCAL), unit="u")
+        assert [s.name for s in t.globals_()] == ["g"]
+
+    def test_len_and_iter(self):
+        t = SymbolTable()
+        t.define(sym("a"))
+        t.define(sym("b"))
+        assert len(t) == 2
+        assert {s.name for s in t} == {"a", "b"}

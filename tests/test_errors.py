@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy — every paper failure mode has a
+dedicated, catchable type."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_reproerror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj.__module__ == "repro.errors":
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_namespace_limit_is_loader_error(self):
+        assert issubclass(errors.NamespaceLimitError, errors.LoaderError)
+
+    def test_smp_and_migration_are_privatization_errors(self):
+        assert issubclass(errors.SmpUnsupportedError,
+                          errors.PrivatizationError)
+        assert issubclass(errors.MigrationUnsupportedError,
+                          errors.PrivatizationError)
+
+    def test_unsupported_toolchain_is_compile_error(self):
+        assert issubclass(errors.UnsupportedToolchain, errors.CompileError)
+
+    def test_segfault_carries_address(self):
+        e = errors.SegFault(0xDEAD)
+        assert e.address == 0xDEAD
+        assert "0xdead" in str(e)
+
+    def test_mpi_abort_carries_code(self):
+        e = errors.MpiAbort(7)
+        assert e.errorcode == 7
+        assert "7" in str(e)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ReductionOffsetError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.DeadlockError("y")

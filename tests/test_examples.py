@@ -1,0 +1,55 @@
+"""Smoke-run every example script: they are documentation that must not
+rot."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "rank: 1" in out
+        assert "CORRECT" in out and "pieglobals" in out
+
+    def test_jacobi3d_overdecomposition(self, capsys):
+        out = run_example("jacobi3d_overdecomposition", capsys)
+        assert "Residual" in out
+        assert "Same residual" in out
+        # the residual column holds one unique value
+        residuals = {line.split("|")[-2].strip()
+                     for line in out.splitlines()
+                     if line.startswith("|") and "x (" in line}
+        assert len(residuals) == 1
+
+    def test_storm_surge_load_balancing(self, capsys):
+        out = run_example("storm_surge_load_balancing", capsys)
+        assert "GreedyRefineLB" in out
+        assert "imbalance" in out
+
+    def test_checkpoint_restart(self, capsys):
+        out = run_example("checkpoint_restart", capsys)
+        assert "MATCHES" in out
+        assert "restarted at step 5" in out
+
+    def test_method_tour(self, capsys):
+        out = run_example("method_tour", capsys)
+        assert "--- pieglobals" in out
+        assert "migration: supported" in out
+        assert "migration: NO" in out
+
+    def test_cloud_elasticity(self, capsys):
+        out = run_example("cloud_elasticity", capsys)
+        assert "phase 1" in out
+        assert "used PEs [0, 1]" in out

@@ -1,0 +1,217 @@
+"""Tests for features beyond the paper's core evaluation:
+
+* extra MPI surface (waitany/testall/exscan/reduce_scatter)
+* dynamic job shrink/expand via collective resize (Section 2.1)
+* MPC hierarchical local storage (Section 2.3.5)
+* PIEglobals differential code migration (Section 6 future work)
+"""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.apps.memhog import MemhogConfig, build_memhog_program
+from repro.charm.node import JobLayout
+from repro.errors import MpiError
+from repro.machine import TEST_MACHINE
+from repro.privatization.mpc import MpcPrivatize
+from repro.privatization.pieglobals import PieGlobals
+from repro.program.source import Program
+
+from conftest import run_job
+
+
+def program(body, name="ext", extra=None):
+    p = Program(name)
+    p.add_global("pad", 0)
+    if extra:
+        extra(p)
+    p.add_function(body, name="main")
+    return p.build()
+
+
+class TestExtraMpiSurface:
+    def test_waitany_returns_first_completion(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            if me == 0:
+                reqs = [ctx.mpi.irecv(source=1, tag=1),
+                        ctx.mpi.irecv(source=1, tag=2)]
+                idx, payload = ctx.mpi.waitany(reqs)
+                rest = ctx.mpi.wait(reqs[1 - idx])
+                return (idx, payload, rest)
+            ctx.compute(1_000)
+            ctx.mpi.send("second-tag", dest=0, tag=2)
+            ctx.compute(5_000)
+            ctx.mpi.send("first-tag", dest=0, tag=1)
+            return None
+
+        r = run_job(program(main), 2)
+        idx, payload, rest = r.exit_values[0]
+        assert (idx, payload) == (1, "second-tag")
+        assert rest == "first-tag"
+
+    def test_waitany_empty_rejected(self):
+        def main(ctx):
+            ctx.mpi.waitany([])
+
+        with pytest.raises(MpiError, match="empty"):
+            run_job(program(main), 1, layout=JobLayout(1, 1, 1))
+
+    def test_testall(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            if me == 0:
+                reqs = [ctx.mpi.irecv(source=1, tag=t) for t in (1, 2)]
+                early = ctx.mpi.testall(reqs)[0]
+                ctx.mpi.waitall(reqs)
+                late, payloads = ctx.mpi.testall(reqs)
+                return (early, late, payloads)
+            ctx.compute(2_000)
+            ctx.mpi.send("a", dest=0, tag=1)
+            ctx.mpi.send("b", dest=0, tag=2)
+            return None
+
+        r = run_job(program(main), 2)
+        early, late, payloads = r.exit_values[0]
+        assert early is False and late is True
+        assert payloads == ["a", "b"]
+
+    def test_exscan(self):
+        def main(ctx):
+            return ctx.mpi.exscan(ctx.mpi.rank() + 1)
+
+        r = run_job(program(main), 4)
+        assert r.exit_values == {0: None, 1: 1, 2: 3, 3: 6}
+
+    def test_reduce_scatter(self):
+        def main(ctx):
+            me = ctx.mpi.rank()
+            n = ctx.mpi.size()
+            return ctx.mpi.reduce_scatter([me * 10 + j for j in range(n)])
+
+        r = run_job(program(main), 3)
+        # element j reduced over ranks: sum_i (10 i + j)
+        assert r.exit_values == {0: 30, 1: 33, 2: 36}
+
+    def test_reduce_scatter_count_mismatch(self):
+        def main(ctx):
+            return ctx.mpi.reduce_scatter([1])
+
+        with pytest.raises(MpiError, match="exactly"):
+            run_job(program(main), 2)
+
+
+class TestShrinkExpand:
+    def test_shrink_evacuates_pes(self):
+        def main(ctx):
+            ctx.compute(1_000 * (ctx.mpi.rank() + 1))
+            ctx.mpi.resize(2)
+            pe_after_shrink = ctx.mpi.my_pe()
+            ctx.mpi.resize(4)
+            return pe_after_shrink
+
+        job = AmpiJob(program(main, "shrink"), 8, method="pieglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(4),
+                      slot_size=1 << 24)
+        result = job.run()
+        # After the shrink every rank sat on PE 0 or 1.
+        assert all(pe in (0, 1) for pe in result.exit_values.values())
+        # The expand spread them back out.
+        final_pes = {pe.index for pe in job.pes if pe.resident}
+        assert len(final_pes) > 2
+
+    def test_resize_bounds_checked(self):
+        def main(ctx):
+            ctx.mpi.resize(99)
+
+        with pytest.raises(MpiError, match="resize"):
+            run_job(program(main, "badresize"), 2)
+
+    def test_checkpoint_based_shrink(self):
+        """AMPI-style shrink via checkpoint/restart: same VPs, fewer PEs."""
+        def extra(p):
+            p.add_global("state", 0)
+
+        def main(ctx):
+            ctx.g.state = ctx.mpi.rank() * 7
+            ctx.mpi.checkpoint()
+            ctx.mpi.barrier()
+            return ctx.g.state
+
+        src = program(main, "ckshrink", extra)
+        wide = AmpiJob(src, 4, method="pieglobals", machine=TEST_MACHINE,
+                       layout=JobLayout.single(4), slot_size=1 << 24)
+        wide_result = wide.run()
+        ckpt = wide.checkpoints[0]
+        narrow = AmpiJob(src, 4, method="pieglobals", machine=TEST_MACHINE,
+                         layout=JobLayout.single(2), slot_size=1 << 24,
+                         restore_from=ckpt)
+        narrow_result = narrow.run()
+        assert narrow_result.exit_values == wide_result.exit_values
+        assert narrow.layout.total_pes == 2
+
+
+class TestHierarchicalLocalStorage:
+    def hls_program(self):
+        p = Program("hls")
+        p.add_global("per_rank", 0)                       # auto-tagged
+        p.add_global("per_proc", 0, hls_level="process")
+        p.add_global("per_node", 0, hls_level="node")
+
+        @p.function()
+        def main(ctx):
+            me = ctx.mpi.rank()
+            ctx.g.per_rank = me
+            if me == 0:
+                ctx.g.per_proc = 111   # shared within the process
+                ctx.g.per_node = 222   # shared within the node
+            ctx.mpi.barrier()
+            return (ctx.g.per_rank, ctx.g.per_proc, ctx.g.per_node)
+
+        return p.build()
+
+    def test_levels_share_appropriately(self, tm_mpc):
+        job = AmpiJob(self.hls_program(), 4, method="mpc",
+                      machine=tm_mpc, layout=JobLayout.single(2),
+                      slot_size=1 << 24)
+        result = job.run()
+        for vp, (rank_v, proc_v, node_v) in result.exit_values.items():
+            assert rank_v == vp            # rank-level stays private
+            assert proc_v == 111           # one copy per process
+            assert node_v == 222           # one copy per node
+
+    def test_footprint_model(self, tm_mpc):
+        job = AmpiJob(self.hls_program(), 4, method="mpc",
+                      machine=tm_mpc, layout=JobLayout.single(2),
+                      slot_size=1 << 24)
+        m: MpcPrivatize = job.method
+        fp = m.hls_footprint_bytes(job.binary, ranks_per_process=4)
+        all_rank = 3 * 8 * 4   # if everything were rank-level
+        assert fp < all_rank
+        assert fp == 8 * 4 + 8 + 8
+
+
+class TestDedupMigration:
+    def _migrate_ns(self, method):
+        src = build_memhog_program(MemhogConfig(heap_mb=1,
+                                                code_bytes=4 << 20))
+        job = AmpiJob(src, 4, method=method, machine=TEST_MACHINE,
+                      layout=JobLayout(1, 2, 1), slot_size=1 << 26,
+                      placement="roundrobin")
+        # roundrobin: vps 0,2 on proc0-pe0 / 1,3 on proc1-pe1; rank 0
+        # migrates to PE 1 whose process already hosts PIE copies.
+        result = job.run()
+        return result.exit_values[0]
+
+    def test_dedup_cuts_migration_time(self):
+        plain = self._migrate_ns(PieGlobals())
+        dedup = self._migrate_ns(PieGlobals(dedup_migration=True))
+        assert dedup < plain
+        # The saving is roughly the 4 MB code segment's transfer time.
+        assert plain - dedup > 1_000
+
+    def test_registry_has_variant(self):
+        from repro.privatization import get_method
+
+        m = get_method("pieglobals-dedup-migration")
+        assert isinstance(m, PieGlobals) and m.dedup_migration

@@ -1,0 +1,111 @@
+"""Tests for machine and toolchain models — the portability matrix's raw
+material."""
+
+import pytest
+
+from repro.machine import (
+    BRIDGES2,
+    BRIDGES2_PATCHED_GLIBC,
+    GENERIC_LINUX,
+    LEGACY_LINUX_OLD_LD,
+    MACOS_ARM,
+    PRESETS,
+    STAMPEDE2_ICX,
+    TEST_MACHINE,
+    Libc,
+    Toolchain,
+    get_machine,
+)
+
+
+class TestToolchainPredicates:
+    def test_gcc_supports_tls_seg_refs(self):
+        assert Toolchain(compiler="gcc").supports_tls_seg_refs_flag
+
+    def test_old_clang_lacks_tls_seg_refs(self):
+        t = Toolchain(compiler="clang", compiler_version=(9, 0))
+        assert not t.supports_tls_seg_refs_flag
+
+    def test_clang_10_has_tls_seg_refs(self):
+        t = Toolchain(compiler="clang", compiler_version=(10, 0))
+        assert t.supports_tls_seg_refs_flag
+
+    def test_icc_lacks_tls_seg_refs(self):
+        assert not Toolchain(compiler="icc").supports_tls_seg_refs_flag
+
+    def test_old_ld_keeps_got_refs(self):
+        assert Toolchain(linker_version=(2, 23)).linker_keeps_got_refs
+
+    def test_new_ld_optimizes_got_refs(self):
+        assert not Toolchain(linker_version=(2, 24)).linker_keeps_got_refs
+
+    def test_patched_new_ld_keeps_got_refs(self):
+        t = Toolchain(linker_version=(2, 36), linker_got_patch=True)
+        assert t.linker_keeps_got_refs
+
+    def test_dlmopen_requires_glibc(self):
+        assert Toolchain(libc=Libc.GLIBC).has_dlmopen
+        assert not Toolchain(libc=Libc.SYSTEM).has_dlmopen
+        assert not Toolchain(libc=Libc.MUSL).has_dlmopen
+
+    def test_dl_iterate_phdr_on_glibc_and_musl(self):
+        assert Toolchain(libc=Libc.GLIBC).has_dl_iterate_phdr
+        assert Toolchain(libc=Libc.MUSL).has_dl_iterate_phdr
+        assert not Toolchain(libc=Libc.SYSTEM).has_dl_iterate_phdr
+
+    def test_stock_glibc_namespace_limit_is_12(self):
+        assert Toolchain().dlmopen_namespace_limit == 12
+
+    def test_patched_glibc_lifts_limit(self):
+        t = Toolchain(glibc_patched_namespaces=True)
+        assert t.dlmopen_namespace_limit > 100
+
+    def test_no_glibc_means_no_namespaces(self):
+        assert Toolchain(libc=Libc.SYSTEM).dlmopen_namespace_limit == 0
+
+
+class TestPresets:
+    def test_bridges2_matches_paper_testbed(self):
+        # 2x AMD EPYC 7742 = 128 cores, GCC 10.2.
+        assert BRIDGES2.cores_per_node == 128
+        assert BRIDGES2.toolchain.compiler == "gcc"
+        assert BRIDGES2.toolchain.compiler_version == (10, 2)
+        assert BRIDGES2.l1i.size_bytes == 32 * 1024
+
+    def test_bridges2_cannot_run_swapglobals(self):
+        assert not BRIDGES2.toolchain.linker_keeps_got_refs
+
+    def test_legacy_machine_runs_swapglobals(self):
+        assert LEGACY_LINUX_OLD_LD.toolchain.linker_keeps_got_refs
+
+    def test_macos_has_no_loader_extensions(self):
+        assert not MACOS_ARM.toolchain.has_dlmopen
+        assert not MACOS_ARM.toolchain.has_dl_iterate_phdr
+        assert not MACOS_ARM.has_shared_fs
+
+    def test_patched_variant_only_differs_in_glibc(self):
+        assert BRIDGES2_PATCHED_GLIBC.toolchain.glibc_patched_namespaces
+        assert BRIDGES2_PATCHED_GLIBC.cores_per_node == BRIDGES2.cores_per_node
+
+    def test_stampede2_supports_mpc(self):
+        assert STAMPEDE2_ICX.toolchain.mpc_privatize_support
+
+    def test_tls_inflation_differs_between_testbeds(self):
+        # The parameter behind the Section 4.5 sign flip.
+        assert BRIDGES2.tls_code_inflation > STAMPEDE2_ICX.tls_code_inflation
+
+    def test_get_machine_roundtrip(self):
+        for name in PRESETS:
+            assert get_machine(name).name == name
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError, match="known presets"):
+            get_machine("cray-1")
+
+    def test_copy_with(self):
+        m = GENERIC_LINUX.copy_with(cores_per_node=99)
+        assert m.cores_per_node == 99
+        assert GENERIC_LINUX.cores_per_node == 8
+
+    def test_test_machine_uses_tiny_costs(self):
+        assert TEST_MACHINE.costs.context_switch_ns == 10

@@ -1,0 +1,170 @@
+"""Tests for the simulated virtual address space."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MapError, SegFault
+from repro.mem.address_space import MapKind, Mapping, VirtualMemory
+from repro.mem.layout import PAGE_SIZE, SYSTEM_MMAP_BASE, page_align_up
+
+
+class TestMapAt:
+    def test_basic_mapping(self):
+        vm = VirtualMemory()
+        m = vm.map_at(0x10000, 100, MapKind.DATA)
+        assert m.start == 0x10000
+        assert m.size == PAGE_SIZE  # page-rounded
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(MapError, match="unaligned"):
+            VirtualMemory().map_at(0x10001, 100, MapKind.DATA)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MapError):
+            VirtualMemory().map_at(0x10000, 0, MapKind.DATA)
+
+    def test_overlap_rejected(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, 2 * PAGE_SIZE, MapKind.DATA)
+        with pytest.raises(MapError, match="overlaps"):
+            vm.map_at(0x11000, PAGE_SIZE, MapKind.DATA)
+
+    def test_adjacent_mappings_allowed(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        vm.map_at(0x11000, PAGE_SIZE, MapKind.DATA)
+        assert len(vm) == 2
+
+    def test_overlap_from_below_rejected(self):
+        vm = VirtualMemory()
+        vm.map_at(0x11000, PAGE_SIZE, MapKind.DATA)
+        with pytest.raises(MapError):
+            vm.map_at(0x10000, 3 * PAGE_SIZE, MapKind.DATA)
+
+
+class TestMmap:
+    def test_allocates_in_system_area(self):
+        vm = VirtualMemory()
+        m = vm.mmap(100)
+        assert m.start >= SYSTEM_MMAP_BASE
+
+    def test_consecutive_mmaps_disjoint(self):
+        vm = VirtualMemory()
+        a = vm.mmap(PAGE_SIZE)
+        b = vm.mmap(PAGE_SIZE)
+        assert a.end <= b.start
+
+
+class TestLookup:
+    def test_find_inside(self):
+        vm = VirtualMemory()
+        m = vm.map_at(0x10000, PAGE_SIZE, MapKind.CODE)
+        assert vm.find(0x10000) is m
+        assert vm.find(0x10FFF) is m
+
+    def test_find_outside(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.CODE)
+        assert vm.find(0x11000) is None
+        assert vm.find(0xFFFF) is None
+
+    def test_resolve_raises_segfault(self):
+        vm = VirtualMemory(name="p")
+        with pytest.raises(SegFault) as e:
+            vm.resolve(0xDEAD000)
+        assert e.value.address == 0xDEAD000
+
+    def test_mappings_sorted(self):
+        vm = VirtualMemory()
+        vm.map_at(0x30000, PAGE_SIZE, MapKind.DATA)
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        vm.map_at(0x20000, PAGE_SIZE, MapKind.DATA)
+        starts = [m.start for m in vm.mappings()]
+        assert starts == sorted(starts)
+
+    def test_mappings_of_rank(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.HEAP, owner_rank=1)
+        vm.map_at(0x20000, PAGE_SIZE, MapKind.HEAP, owner_rank=2)
+        vm.map_at(0x30000, PAGE_SIZE, MapKind.CODE)
+        assert [m.start for m in vm.mappings_of_rank(1)] == [0x10000]
+
+
+class TestUnmap:
+    def test_unmap_removes(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        vm.unmap(0x10000)
+        assert vm.find(0x10000) is None
+
+    def test_unmap_unknown_start_raises(self):
+        with pytest.raises(MapError):
+            VirtualMemory().unmap(0x10000)
+
+    def test_unmap_then_remap(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        vm.unmap(0x10000)
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        assert len(vm) == 1
+
+    def test_unmap_rank_removes_all(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.HEAP, owner_rank=3)
+        vm.map_at(0x20000, PAGE_SIZE, MapKind.STACK, owner_rank=3)
+        vm.map_at(0x30000, PAGE_SIZE, MapKind.CODE, owner_rank=4)
+        removed = vm.unmap_rank(3)
+        assert len(removed) == 2 and len(vm) == 1
+
+
+class TestAdopt:
+    def test_adopt_preserves_identity(self):
+        vm = VirtualMemory()
+        m = Mapping(start=0x10000, size=PAGE_SIZE, kind=MapKind.HEAP,
+                    payload={"k": 1})
+        assert vm.adopt(m) is m
+        assert vm.find(0x10000) is m
+
+    def test_adopt_checks_overlap(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        with pytest.raises(MapError):
+            vm.adopt(Mapping(start=0x10000, size=PAGE_SIZE,
+                             kind=MapKind.HEAP))
+
+
+class TestReporting:
+    def test_total_mapped(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.DATA)
+        vm.map_at(0x20000, 3 * PAGE_SIZE, MapKind.HEAP)
+        assert vm.total_mapped() == 4 * PAGE_SIZE
+
+    def test_maps_report_mentions_source(self):
+        vm = VirtualMemory()
+        vm.map_at(0x10000, PAGE_SIZE, MapKind.CODE, via_loader=True,
+                  tag="prog:code")
+        vm.map_at(0x20000, PAGE_SIZE, MapKind.HEAP, via_isomalloc=True,
+                  owner_rank=0)
+        report = vm.maps_report()
+        assert "loader" in report and "isomalloc" in report
+        assert "prog:code" in report
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 200),
+                              st.integers(1, 5)), max_size=30))
+    def test_mappings_never_overlap(self, requests):
+        """Whatever sequence of map_at calls succeeds, the resulting
+        mappings are pairwise disjoint."""
+        vm = VirtualMemory()
+        for page, npages in requests:
+            try:
+                vm.map_at(0x100000 + page * PAGE_SIZE,
+                          npages * PAGE_SIZE, MapKind.ANON)
+            except MapError:
+                pass
+        ms = list(vm.mappings())
+        for a, b in zip(ms, ms[1:]):
+            assert a.end <= b.start

@@ -1,0 +1,98 @@
+"""Tests for per-rank heaps."""
+
+import pytest
+
+from repro.errors import IsomallocError
+from repro.mem.address_space import VirtualMemory
+from repro.mem.heap import RankHeap
+from repro.mem.isomalloc import Isomalloc, IsomallocArena
+
+
+def make_heap(rank=0):
+    arena = IsomallocArena(4, 1 << 22)
+    vm = VirtualMemory()
+    return RankHeap(rank, Isomalloc(arena, vm)), vm
+
+
+class TestMalloc:
+    def test_malloc_tracks_allocation(self):
+        heap, _ = make_heap()
+        a = heap.malloc(100, data=[1, 2, 3])
+        assert heap.allocations[a.addr] is a
+        assert a.data == [1, 2, 3]
+        assert heap.bytes_allocated == 100
+
+    def test_malloc_backed_by_isomalloc(self):
+        heap, vm = make_heap(rank=2)
+        a = heap.malloc(100)
+        m = vm.find(a.addr)
+        assert m is not None and m.via_isomalloc and m.owner_rank == 2
+
+    def test_malloc_nonpositive_rejected(self):
+        heap, _ = make_heap()
+        with pytest.raises(IsomallocError):
+            heap.malloc(0)
+
+    def test_detached_heap_works_without_allocator(self):
+        heap = RankHeap(0)
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        assert a.addr != b.addr
+        assert len(heap) == 2
+
+    def test_free_releases(self):
+        heap, vm = make_heap()
+        a = heap.malloc(100)
+        heap.free(a.addr)
+        assert heap.bytes_allocated == 0
+        assert vm.find(a.addr) is None
+
+    def test_double_free_raises(self):
+        heap, _ = make_heap()
+        a = heap.malloc(100)
+        heap.free(a.addr)
+        with pytest.raises(IsomallocError):
+            heap.free(a.addr)
+
+    def test_free_unknown_raises(self):
+        heap, _ = make_heap()
+        with pytest.raises(IsomallocError):
+            heap.free(0xDEAD)
+
+    def test_realloc_preserves_data_and_slots(self):
+        heap, _ = make_heap()
+        a = heap.malloc(100, data="payload")
+        a.fn_ptr_slots["vtbl"] = 0x1234
+        b = heap.realloc(a.addr, 200)
+        assert b.data == "payload"
+        assert b.fn_ptr_slots == {"vtbl": 0x1234}
+        assert b.nbytes == 200
+        assert a.addr not in heap.allocations
+
+    def test_live_bytes_and_count(self):
+        heap, _ = make_heap()
+        heap.malloc(10)
+        a = heap.malloc(20)
+        heap.free(a.addr)
+        assert heap.live_bytes() == 10
+        assert heap.alloc_count == 2
+
+    def test_attach_allocator_late(self):
+        heap = RankHeap(1)
+        arena = IsomallocArena(4, 1 << 20)
+        heap.attach_isomalloc(Isomalloc(arena, VirtualMemory()))
+        a = heap.malloc(10)
+        assert arena.rank_of_address(a.addr) == 1
+
+    def test_attach_with_live_allocations_rejected(self):
+        heap = RankHeap(1)
+        heap.malloc(10)
+        arena = IsomallocArena(4, 1 << 20)
+        with pytest.raises(IsomallocError):
+            heap.attach_isomalloc(Isomalloc(arena, VirtualMemory()))
+
+    def test_iteration(self):
+        heap, _ = make_heap()
+        heap.malloc(8, tag="a")
+        heap.malloc(8, tag="b")
+        assert {a.tag for a in heap} == {"a", "b"}

@@ -1,0 +1,179 @@
+"""Tests for the Isomalloc migratable allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IsomallocError
+from repro.mem.address_space import MapKind, VirtualMemory
+from repro.mem.isomalloc import Isomalloc, IsomallocArena
+from repro.mem.layout import ISOMALLOC_BASE, PAGE_SIZE
+
+
+def make(max_ranks=4, slot=1 << 20):
+    arena = IsomallocArena(max_ranks, slot)
+    vm = VirtualMemory()
+    return arena, vm, Isomalloc(arena, vm)
+
+
+class TestArena:
+    def test_slots_are_disjoint_and_ordered(self):
+        arena = IsomallocArena(8, 1 << 20)
+        slots = [arena.slot(r) for r in range(8)]
+        for a, b in zip(slots, slots[1:]):
+            assert a.end == b.start
+
+    def test_slot_addresses_identical_across_instances(self):
+        """The migration invariant: every process computes the same slot
+        address for a rank."""
+        a1 = IsomallocArena(8, 1 << 20)
+        a2 = IsomallocArena(8, 1 << 20)
+        assert a1.slot(5) == a2.slot(5)
+
+    def test_rank_of_address(self):
+        arena = IsomallocArena(4, 1 << 20)
+        s = arena.slot(2)
+        assert arena.rank_of_address(s.start) == 2
+        assert arena.rank_of_address(s.end - 1) == 2
+        assert arena.rank_of_address(0x1000) is None
+
+    def test_out_of_range_rank(self):
+        arena = IsomallocArena(4)
+        with pytest.raises(IsomallocError):
+            arena.slot(4)
+        with pytest.raises(IsomallocError):
+            arena.slot(-1)
+
+    def test_arena_too_large(self):
+        with pytest.raises(IsomallocError):
+            IsomallocArena(1 << 30, 1 << 30)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(IsomallocError):
+            IsomallocArena(0)
+
+
+class TestAlloc:
+    def test_alloc_lands_in_rank_slot(self):
+        arena, vm, iso = make()
+        m = iso.alloc(1, 100)
+        s = arena.slot(1)
+        assert s.start <= m.start and m.end <= s.end
+        assert m.via_isomalloc and m.owner_rank == 1
+
+    def test_allocs_disjoint_within_slot(self):
+        _, _, iso = make()
+        a = iso.alloc(0, PAGE_SIZE)
+        b = iso.alloc(0, PAGE_SIZE)
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_alloc_nonpositive_rejected(self):
+        _, _, iso = make()
+        with pytest.raises(IsomallocError):
+            iso.alloc(0, 0)
+
+    def test_slot_exhaustion(self):
+        _, _, iso = make(slot=4 * PAGE_SIZE)
+        iso.alloc(0, 3 * PAGE_SIZE)
+        with pytest.raises(IsomallocError, match="exhausted"):
+            iso.alloc(0, 2 * PAGE_SIZE)
+
+    def test_free_allows_reuse(self):
+        _, _, iso = make(slot=4 * PAGE_SIZE)
+        m = iso.alloc(0, 2 * PAGE_SIZE)
+        iso.free(m)
+        m2 = iso.alloc(0, 2 * PAGE_SIZE)
+        assert m2.start == m.start  # first-fit reuses the freed range
+
+    def test_free_requires_isomalloc_mapping(self):
+        arena, vm, iso = make()
+        rogue = vm.map_at(0x10000, PAGE_SIZE, MapKind.ANON)
+        with pytest.raises(IsomallocError):
+            iso.free(rogue)
+
+    def test_footprint(self):
+        _, _, iso = make()
+        iso.alloc(2, PAGE_SIZE)
+        iso.alloc(2, 3 * PAGE_SIZE)
+        iso.alloc(1, PAGE_SIZE)
+        assert iso.rank_footprint(2) == 4 * PAGE_SIZE
+
+
+class TestMigrationPath:
+    def test_extract_then_install_preserves_addresses(self):
+        arena = IsomallocArena(4, 1 << 20)
+        vm_src, vm_dst = VirtualMemory("src"), VirtualMemory("dst")
+        iso_src = Isomalloc(arena, vm_src)
+        iso_dst = Isomalloc(arena, vm_dst)
+
+        m1 = iso_src.alloc(1, PAGE_SIZE, tag="heap", payload={"v": 1})
+        m2 = iso_src.alloc(1, 2 * PAGE_SIZE, tag="stack")
+        moved = iso_src.extract_rank(1)
+        assert {m.start for m in moved} == {m1.start, m2.start}
+        assert vm_src.mappings_of_rank(1) == []
+
+        iso_dst.install_rank(1, moved)
+        assert vm_dst.find(m1.start) is m1        # same object, same address
+        assert vm_dst.find(m1.start).payload == {"v": 1}
+
+    def test_extract_refuses_rogue_private_mapping(self):
+        """The PIP/FS failure: rank owns loader-mmap'd private pages."""
+        arena, vm, iso = make()
+        iso.alloc(1, PAGE_SIZE)
+        vm.map_at(0x5_0000, PAGE_SIZE, MapKind.CODE, owner_rank=1,
+                  via_loader=True, tag="dlmopen:code")
+        with pytest.raises(IsomallocError, match="cannot migrate"):
+            iso.extract_rank(1)
+
+    def test_extract_tolerates_shared_mappings(self):
+        arena, vm, iso = make()
+        iso.alloc(1, PAGE_SIZE)
+        vm.map_at(0x5_0000, PAGE_SIZE, MapKind.CODE, owner_rank=1,
+                  shared=True)
+        assert len(iso.extract_rank(1)) == 1
+
+    def test_install_rejects_foreign_slot(self):
+        arena = IsomallocArena(4, 1 << 20)
+        vm1, vm2 = VirtualMemory(), VirtualMemory()
+        iso1, iso2 = Isomalloc(arena, vm1), Isomalloc(arena, vm2)
+        moved = [iso1.alloc(1, PAGE_SIZE)]
+        vm1.unmap(moved[0].start)
+        with pytest.raises(IsomallocError, match="outside rank"):
+            iso2.install_rank(2, moved)
+
+    def test_alloc_after_install_does_not_collide(self):
+        arena = IsomallocArena(4, 1 << 20)
+        vm1, vm2 = VirtualMemory(), VirtualMemory()
+        iso1, iso2 = Isomalloc(arena, vm1), Isomalloc(arena, vm2)
+        iso1.alloc(1, PAGE_SIZE)
+        moved = iso1.extract_rank(1)
+        iso2.install_rank(1, moved)
+        fresh = iso2.alloc(1, PAGE_SIZE)
+        assert all(fresh.start >= m.end or fresh.end <= m.start
+                   for m in moved)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3),
+                              st.integers(1, 3 * PAGE_SIZE)), max_size=25))
+    def test_every_alloc_in_owner_slot(self, reqs):
+        arena, vm, iso = make(max_ranks=4, slot=1 << 22)
+        for rank, nbytes in reqs:
+            m = iso.alloc(rank, nbytes)
+            s = arena.slot(rank)
+            assert s.start <= m.start and m.end <= s.end
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_alloc_free_interleave_keeps_vm_consistent(self, data):
+        arena, vm, iso = make(max_ranks=2, slot=1 << 22)
+        live = []
+        for _ in range(data.draw(st.integers(0, 30))):
+            if live and data.draw(st.booleans()):
+                iso.free(live.pop(data.draw(
+                    st.integers(0, len(live) - 1))))
+            else:
+                live.append(iso.alloc(data.draw(st.integers(0, 1)),
+                                      data.draw(st.integers(1, PAGE_SIZE * 2))))
+        # VM sees exactly the live mappings.
+        assert vm.total_mapped() == sum(m.size for m in live)

@@ -1,0 +1,57 @@
+"""Tests for address-space layout helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.layout import (
+    ISOMALLOC_BASE,
+    ISOMALLOC_END,
+    LOADER_AREA_BASE,
+    LOADER_AREA_END,
+    PAGE_SIZE,
+    SYSTEM_MMAP_BASE,
+    is_page_aligned,
+    page_align_down,
+    page_align_up,
+)
+
+
+class TestAlignment:
+    def test_align_up_exact(self):
+        assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+
+    def test_align_up_rounds(self):
+        assert page_align_up(1) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    def test_align_up_zero(self):
+        assert page_align_up(0) == 0
+
+    def test_align_up_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_align_up(-1)
+
+    def test_align_down(self):
+        assert page_align_down(PAGE_SIZE + 123) == PAGE_SIZE
+
+    def test_is_page_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(PAGE_SIZE * 7)
+        assert not is_page_aligned(PAGE_SIZE + 8)
+
+    @given(st.integers(0, 1 << 40))
+    def test_align_up_properties(self, n):
+        a = page_align_up(n)
+        assert a >= n
+        assert a % PAGE_SIZE == 0
+        assert a - n < PAGE_SIZE
+
+
+class TestRegions:
+    def test_regions_disjoint_and_ordered(self):
+        assert LOADER_AREA_BASE < LOADER_AREA_END <= ISOMALLOC_BASE
+        assert ISOMALLOC_BASE < ISOMALLOC_END <= SYSTEM_MMAP_BASE
+
+    def test_regions_page_aligned(self):
+        for addr in (LOADER_AREA_BASE, ISOMALLOC_BASE, SYSTEM_MMAP_BASE):
+            assert is_page_aligned(addr)

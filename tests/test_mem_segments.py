@@ -1,0 +1,186 @@
+"""Tests for segment images/instances — privatization's unit of copying."""
+
+import pytest
+
+from repro.errors import SegFault
+from repro.mem.segments import (
+    CodeImage,
+    FuncDef,
+    SegmentImage,
+    SegmentKind,
+    VarDef,
+)
+
+
+class TestVarDef:
+    def test_mutable_global_is_unsafe(self):
+        assert VarDef("g").unsafe
+
+    def test_const_is_safe(self):
+        assert not VarDef("c", const=True).unsafe
+
+    def test_write_once_same_is_safe(self):
+        # The paper's num_ranks example: same value everywhere.
+        assert not VarDef("n", write_once_same=True).unsafe
+
+    def test_static_mutable_is_unsafe(self):
+        assert VarDef("s", static=True).unsafe
+
+    def test_tls_mutable_still_flagged_unsafe_without_method(self):
+        assert VarDef("t", tls=True).unsafe
+
+    def test_const_tls_rejected(self):
+        with pytest.raises(ValueError):
+            VarDef("x", const=True, tls=True)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            VarDef("x", size=0)
+
+
+class TestSegmentImage:
+    def test_offsets_are_aligned_and_disjoint(self):
+        img = SegmentImage(SegmentKind.DATA, [
+            VarDef("a", size=4), VarDef("b", size=16), VarDef("c", size=1),
+        ])
+        offs = img.offsets
+        assert offs["a"] == 0
+        assert offs["b"] % 8 == 0
+        assert offs["c"] > offs["b"]
+        assert img.size >= offs["c"] + 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentImage(SegmentKind.DATA, [VarDef("a"), VarDef("a")])
+
+    def test_code_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentImage(SegmentKind.CODE, [])
+
+    def test_pad_to(self):
+        img = SegmentImage(SegmentKind.DATA, [VarDef("a")], pad_to=4096)
+        assert img.size == 4096
+
+
+class TestSegmentInstance:
+    def make(self):
+        img = SegmentImage(SegmentKind.DATA, [
+            VarDef("x", init=7), VarDef("ro", init=3, const=True),
+        ])
+        return img.instantiate(0x1000)
+
+    def test_initial_values(self):
+        inst = self.make()
+        assert inst.read("x") == 7
+
+    def test_write_read_roundtrip(self):
+        inst = self.make()
+        inst.write("x", 42)
+        assert inst.read("x") == 42
+
+    def test_write_to_const_faults(self):
+        inst = self.make()
+        with pytest.raises(SegFault, match="const"):
+            inst.write("ro", 1)
+
+    def test_unknown_name_faults(self):
+        inst = self.make()
+        with pytest.raises(SegFault):
+            inst.read("nope")
+        with pytest.raises(SegFault):
+            inst.write("nope", 1)
+
+    def test_addr_of(self):
+        inst = self.make()
+        assert inst.addr_of("x") == 0x1000 + inst.image.offsets["x"]
+
+    def test_slots_iteration(self):
+        inst = self.make()
+        slots = {name: (addr, val) for addr, name, val in inst.slots()}
+        assert slots["x"] == (inst.addr_of("x"), 7)
+
+    def test_clone_at_copies_values_not_sharing(self):
+        inst = self.make()
+        inst.write("x", 99)
+        clone = inst.clone_at(0x2000)
+        assert clone.read("x") == 99
+        clone.write("x", 1)
+        assert inst.read("x") == 99
+        assert clone.base == 0x2000
+
+
+class TestCodeImage:
+    def make(self):
+        return CodeImage([
+            FuncDef("main", 100, lambda ctx: "m"),
+            FuncDef("helper", 200, lambda ctx, a: a + 1),
+        ])
+
+    def test_function_alignment(self):
+        img = self.make()
+        assert img.offsets["main"] == 0
+        assert img.offsets["helper"] % 16 == 0
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ValueError):
+            CodeImage([FuncDef("f", 10), FuncDef("f", 10)])
+
+    def test_pad_to_grows_segment(self):
+        img = CodeImage([FuncDef("f", 10)], pad_to=1 << 20)
+        assert img.size == 1 << 20
+
+    def test_nonpositive_code_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            FuncDef("f", 0)
+
+
+class TestCodeInstance:
+    def make(self):
+        img = CodeImage([
+            FuncDef("main", 100, lambda ctx: "m"),
+            FuncDef("helper", 200, lambda ctx: "h"),
+        ])
+        return img.instantiate(0x40_0000)
+
+    def test_addr_of(self):
+        code = self.make()
+        assert code.addr_of("main") == 0x40_0000
+
+    def test_contains(self):
+        code = self.make()
+        assert code.contains(0x40_0000)
+        assert not code.contains(0x40_0000 + code.image.size)
+
+    def test_symbol_at_start_and_interior(self):
+        code = self.make()
+        addr = code.addr_of("helper")
+        assert code.symbol_at(addr) == ("helper", 0)
+        assert code.symbol_at(addr + 5) == ("helper", 5)
+
+    def test_symbol_at_outside_faults(self):
+        code = self.make()
+        with pytest.raises(SegFault):
+            code.symbol_at(0x10)
+
+    def test_fn_execution(self):
+        code = self.make()
+        assert code.fn("main")(None) == "m"
+
+    def test_fn_missing_body_faults(self):
+        img = CodeImage([FuncDef("stub", 10, None)])
+        inst = img.instantiate(0)
+        with pytest.raises(SegFault, match="no function body|no body"):
+            inst.fn("stub")
+
+    def test_unknown_function_faults(self):
+        code = self.make()
+        with pytest.raises(SegFault):
+            code.addr_of("nope")
+
+    def test_two_instances_same_image_distinct_addresses(self):
+        """The PIE situation: same layout, different bases."""
+        img = CodeImage([FuncDef("f", 10, lambda ctx: 1)])
+        a = img.instantiate(0x1000)
+        b = img.instantiate(0x9000)
+        assert a.addr_of("f") != b.addr_of("f")
+        assert a.addr_of("f") - a.base == b.addr_of("f") - b.base

@@ -1,0 +1,113 @@
+"""White-box checks of per-method runtime structures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ampi.checkpoint import Checkpoint
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.machine import TEST_MACHINE
+from repro.program.source import Program
+
+from conftest import make_hello
+
+
+class TestSwapglobalsStructures:
+    def test_per_rank_gots_point_at_private_storage(self, tm_old_ld):
+        job = AmpiJob(make_hello(), 3, method="swapglobals",
+                      machine=tm_old_ld, layout=JobLayout(1, 1, 1),
+                      slot_size=1 << 24)
+        job.start()
+        try:
+            addrs = set()
+            for vp in range(3):
+                got = job.rank_of(vp).method_data["got"]
+                addr = got.address_of("my_rank")
+                # ...and the GOT target is the instance the view routes to.
+                route = job.rank_of(vp).ctx.view.routes["my_rank"]
+                assert addr == route.instance.addr_of("my_rank")
+                addrs.add(addr)
+            assert len(addrs) == 3   # three private copies
+        finally:
+            job.scheduler.shutdown()
+
+    def test_swap_storage_lives_in_isomalloc(self, tm_old_ld):
+        """Table 1 grants Swapglobals migration support: its per-rank
+        variable copies must be Isomalloc-backed."""
+        job = AmpiJob(make_hello(), 2, method="swapglobals",
+                      machine=tm_old_ld, layout=JobLayout(1, 1, 1),
+                      slot_size=1 << 24)
+        job.start()
+        try:
+            arena = job.processes[0].isomalloc.arena
+            for vp in range(2):
+                route = job.rank_of(vp).ctx.view.routes["my_rank"]
+                assert arena.rank_of_address(route.instance.base) == vp
+        finally:
+            job.scheduler.shutdown()
+
+
+class TestFsGlobalsCleanup:
+    def test_cleanup_removes_per_rank_copies(self):
+        job = AmpiJob(make_hello(), 4, method="fsglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(2),
+                      slot_size=1 << 24)
+        job.run()
+        assert job.sharedfs.file_count() == 5   # original + 4 copies
+        removed = job.cleanup()
+        assert removed == 5
+        assert job.sharedfs.file_count() == 0
+
+    def test_cleanup_scoped_to_one_job(self):
+        a = AmpiJob(make_hello(), 2, method="fsglobals",
+                    machine=TEST_MACHINE, layout=JobLayout.single(1),
+                    slot_size=1 << 24)
+        a.run()
+        # A second job on the *same* filesystem instance.
+        b = AmpiJob(make_hello(), 2, method="fsglobals",
+                    machine=TEST_MACHINE, layout=JobLayout.single(1),
+                    slot_size=1 << 24)
+        b.sharedfs = a.sharedfs
+        b.run()
+        before = a.sharedfs.file_count()
+        a.cleanup()
+        assert a.sharedfs.file_count() == before - 3
+
+
+class TestCheckpointProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=5))
+    def test_roundtrip_preserves_arbitrary_values(self, values):
+        p = Program("roundtrip")
+        for i in range(len(values)):
+            p.add_global(f"v{i}", 0)
+
+        vals = list(values)
+
+        @p.function()
+        def main(ctx):
+            for i, v in enumerate(vals):
+                ctx.g[f"v{i}"] = v + ctx.mpi.rank()
+            ctx.mpi.barrier()
+            return tuple(ctx.g[f"v{i}"] for i in range(len(vals)))
+
+        job = AmpiJob(p.build(), 2, method="pieglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(2),
+                      slot_size=1 << 24)
+        first = job.run()
+        ckpt = Checkpoint.capture(job)
+
+        # Restore into a fresh job; initial globals now carry the values.
+        q = Program("roundtrip2")
+        for i in range(len(vals)):
+            q.add_global(f"v{i}", 0)
+
+        @q.function()
+        def main(ctx):  # noqa: F811
+            return tuple(ctx.g[f"v{i}"] for i in range(len(vals)))
+
+        job2 = AmpiJob(q.build(), 2, method="pieglobals",
+                       machine=TEST_MACHINE, layout=JobLayout.single(2),
+                       slot_size=1 << 24, restore_from=ckpt)
+        second = job2.run()
+        assert second.exit_values == first.exit_values

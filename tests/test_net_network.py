@@ -1,0 +1,60 @@
+"""Tests for the interconnect cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.network import Endpoint, Network
+from repro.perf.costs import TEST_COSTS
+
+NET = Network(TEST_COSTS)
+A = Endpoint(node=0, process=0)
+B = Endpoint(node=0, process=1)   # same node, different process
+C = Endpoint(node=1, process=2)   # different node
+
+
+class TestRegimes:
+    def test_intraprocess(self):
+        assert NET.regime(A, A) == "intraprocess"
+
+    def test_intranode(self):
+        assert NET.regime(A, B) == "intranode"
+
+    def test_internode(self):
+        assert NET.regime(A, C) == "internode"
+
+    def test_regime_ordering_of_costs(self):
+        n = 4096
+        assert NET.transfer_ns(n, A, A) < NET.transfer_ns(n, A, B) \
+            < NET.transfer_ns(n, A, C)
+
+    def test_intraprocess_is_size_independent(self):
+        # In-process delivery passes a reference between ULTs.
+        assert NET.transfer_ns(8, A, A) == NET.transfer_ns(1 << 20, A, A)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NET.transfer_ns(-1, A, B)
+
+
+class TestMigration:
+    def test_same_pe_is_pack_only(self):
+        assert NET.migration_ns(1 << 20, A, A) == \
+            TEST_COSTS.migration_pack_ns
+
+    def test_cross_node_includes_transfer(self):
+        n = 1 << 20
+        assert NET.migration_ns(n, A, C) > \
+            TEST_COSTS.migration_pack_ns + TEST_COSTS.memcpy_ns(n)
+
+    def test_more_bytes_cost_more(self):
+        assert NET.migration_ns(1 << 22, A, C) > NET.migration_ns(1 << 20, A, C)
+
+    @given(st.integers(0, 1 << 28))
+    def test_migration_monotone_in_bytes(self, n):
+        assert NET.migration_ns(n, A, C) <= NET.migration_ns(n + 4096, A, C)
+
+    @given(st.integers(0, 1 << 24))
+    def test_transfer_monotone_in_bytes(self, n):
+        for dst in (B, C):
+            assert NET.transfer_ns(n, A, dst) <= \
+                NET.transfer_ns(n + 4096, A, dst)

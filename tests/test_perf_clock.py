@@ -1,0 +1,84 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf.clock import SimClock, fmt_ns
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(42).now == 42
+
+    def test_advance_returns_new_time(self):
+        c = SimClock()
+        assert c.advance(10) == 10
+        assert c.now == 10
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(5)
+        c.advance(7)
+        assert c.now == 12
+
+    def test_advance_truncates_floats(self):
+        c = SimClock()
+        c.advance(2.9)
+        assert c.now == 2
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_moves_forward(self):
+        c = SimClock(10)
+        c.advance_to(25)
+        assert c.now == 25
+
+    def test_advance_to_never_goes_backward(self):
+        c = SimClock(100)
+        c.advance_to(50)
+        assert c.now == 100
+
+    def test_copy_is_independent(self):
+        a = SimClock(7)
+        b = a.copy()
+        b.advance(3)
+        assert a.now == 7 and b.now == 10
+
+    def test_unit_conversions(self):
+        c = SimClock(2_500_000_000)
+        assert c.seconds == 2.5
+        assert c.ms == 2_500
+        assert c.us == 2_500_000
+
+    def test_equality_and_ordering(self):
+        assert SimClock(5) == SimClock(5)
+        assert SimClock(4) < SimClock(5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+    def test_monotone_under_any_advance_sequence(self, steps):
+        c = SimClock()
+        seen = [c.now]
+        for s in steps:
+            c.advance(s)
+            seen.append(c.now)
+        assert seen == sorted(seen)
+        assert c.now == sum(steps)
+
+
+class TestFmtNs:
+    def test_ns_range(self):
+        assert fmt_ns(999) == "999 ns"
+
+    def test_us_range(self):
+        assert fmt_ns(2_500) == "2.50 us"
+
+    def test_ms_range(self):
+        assert fmt_ns(3_200_000) == "3.20 ms"
+
+    def test_s_range(self):
+        assert fmt_ns(1_500_000_000) == "1.500 s"

@@ -1,0 +1,69 @@
+"""Unit tests for PAPI-style counters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf.counters import CounterSet, PAPI_L1_ICM
+
+
+class TestCounterSet:
+    def test_unset_event_reads_zero(self):
+        assert CounterSet()["nope"] == 0
+
+    def test_incr_default_one(self):
+        c = CounterSet()
+        c.incr("x")
+        assert c["x"] == 1
+
+    def test_incr_by_n(self):
+        c = CounterSet()
+        c.incr("x", 5)
+        c.incr("x", 2)
+        assert c["x"] == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().incr("x", -1)
+
+    def test_contains(self):
+        c = CounterSet()
+        c.incr(PAPI_L1_ICM)
+        assert PAPI_L1_ICM in c
+        assert "other" not in c
+
+    def test_merge_adds_counts(self):
+        a, b = CounterSet(), CounterSet()
+        a.incr("x", 2)
+        b.incr("x", 3)
+        b.incr("y", 1)
+        a.merge(b)
+        assert a["x"] == 5 and a["y"] == 1
+
+    def test_add_operator_leaves_operands_alone(self):
+        a, b = CounterSet({"x": 1}), CounterSet({"x": 2})
+        c = a + b
+        assert c["x"] == 3 and a["x"] == 1 and b["x"] == 2
+
+    def test_reset(self):
+        c = CounterSet({"x": 9})
+        c.reset()
+        assert c["x"] == 0
+
+    def test_snapshot_is_detached(self):
+        c = CounterSet({"x": 1})
+        snap = c.snapshot()
+        c.incr("x")
+        assert snap["x"] == 1
+
+    def test_initial_dict(self):
+        c = CounterSet({"a": 4})
+        assert c["a"] == 4
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(0, 100)), max_size=40))
+    def test_totals_match_sum_of_increments(self, ops):
+        c = CounterSet()
+        for name, n in ops:
+            c.incr(name, n)
+        for name in ("a", "b", "c"):
+            assert c[name] == sum(n for e, n in ops if e == name)

@@ -1,0 +1,151 @@
+"""Unit + property tests for the set-associative instruction cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.icache import CacheGeometry, SetAssociativeCache
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache(CacheGeometry(size, assoc, line))
+
+
+class TestGeometry:
+    def test_n_sets(self):
+        g = CacheGeometry(32 * 1024, 8, 64)
+        assert g.n_sets == 64
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 1024, 2, 64)
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 2, 64)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(0, 1, 64)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        c = small_cache()
+        assert c.access(0) is False
+
+    def test_second_access_hits(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(0) is True
+
+    def test_same_line_different_offset_hits(self):
+        c = small_cache(line=64)
+        c.access(0)
+        assert c.access(63) is True
+
+    def test_adjacent_line_misses(self):
+        c = small_cache(line=64)
+        c.access(0)
+        assert c.access(64) is False
+
+    def test_lru_eviction_within_set(self):
+        # 2-way cache, 8 sets (1024/2/64): addresses 0, 1024, 2048 map to
+        # set 0 (stride = n_sets * line = 512... use multiples of 512).
+        c = small_cache(size=1024, assoc=2, line=64)
+        stride = c.geometry.n_sets * 64
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(d)          # evicts a (LRU)
+        assert c.access(b) is True
+        assert c.access(a) is False  # was evicted
+
+    def test_lru_updated_on_hit(self):
+        c = small_cache(size=1024, assoc=2, line=64)
+        stride = c.geometry.n_sets * 64
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a)          # a becomes MRU
+        c.access(d)          # evicts b, not a
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_counters_track_accesses_and_misses(self):
+        c = small_cache()
+        c.access(0)
+        c.access(0)
+        c.access(64)
+        assert c.accesses == 3
+        assert c.misses == 2
+        assert c.miss_rate == pytest.approx(2 / 3)
+
+    def test_flush_invalidates_but_keeps_counters(self):
+        c = small_cache()
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+        assert c.accesses == 2
+
+    def test_reset_counters(self):
+        c = small_cache()
+        c.access(0)
+        c.reset_counters()
+        assert c.accesses == 0 and c.misses == 0
+
+
+class TestBlockAndTrace:
+    def test_access_block_covers_lines(self):
+        c = small_cache(line=64)
+        hits, misses = c.access_block(0, 256)
+        assert misses == 4 and hits == 0
+        hits, misses = c.access_block(0, 256)
+        assert hits == 4 and misses == 0
+
+    def test_access_block_unaligned_start(self):
+        c = small_cache(line=64)
+        hits, misses = c.access_block(60, 8)  # straddles two lines
+        assert hits + misses == 2
+
+    def test_access_block_empty(self):
+        assert small_cache().access_block(0, 0) == (0, 0)
+
+    def test_run_trace(self):
+        c = small_cache()
+        hits, misses = c.run_trace([0, 0, 64, 0])
+        assert (hits, misses) == (2, 2)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_working_set_within_capacity_never_rethrashes(self, addrs):
+        """If distinct lines <= total cache lines AND each set's lines <=
+        associativity, the second pass over any trace is all hits."""
+        c = small_cache(size=4096, assoc=4, line=64)
+        g = c.geometry
+        lines = {a >> 6 for a in addrs}
+        per_set: dict[int, set] = {}
+        for ln in lines:
+            per_set.setdefault(ln & (g.n_sets - 1), set()).add(ln)
+        if any(len(s) > g.associativity for s in per_set.values()):
+            return  # conflict possible; property does not apply
+        for a in addrs:
+            c.access(a)
+        assert all(c.access(a) for a in addrs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), max_size=300))
+    def test_misses_never_exceed_accesses(self, addrs):
+        c = small_cache()
+        c.run_trace(addrs)
+        assert 0 <= c.misses <= c.accesses == len(addrs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    def test_misses_at_least_distinct_lines_on_first_pass(self, addrs):
+        c = SetAssociativeCache(CacheGeometry(1 << 16, 16, 64))
+        c.run_trace(addrs)
+        assert c.misses >= 0
+        # A large-enough cache misses exactly once per distinct line.
+        assert c.misses == len({a >> 6 for a in addrs})

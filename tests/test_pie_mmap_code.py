@@ -1,0 +1,103 @@
+"""Tests for PIEglobals' mmap code-page sharing (Section 6 future work:
+"mapping the code segments into virtual memory from a single file
+descriptor using mmap" to reduce memory usage)."""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.machine import TEST_MACHINE
+from repro.privatization.pieglobals import PieGlobals
+from repro.program.source import Program
+
+from conftest import make_hello
+
+
+def big_code_hello():
+    p = Program("bigcode", code_bytes=1 << 20)
+    p.add_global("my_rank", -1)
+
+    @p.function()
+    def main(ctx):
+        ctx.g.my_rank = ctx.mpi.rank()
+        ctx.mpi.barrier()
+        return ctx.g.my_rank
+
+    return p.build()
+
+
+def run(method, nvp=4, layout=None, src=None):
+    job = AmpiJob(src or big_code_hello(), nvp, method=method,
+                  machine=TEST_MACHINE,
+                  layout=layout or JobLayout.single(2), slot_size=1 << 24)
+    result = job.run()
+    return job, result
+
+
+class TestRssAccounting:
+    def test_virtual_size_unchanged_but_rss_smaller(self):
+        plain_job, plain = run(PieGlobals())
+        mmap_job, shared = run(PieGlobals(mmap_code_sharing=True))
+        assert plain.exit_values == shared.exit_values
+
+        vm_plain = plain_job.processes[0].vm
+        vm_mmap = mmap_job.processes[0].vm
+        # Same virtual reservation (the address-space layout is identical)...
+        assert vm_mmap.total_mapped() == vm_plain.total_mapped()
+        # ...but resident memory drops by ~one code copy per rank.
+        saving = vm_plain.total_rss() - vm_mmap.total_rss()
+        assert saving >= 4 * (1 << 20) * 0.9
+
+    def test_startup_cheaper_without_code_memcpy(self):
+        _, plain = run(PieGlobals())
+        _, shared = run(PieGlobals(mmap_code_sharing=True))
+        assert shared.startup_ns < plain.startup_ns
+
+    def test_correctness_untouched(self):
+        p = Program("probe2", code_bytes=1 << 20)
+        p.add_global("g", -1)
+        p.add_static("s", -1)
+
+        @p.function()
+        def main(ctx):
+            me = ctx.mpi.rank()
+            ctx.g.g = me
+            ctx.g.s = me
+            ctx.mpi.barrier()
+            return (ctx.g.g, ctx.g.s)
+
+        _, result = run(PieGlobals(mmap_code_sharing=True), src=p.build())
+        for vp, (g, s) in result.exit_values.items():
+            assert g == vp and s == vp
+
+
+class TestMigrationInteraction:
+    def migrating_src(self):
+        p = Program("migmm", code_bytes=1 << 20)
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            ctx.mpi.barrier()
+            if ctx.mpi.rank() == 0:
+                ctx.mpi.migrate_to(1)
+            ctx.mpi.barrier()
+            return ctx.mpi.my_pe()
+
+        return p.build()
+
+    def test_code_pages_not_transferred(self):
+        _, plain = run(PieGlobals(), nvp=2,
+                       layout=JobLayout(1, 2, 1), src=self.migrating_src())
+        _, shared = run(PieGlobals(mmap_code_sharing=True), nvp=2,
+                        layout=JobLayout(1, 2, 1), src=self.migrating_src())
+        ns_plain = next(m.ns for m in plain.migrations if m.cross_process)
+        ns_shared = next(m.ns for m in shared.migrations if m.cross_process)
+        assert ns_shared < ns_plain
+        assert shared.exit_values[0] == 1   # migration still works
+
+    def test_registry_variant(self):
+        from repro.privatization import get_method
+
+        m = get_method("pieglobals-mmap-code")
+        assert isinstance(m, PieGlobals) and m.mmap_code_sharing

@@ -1,0 +1,47 @@
+"""Cross-architecture portability: the paper validates PIEglobals on
+x86, ARM, and POWER, and extends TLSglobals beyond x86 too."""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.errors import SmpUnsupportedError, UnsupportedToolchain
+from repro.machine import ARM_CLUSTER, BRIDGES2, POWER9, get_machine
+
+from conftest import make_hello
+
+
+ARCH_MACHINES = [BRIDGES2, ARM_CLUSTER, POWER9]
+
+
+class TestPieAcrossArchitectures:
+    @pytest.mark.parametrize("machine", ARCH_MACHINES,
+                             ids=lambda m: m.name)
+    def test_pieglobals_runs(self, machine):
+        result = AmpiJob(make_hello(), 4, method="pieglobals",
+                         machine=machine, layout=JobLayout.single(2),
+                         slot_size=1 << 24).run()
+        assert sorted(result.exit_values.values()) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("machine", ARCH_MACHINES,
+                             ids=lambda m: m.name)
+    def test_tlsglobals_runs(self, machine):
+        result = AmpiJob(make_hello(), 2, method="tlsglobals",
+                         machine=machine, layout=JobLayout.single(2),
+                         slot_size=1 << 24).run()
+        assert len(result.exit_values) == 2
+
+
+class TestSwapglobalsIsX86Only:
+    @pytest.mark.parametrize("machine", [ARM_CLUSTER, POWER9],
+                             ids=lambda m: m.name)
+    def test_rejected_on_non_x86(self, machine):
+        with pytest.raises(UnsupportedToolchain, match="x86"):
+            AmpiJob(make_hello(), 2, method="swapglobals",
+                    machine=machine, layout=JobLayout(1, 1, 1))
+
+
+class TestPresetLookup:
+    def test_new_presets_registered(self):
+        assert get_machine("arm-cluster").arch.value == "arm64"
+        assert get_machine("power9").arch.value == "ppc64le"

@@ -1,0 +1,163 @@
+"""The privatization correctness matrix — the paper's Section 2.2 story.
+
+One probe program writes rank-specific values into a mutable global, a
+mutable static, and a TLS-tagged global.  Which writes survive a barrier
+defines each method's semantics:
+
+==============  ========  ========  =====
+method          global    static    tls
+==============  ========  ========  =====
+none            clobbered clobbered clobbered
+manual          private   private   private
+swapglobals     private   clobbered clobbered  (GOT-only)
+tlsglobals      clobbered clobbered private    (tagged-only)
+mpc             private   private   private    (auto-tagged)
+pipglobals      private   private   private
+fsglobals       private   private   private
+pieglobals      private   private   private
+==============  ========  ========  =====
+"""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.machine import TEST_MACHINE
+from repro.program.source import Program
+
+from conftest import run_job
+
+
+def probe():
+    p = Program("probe")
+    p.add_global("g_var", -1)
+    p.add_static("s_var", -1)
+    p.add_global("t_var", -1, tls=True)
+    p.add_global("safe", 0, write_once_same=True)
+    p.add_global("ro", 123, const=True)
+
+    @p.function()
+    def main(ctx):
+        me = ctx.mpi.rank()
+        ctx.g.g_var = me
+        ctx.g.s_var = me
+        ctx.g.t_var = me
+        ctx.g.safe = ctx.mpi.size()
+        ctx.mpi.barrier()
+        return {
+            "g": ctx.g.g_var == me,
+            "s": ctx.g.s_var == me,
+            "t": ctx.g.t_var == me,
+            "safe": ctx.g.safe == ctx.mpi.size(),
+            "ro": ctx.g.ro == 123,
+        }
+
+    return p.build()
+
+
+def verdict(result):
+    out = {"g": True, "s": True, "t": True, "safe": True, "ro": True}
+    for flags in result.exit_values.values():
+        for k, v in flags.items():
+            out[k] = out[k] and v
+    return out
+
+
+def run_method(method, machine=TEST_MACHINE, layout=None, nvp=4):
+    return verdict(run_job(probe(), nvp, method=method, machine=machine,
+                           layout=layout))
+
+
+class TestCorrectnessMatrix:
+    def test_none_clobbers_everything_mutable(self):
+        v = run_method("none")
+        assert not v["g"] and not v["s"] and not v["t"]
+        assert v["safe"] and v["ro"]
+
+    def test_manual_privatizes_everything(self):
+        v = run_method("manual")
+        assert v["g"] and v["s"] and v["t"]
+
+    def test_swapglobals_misses_statics(self, tm_old_ld):
+        v = run_method("swapglobals", machine=tm_old_ld,
+                       layout=JobLayout(1, 1, 1))
+        assert v["g"]
+        assert not v["s"]   # statics are not in the GOT
+        assert not v["t"]
+
+    def test_tlsglobals_only_tagged(self):
+        v = run_method("tlsglobals")
+        assert v["t"]
+        assert not v["g"] and not v["s"]   # the tagging gap
+
+    def test_mpc_auto_tags_all(self, tm_mpc):
+        v = run_method("mpc", machine=tm_mpc)
+        assert v["g"] and v["s"] and v["t"]
+
+    @pytest.mark.parametrize("method", ["pipglobals", "fsglobals",
+                                        "pieglobals"])
+    def test_runtime_pie_methods_privatize_all(self, method):
+        v = run_method(method, layout=JobLayout.single(2))
+        assert v["g"] and v["s"] and v["t"]
+
+    @pytest.mark.parametrize("method", ["none", "manual", "tlsglobals",
+                                        "pipglobals", "fsglobals",
+                                        "pieglobals"])
+    def test_safe_vars_always_fine(self, method):
+        v = run_method(method, layout=JobLayout.single(2))
+        assert v["safe"] and v["ro"]
+
+
+class TestFigure2Reproduction:
+    """The literal hello-world bug: with 2 VPs in one process and no
+    privatization, both ranks print the last writer's number."""
+
+    def hello(self):
+        p = Program("hello_world")
+        p.add_global("my_rank", -1)
+
+        @p.function()
+        def main(ctx):
+            ctx.g.my_rank = ctx.mpi.rank()
+            ctx.mpi.barrier()
+            return f"rank: {ctx.g.my_rank}"
+
+        return p.build()
+
+    def test_unsafe_output(self):
+        result = run_job(self.hello(), 2, method="none",
+                         layout=JobLayout.single(1))
+        lines = sorted(result.exit_values.values())
+        # Both ranks print the same (wrong) value — "rank: 1" twice.
+        assert lines[0] == lines[1]
+        assert lines[0] in ("rank: 0", "rank: 1")
+
+    def test_fixed_by_pieglobals(self):
+        result = run_job(self.hello(), 2, method="pieglobals",
+                         layout=JobLayout.single(1))
+        assert sorted(result.exit_values.values()) == ["rank: 0", "rank: 1"]
+
+
+class TestSmpModeInteraction:
+    def test_pie_smp_many_ranks_per_process(self):
+        """PIEglobals in SMP mode: 16 ranks in one process across 4 PEs —
+        more virtualized entities than stock glibc namespaces allow."""
+        v = verdict(run_job(probe(), 16, method="pieglobals",
+                            layout=JobLayout.single(4)))
+        assert v["g"] and v["s"] and v["t"]
+
+    def test_fs_smp_many_ranks(self):
+        v = verdict(run_job(probe(), 16, method="fsglobals",
+                            layout=JobLayout.single(4)))
+        assert v["g"] and v["s"]
+
+
+class TestMultiProcess:
+    @pytest.mark.parametrize("method", ["pieglobals", "tlsglobals",
+                                        "manual"])
+    def test_privatization_across_processes(self, method):
+        v = run_method(method, layout=JobLayout(1, 2, 2), nvp=8)
+        if method == "tlsglobals":
+            assert v["t"]
+        else:
+            assert v["g"]

@@ -1,0 +1,279 @@
+"""Deep tests of PIEglobals' mechanisms (paper Section 3.3)."""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.errors import (
+    PrivatizationError,
+    ReductionOffsetError,
+    UnsupportedToolchain,
+)
+from repro.machine import MACOS_ARM, TEST_MACHINE
+from repro.mem.layout import ISOMALLOC_BASE
+from repro.perf.counters import EV_DLOPEN
+from repro.privatization.pieglobals import PieGlobals
+from repro.program.source import Program
+
+from conftest import make_hello
+
+
+def make_job(source, nvp=2, layout=None, method=None, **kw):
+    kw.setdefault("slot_size", 1 << 24)
+    return AmpiJob(source, nvp, method=method or PieGlobals(),
+                   machine=TEST_MACHINE,
+                   layout=layout or JobLayout.single(2), **kw)
+
+
+class TestSegmentCopies:
+    def test_per_rank_code_copies_in_isomalloc(self):
+        job = make_job(make_hello(), 4)
+        job.start()
+        try:
+            bases = {job.rank_of(vp).code.base for vp in range(4)}
+            assert len(bases) == 4
+            arena = job.processes[0].isomalloc.arena
+            for vp in range(4):
+                assert arena.rank_of_address(job.rank_of(vp).code.base) == vp
+        finally:
+            job.scheduler.shutdown()
+
+    def test_dlopen_called_once_per_process(self):
+        """SMP safety: open the PIE once, copy segments per rank."""
+        job = make_job(make_hello(), 8, layout=JobLayout.single(4))
+        job.run()
+        assert job.processes[0].counters[EV_DLOPEN] == 1
+
+    def test_relative_layout_preserved(self):
+        """Data must sit at the same offset from code in every copy so
+        IP-relative access works."""
+        job = make_job(make_hello(), 2)
+        job.start()
+        try:
+            lm = job.processes[0].loader.loaded(job.binary.name)
+            orig_delta = lm.data.base - lm.code.base
+            for vp in range(2):
+                rank = job.rank_of(vp)
+                data = rank.ctx.view.routes["my_rank"].instance
+                assert data.base - rank.code.base == orig_delta
+        finally:
+            job.scheduler.shutdown()
+
+    def test_macos_unsupported(self):
+        with pytest.raises(UnsupportedToolchain, match="GNU/Linux"):
+            AmpiJob(make_hello(), 2, method="pieglobals", machine=MACOS_ARM)
+
+
+class TestPointerScan:
+    def program_with_pointers(self):
+        p = Program("ptrs")
+        p.add_global("x", 5)
+        p.add_pointer_global("px", "x")       # data pointer
+        p.add_pointer_global("pf", "main")    # function pointer
+        p.add_global("plain_int", 7)          # must NOT be rebased
+
+        @p.function()
+        def main(ctx):
+            ctx.mpi.barrier()
+            return (ctx.g.px, ctx.g.pf, ctx.g.plain_int,
+                    ctx.view.address_of("x"), ctx.addr_of("main"))
+
+        return p.build()
+
+    def test_pointers_rebased_into_private_copies(self):
+        method = PieGlobals()
+        job = make_job(self.program_with_pointers(), 2, method=method)
+        result = job.run()
+        for vp in (0, 1):
+            px, pf, plain, x_addr, main_addr = result.exit_values[vp]
+            assert px == x_addr       # points at the rank's own x
+            assert pf == main_addr    # rank's own code copy
+            assert plain == 7         # untouched
+
+    def test_scan_reports(self):
+        method = PieGlobals()
+        job = make_job(self.program_with_pointers(), 2, method=method)
+        job.run()
+        rep = method.scan_reports[0]
+        assert rep.segment_pointers_fixed >= 2
+        assert rep.slots_scanned >= 4
+
+    def test_false_positive_corrupts_int(self):
+        """An integer whose value falls in the original segment range is
+        wrongly rebased by the heuristic scan — the hazard the paper
+        plans to engineer away."""
+        p = Program("fp")
+        # Loader area base: the first mapped image covers this address.
+        p.add_global("looks_like_ptr", 0x100_0000_0010)
+
+        @p.function()
+        def main(ctx):
+            return ctx.g.looks_like_ptr
+
+        job = make_job(p.build(), 1, layout=JobLayout(1, 1, 1))
+        result = job.run()
+        assert result.exit_values[0] != 0x100_0000_0010
+
+    def test_robust_scan_avoids_false_positive(self):
+        p = Program("fp2")
+        p.add_global("looks_like_ptr", 0x100_0000_0010)
+
+        @p.function()
+        def main(ctx):
+            return ctx.g.looks_like_ptr
+
+        job = make_job(p.build(), 1, layout=JobLayout(1, 1, 1),
+                       method=PieGlobals(robust_scan=True))
+        result = job.run()
+        assert result.exit_values[0] == 0x100_0000_0010
+
+
+class TestCtorReplication:
+    def cxx_program(self):
+        p = Program("cxxapp", language="cxx")
+        p.add_global("table_ptr", 0)
+
+        @p.static_ctor()
+        def init_table(lctx):
+            alloc = lctx.malloc(
+                256, data={"weights": [1.0, 2.0]}, tag="table",
+                fn_ptr_slots={"vfn": lctx.addr_of("virtual_method")},
+            )
+            lctx.data.write("table_ptr", alloc.addr)
+
+        @p.function()
+        def virtual_method(ctx):
+            return "virtual!"
+
+        @p.function()
+        def main(ctx):
+            addr = ctx.g.table_ptr
+            alloc = ctx.heap.allocations[addr]
+            alloc.data["weights"][0] += ctx.mpi.rank()
+            ctx.mpi.barrier()
+            out = ctx.call_addr(alloc.fn_ptr_slots["vfn"])
+            return (alloc.data["weights"][0], out)
+
+        return p.build()
+
+    def test_ctor_allocations_replicated_per_rank(self):
+        result = make_job(self.cxx_program(), 2).run()
+        # Each rank mutated its own replica.
+        assert result.exit_values[0] == (1.0, "virtual!")
+        assert result.exit_values[1] == (2.0, "virtual!")
+
+    def test_data_segment_pointer_remapped_to_replica(self):
+        job = make_job(self.cxx_program(), 2)
+        job.start()
+        try:
+            addrs = set()
+            for vp in (0, 1):
+                rank = job.rank_of(vp)
+                addr = rank.ctx.view.routes["table_ptr"].instance.read(
+                    "table_ptr")
+                assert addr in rank.heap.allocations
+                addrs.add(addr)
+            assert len(addrs) == 2
+        finally:
+            job.scheduler.shutdown()
+
+
+class TestUserOpOffsets:
+    def test_reduction_on_empty_pe_raises(self):
+        """Migration empties a PE, then a user-op reduction must combine
+        there: the documented PIEglobals runtime error."""
+        p = Program("emptype")
+        p.add_global("x", 0)
+
+        @p.function()
+        def combine(ctx, a, b):
+            return a + b
+
+        @p.function()
+        def main(ctx):
+            me = ctx.mpi.rank()
+            op = ctx.mpi.op_create("combine")
+            ctx.mpi.barrier()
+            # Evacuate PE 1 (interior node of the 4-PE reduction tree).
+            if me == 1:
+                ctx.mpi.migrate_to(0)
+            ctx.mpi.barrier()
+            return ctx.mpi.allreduce(1, op=op)
+
+        # 6 PEs, one rank each; vp 1 leaves PE 1 empty.  PE 1 is an
+        # interior tree node with two contributing children (PEs 3 and
+        # 4), so it *must* apply the operator — and has no rank to
+        # rebase the offset against.
+        machine = TEST_MACHINE.copy_with(cores_per_node=8)
+        job = AmpiJob(p.build(), 6, method=PieGlobals(), machine=machine,
+                      layout=JobLayout.single(6), slot_size=1 << 24)
+        with pytest.raises(ReductionOffsetError, match="no resident"):
+            job.run()
+
+    def test_builtin_ops_unaffected_by_empty_pes(self):
+        from repro.ampi.ops import SUM
+
+        p = Program("emptyok")
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            me = ctx.mpi.rank()
+            ctx.mpi.barrier()
+            if me == 1:
+                ctx.mpi.migrate_to(0)
+            ctx.mpi.barrier()
+            return ctx.mpi.allreduce(1)
+
+        result = make_job(p.build(), 4, layout=JobLayout.single(4)).run()
+        assert set(result.exit_values.values()) == {4}
+
+
+class TestPieGlobalsFind:
+    def test_translates_back_to_original(self):
+        method = PieGlobals()
+        job = make_job(make_hello(), 2, method=method)
+        job.start()
+        try:
+            rank = job.rank_of(1)
+            priv_addr = rank.code.addr_of("main") + 3
+            orig, vp = method.pieglobalsfind(priv_addr)
+            assert vp == 1
+            lm = job.processes[0].loader.loaded(job.binary.name)
+            name, off = lm.code.symbol_at(orig)
+            assert name == "main" and off == 3
+        finally:
+            job.scheduler.shutdown()
+
+    def test_unknown_address_raises(self):
+        method = PieGlobals()
+        job = make_job(make_hello(), 1, method=method,
+                       layout=JobLayout(1, 1, 1))
+        job.start()
+        try:
+            with pytest.raises(PrivatizationError, match="pieglobalsfind"):
+                method.pieglobalsfind(0x42)
+        finally:
+            job.scheduler.shutdown()
+
+
+class TestSharedRodataOption:
+    def test_shared_rodata_reduces_footprint(self):
+        p = Program("ro")
+        p.add_global("x", 0)
+        p.add_global("big_table", 0.0, const=True, size=64 * 1024)
+
+        @p.function()
+        def main(ctx):
+            ctx.mpi.barrier()
+            return ctx.g.big_table
+
+        full = make_job(p.build(), 4, method=PieGlobals())
+        full.run()
+        full_bytes = full.processes[0].vm.total_mapped()
+
+        shared = make_job(p.build(), 4,
+                          method=PieGlobals(share_rodata=True))
+        shared.run()
+        shared_bytes = shared.processes[0].vm.total_mapped()
+        assert shared_bytes < full_bytes

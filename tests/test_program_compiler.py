@@ -1,0 +1,115 @@
+"""Tests for the compiler driver and its flag handling."""
+
+import pytest
+
+from repro.errors import UnsupportedToolchain
+from repro.machine import BRIDGES2, LEGACY_LINUX_OLD_LD, STAMPEDE2_ICX, Toolchain
+from repro.program.compiler import Compiler, CompileOptions
+from repro.program.source import Program
+
+
+def src_with_vars():
+    p = Program("t")
+    p.add_global("g", 1)
+    p.add_static("s", 2)
+    p.add_global("t1", 3, tls=True)
+    p.add_global("c", 4, const=True)
+
+    @p.function()
+    def main(ctx):
+        return 0
+
+    return p.build()
+
+
+class TestBasicCompile:
+    def test_default_is_pie(self):
+        b = Compiler(BRIDGES2.toolchain).compile(src_with_vars())
+        assert b.is_pie
+
+    def test_non_pie(self):
+        b = Compiler(BRIDGES2.toolchain).compile(
+            src_with_vars(), CompileOptions(pie=False))
+        assert not b.is_pie
+
+    def test_sections(self):
+        b = Compiler(BRIDGES2.toolchain).compile(src_with_vars())
+        assert "g" in b.image.data and "s" in b.image.data
+        assert "t1" in b.image.tls
+        assert "c" in b.image.rodata
+
+    def test_pad_code_to_option(self):
+        b = Compiler(BRIDGES2.toolchain).compile(
+            src_with_vars(), CompileOptions(pad_code_to=1 << 21))
+        assert b.image.code.size == 1 << 21
+
+    def test_source_code_bytes_hint_respected(self):
+        p = Program("t", code_bytes=1 << 20)
+        p.add_function(lambda ctx: 0, name="main")
+        b = Compiler(BRIDGES2.toolchain).compile(p.build())
+        assert b.image.code.size == 1 << 20
+
+
+class TestMpcPrivatize:
+    def test_auto_tags_unsafe_vars(self):
+        b = Compiler(STAMPEDE2_ICX.toolchain).compile(
+            src_with_vars(), CompileOptions(fmpc_privatize=True))
+        # g and s became TLS; const stayed in rodata.
+        assert "g" in b.image.tls and "s" in b.image.tls
+        assert "c" in b.image.rodata
+        assert len(b.image.data.vars) == 0
+
+    def test_requires_supporting_compiler(self):
+        with pytest.raises(UnsupportedToolchain, match="fmpc"):
+            Compiler(BRIDGES2.toolchain).compile(
+                src_with_vars(), CompileOptions(fmpc_privatize=True))
+
+    def test_write_once_vars_not_tagged(self):
+        p = Program("t")
+        p.add_global("n", 0, write_once_same=True)
+        p.add_function(lambda ctx: 0, name="main")
+        b = Compiler(STAMPEDE2_ICX.toolchain).compile(
+            p.build(), CompileOptions(fmpc_privatize=True))
+        assert "n" in b.image.data
+
+
+class TestTlsSegRefs:
+    def test_flag_requires_gcc_or_new_clang(self):
+        icc = Toolchain(compiler="icc")
+        with pytest.raises(UnsupportedToolchain, match="seg-refs"):
+            Compiler(icc).compile(src_with_vars(),
+                                  CompileOptions(tls_seg_refs=True))
+
+    def test_tls_switchable_reflects_build(self):
+        c = Compiler(BRIDGES2.toolchain)
+        plain = c.compile(src_with_vars())
+        switched = c.compile(src_with_vars(),
+                             CompileOptions(tls_seg_refs=True))
+        assert not plain.tls_switchable
+        assert switched.tls_switchable
+
+
+class TestSwapglobalsFlag:
+    def test_needs_old_linker(self):
+        with pytest.raises(UnsupportedToolchain):
+            Compiler(BRIDGES2.toolchain).compile(
+                src_with_vars(), CompileOptions(swapglobals=True))
+
+    def test_old_linker_builds_got(self):
+        b = Compiler(LEGACY_LINUX_OLD_LD.toolchain).compile(
+            src_with_vars(), CompileOptions(swapglobals=True, pie=False))
+        assert b.got_covered_vars() == ["g"]   # not the static, not TLS
+
+
+class TestBinaryIntrospection:
+    def test_unsafe_shared_vars(self):
+        b = Compiler(BRIDGES2.toolchain).compile(src_with_vars())
+        assert {v.name for v in b.unsafe_shared_vars()} == {"g", "s"}
+
+    def test_tls_vars(self):
+        b = Compiler(BRIDGES2.toolchain).compile(src_with_vars())
+        assert [v.name for v in b.tls_vars()] == ["t1"]
+
+    def test_options_with_(self):
+        o = CompileOptions().with_(optimize=0)
+        assert o.optimize == 0 and CompileOptions().optimize == 2

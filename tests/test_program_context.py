@@ -1,0 +1,189 @@
+"""Tests for execution contexts and globals routing — where privatization
+semantics live."""
+
+import pytest
+
+from repro.errors import SegFault
+from repro.machine import BRIDGES2
+from repro.mem.segments import SegmentImage, SegmentKind, VarDef
+from repro.perf.clock import SimClock
+from repro.perf.costs import TEST_COSTS
+from repro.perf.counters import CounterSet, EV_GLOBAL_READ, EV_GLOBAL_WRITE
+from repro.program.compiler import Compiler
+from repro.program.context import (
+    AccessKind,
+    AccessRoute,
+    FetchTracer,
+    GlobalsProxy,
+    GlobalsView,
+    make_standalone_context,
+)
+from repro.program.source import Program
+
+
+def make_view(kind=AccessKind.DIRECT, optimized=True, counters=None):
+    img = SegmentImage(SegmentKind.DATA, [VarDef("x", init=10)])
+    inst = img.instantiate(0x1000)
+    clock = SimClock()
+    view = GlobalsView({"x": AccessRoute(inst, kind)}, TEST_COSTS, clock,
+                       counters=counters, optimized=optimized)
+    return view, inst, clock
+
+
+class TestGlobalsView:
+    def test_read_write_roundtrip(self):
+        view, inst, _ = make_view()
+        view.write("x", 99)
+        assert view.read("x") == 99
+        assert inst.read("x") == 99
+
+    def test_undeclared_global_faults(self):
+        view, _, _ = make_view()
+        with pytest.raises(SegFault, match="undeclared"):
+            view.read("ghost")
+
+    def test_direct_access_cost(self):
+        view, _, clock = make_view(AccessKind.DIRECT)
+        view.read("x")
+        assert clock.now == TEST_COSTS.direct_access_ns
+
+    def test_got_access_costs_extra(self):
+        view, _, clock = make_view(AccessKind.GOT)
+        view.read("x")
+        assert clock.now == (TEST_COSTS.direct_access_ns
+                             + TEST_COSTS.got_indirect_extra_ns)
+
+    def test_tls_access_free_when_optimized(self):
+        view, _, clock = make_view(AccessKind.TLS, optimized=True)
+        view.read("x")
+        assert clock.now == TEST_COSTS.direct_access_ns
+
+    def test_tls_access_costs_extra_at_o0(self):
+        view, _, clock = make_view(AccessKind.TLS, optimized=False)
+        view.read("x")
+        assert clock.now == (TEST_COSTS.direct_access_ns
+                             + TEST_COSTS.tls_indirect_extra_ns)
+
+    def test_counters_incremented(self):
+        counters = CounterSet()
+        view, _, _ = make_view(counters=counters)
+        view.read("x")
+        view.write("x", 1)
+        assert counters[EV_GLOBAL_READ] == 1
+        assert counters[EV_GLOBAL_WRITE] == 1
+
+    def test_charge_bulk_equivalent_to_n_accesses(self):
+        view, _, clock = make_view(AccessKind.TLS, optimized=False)
+        per_access = view.access_ns("x")
+        view.charge_bulk("x", 1000)
+        assert clock.now == per_access * 1000
+
+    def test_charge_bulk_negative_rejected(self):
+        view, _, _ = make_view()
+        with pytest.raises(ValueError):
+            view.charge_bulk("x", -1)
+
+    def test_address_of(self):
+        view, inst, _ = make_view()
+        assert view.address_of("x") == inst.addr_of("x")
+
+
+class TestGlobalsProxy:
+    def test_attribute_sugar(self):
+        view, _, _ = make_view()
+        g = GlobalsProxy(view)
+        g.x = 5
+        assert g.x == 5
+
+    def test_item_sugar(self):
+        view, _, _ = make_view()
+        g = GlobalsProxy(view)
+        g["x"] = 6
+        assert g["x"] == 6
+
+    def test_unknown_attribute_faults(self):
+        g = GlobalsProxy(make_view()[0])
+        with pytest.raises(SegFault):
+            _ = g.ghost
+
+
+class TestFetchTracer:
+    def test_records_spans(self):
+        t = FetchTracer()
+        t.record(0x100, 64)
+        assert t.spans == [(0x100, 64)]
+        assert len(t) == 1
+
+    def test_disabled_records_nothing(self):
+        t = FetchTracer(enabled=False)
+        t.record(0x100, 64)
+        assert len(t) == 0
+
+    def test_clear(self):
+        t = FetchTracer()
+        t.record(1, 2)
+        t.clear()
+        assert len(t) == 0
+
+
+class TestExecutionContext:
+    def make_ctx(self):
+        p = Program("t")
+        p.add_global("x", 0)
+
+        @p.function(code_bytes=100)
+        def main(ctx):
+            return ctx.call("helper", 20)
+
+        @p.function(code_bytes=100)
+        def helper(ctx, n):
+            ctx.g.x = n
+            return ctx.g.x + 1
+
+        binary = Compiler(BRIDGES2.toolchain).compile(p.build())
+        return make_standalone_context(binary, TEST_COSTS)
+
+    def test_call_by_name(self):
+        ctx = self.make_ctx()
+        assert ctx.call("main") == 21
+
+    def test_call_unknown_faults(self):
+        with pytest.raises(SegFault):
+            self.make_ctx().call("ghost")
+
+    def test_call_addr_roundtrip(self):
+        ctx = self.make_ctx()
+        addr = ctx.addr_of("helper")
+        assert ctx.call_addr(addr, 7) == 8
+
+    def test_call_addr_misaligned_faults(self):
+        ctx = self.make_ctx()
+        with pytest.raises(SegFault, match="middle"):
+            ctx.call_addr(ctx.addr_of("helper") + 4, 7)
+
+    def test_compute_advances_clock(self):
+        ctx = self.make_ctx()
+        t0 = ctx.clock.now
+        ctx.compute(500)
+        assert ctx.clock.now == t0 + 500
+
+    def test_malloc_free_through_ctx(self):
+        ctx = self.make_ctx()
+        a = ctx.malloc(128, data="blob")
+        assert ctx.heap.allocations[a.addr].data == "blob"
+        ctx.free(a.addr)
+        assert len(ctx.heap) == 0
+
+    def test_charge_accesses_multiple_names(self):
+        ctx = self.make_ctx()
+        t0 = ctx.clock.now
+        ctx.charge_accesses({"x": 10})
+        assert ctx.clock.now > t0
+
+    def test_tracer_records_calls(self):
+        ctx = self.make_ctx()
+        ctx.tracer = FetchTracer()
+        ctx.call("helper", 1)
+        assert len(ctx.tracer.spans) == 1
+        addr, nbytes = ctx.tracer.spans[0]
+        assert addr == ctx.addr_of("helper") and nbytes == 100

@@ -1,0 +1,90 @@
+"""Tests for the program builder and source model."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.program.source import Program
+
+
+class TestBuilder:
+    def test_globals_and_statics(self):
+        p = Program("t")
+        p.add_global("g", 1)
+        p.add_static("s", 2)
+        p.add_global("c", 3, const=True)
+        src = p.build()
+        assert not src.var("g").static
+        assert src.var("s").static
+        assert src.var("c").const
+
+    def test_duplicate_variable_rejected(self):
+        p = Program("t")
+        p.add_global("x")
+        p.add_global("x")
+        with pytest.raises(CompileError, match="duplicate"):
+            p.build()
+
+    def test_function_decorator_registers(self):
+        p = Program("t")
+
+        @p.function(code_bytes=512)
+        def main(ctx):
+            return 1
+
+        src = p.build()
+        assert src.functions[0].name == "main"
+        assert src.functions[0].code_bytes == 512
+
+    def test_function_explicit_name(self):
+        p = Program("t")
+        p.add_function(lambda ctx: 0, name="main")
+        assert p.build().functions[0].name == "main"
+
+    def test_pointer_global_records_addr_init(self):
+        p = Program("t")
+        p.add_global("x", 5)
+        p.add_pointer_global("px", "x")
+        src = p.build()
+        assert src.addr_inits == {"px": "x"}
+
+    def test_static_ctor_requires_cxx(self):
+        p = Program("t", language="c")
+        with pytest.raises(CompileError, match="C\\+\\+"):
+            p.static_ctor()(lambda lctx: None)
+
+    def test_static_ctor_in_cxx(self):
+        p = Program("t", language="cxx")
+
+        @p.static_ctor()
+        def init_table(lctx):
+            pass
+
+        src = p.build()
+        assert "init_table" in src.static_ctors
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(CompileError):
+            Program("t", language="cobol")
+
+    def test_entry_override(self):
+        p = Program("t")
+        p.add_function(lambda ctx: 0, name="start")
+        p.set_entry("start")
+        assert p.build().entry == "start"
+
+    def test_unsafe_vars_listing(self):
+        p = Program("t")
+        p.add_global("m", 0)
+        p.add_global("c", 0, const=True)
+        p.add_global("w", 0, write_once_same=True)
+        p.add_static("s", 0)
+        src = p.build()
+        assert {v.name for v in src.unsafe_vars()} == {"m", "s"}
+
+    def test_var_lookup_missing(self):
+        with pytest.raises(KeyError):
+            Program("t").build().var("ghost")
+
+    def test_code_bytes_hint(self):
+        src = Program("t", code_bytes=1 << 20).build()
+        assert src.code_bytes == 1 << 20

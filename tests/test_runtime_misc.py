@@ -1,0 +1,118 @@
+"""Remaining runtime behaviours: argv, fetch tracing, comm plumbing."""
+
+import pytest
+
+from repro.ampi.runtime import AmpiJob
+from repro.charm.node import JobLayout
+from repro.machine import TEST_MACHINE
+from repro.program.source import Program
+
+from conftest import make_hello, run_job
+
+
+class TestArgv:
+    def test_argv_reaches_ranks(self):
+        p = Program("args")
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            return tuple(ctx.argv)
+
+        result = run_job(p.build(), 2, argv=("--steps", "10"))
+        assert set(result.exit_values.values()) == {("--steps", "10")}
+
+
+class TestFetchTracing:
+    def test_tracer_attached_when_requested(self):
+        job = AmpiJob(make_hello(), 2, method="pieglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(1),
+                      slot_size=1 << 24, trace_fetches=True)
+        job.run()
+        for vp in range(2):
+            tracer = job.rank_of(vp).ctx.tracer
+            assert tracer is not None and len(tracer.spans) >= 1
+
+    def test_no_tracer_by_default(self):
+        job = AmpiJob(make_hello(), 1, method="pieglobals",
+                      machine=TEST_MACHINE, layout=JobLayout(1, 1, 1),
+                      slot_size=1 << 24)
+        job.run()
+        assert job.rank_of(0).ctx.tracer is None
+
+    def test_pie_traces_use_private_bases(self):
+        p = Program("traced")
+        p.add_global("x", 0)
+
+        @p.function(code_bytes=128)
+        def work(ctx):
+            return 1
+
+        @p.function()
+        def main(ctx):
+            ctx.call("work")
+            ctx.mpi.barrier()
+            return 0
+
+        job = AmpiJob(p.build(), 2, method="pieglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(1),
+                      slot_size=1 << 24, trace_fetches=True)
+        job.run()
+        spans0 = {a for a, _ in job.rank_of(0).ctx.tracer.spans}
+        spans1 = {a for a, _ in job.rank_of(1).ctx.tracer.spans}
+        assert spans0.isdisjoint(spans1)   # distinct code copies
+
+    def test_shared_code_traces_coincide(self):
+        p = Program("traced2")
+        p.add_global("x", 0)
+
+        @p.function(code_bytes=128)
+        def work(ctx):
+            return 1
+
+        @p.function()
+        def main(ctx):
+            ctx.call("work")
+            ctx.mpi.barrier()
+            return 0
+
+        job = AmpiJob(p.build(), 2, method="tlsglobals",
+                      machine=TEST_MACHINE, layout=JobLayout.single(1),
+                      slot_size=1 << 24, trace_fetches=True)
+        job.run()
+        spans0 = {a for a, _ in job.rank_of(0).ctx.tracer.spans}
+        spans1 = {a for a, _ in job.rank_of(1).ctx.tracer.spans}
+        assert spans0 == spans1            # one shared copy
+
+
+class TestCommPlumbing:
+    def test_send_on_subcomm_requires_membership(self):
+        from repro.errors import MpiError
+
+        p = Program("member")
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            me = ctx.mpi.rank()
+            sub = ctx.mpi.comm_split(color=0 if me < 2 else None, key=me)
+            if me == 0:
+                # Hand the subcomm to an outsider over world.
+                ctx.mpi.send(sub, dest=3)
+                return "member"
+            if me == 3:
+                stolen = ctx.mpi.recv(source=0)
+                try:
+                    ctx.mpi.send("x", dest=0, comm=stolen)
+                    return "allowed"
+                except MpiError:
+                    return "rejected"
+            return "member" if sub is not None else "outside"
+
+        result = run_job(p.build(), 4)
+        assert result.exit_values[3] == "rejected"
+        assert result.exit_values[0] == "member"
+
+    def test_forwarding_counter_in_result(self):
+        result = run_job(make_hello(), 2)
+        assert result.forwarded_messages == 0

@@ -1,0 +1,113 @@
+"""Tests for the discrete-event run queue."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.threads.runqueue import RunQueue
+from repro.threads.ult import UserLevelThread
+
+
+class FakePe:
+    def __init__(self, busy=0):
+        self.busy_until = busy
+
+
+def make(n=3):
+    pes = {}
+    ults = []
+    for i in range(n):
+        u = UserLevelThread(f"u{i}", lambda: 0)
+        pes[u.tid] = FakePe()
+        ults.append(u)
+    q = RunQueue(lambda ult: pes[ult.tid].busy_until)
+    return q, ults, pes
+
+
+class TestOrdering:
+    def test_pop_min_ready_time(self):
+        q, (a, b, c), _ = make()
+        q.push(a, 30)
+        q.push(b, 10)
+        q.push(c, 20)
+        assert q.pop()[0] is b
+        assert q.pop()[0] is c
+        assert q.pop()[0] is a
+
+    def test_empty_pop_returns_none(self):
+        q, _, _ = make()
+        assert q.pop() is None
+
+    def test_push_idempotent_earliest_wins(self):
+        q, (a, _, _), _ = make()
+        q.push(a, 50)
+        q.push(a, 20)   # earlier wake supersedes
+        q.push(a, 80)   # later wake ignored
+        ult, ready = q.pop()
+        assert ready == 20
+        assert q.pop() is None
+
+    def test_pe_busy_raises_effective_start(self):
+        q, (a, b, _), pes = make()
+        pes[a.tid].busy_until = 100
+        q.push(a, 10)   # effective 100
+        q.push(b, 50)   # effective 50
+        assert q.pop()[0] is b
+
+    def test_pe_busier_after_push_requeues(self):
+        q, (a, b, _), pes = make()
+        q.push(a, 10)
+        q.push(b, 20)
+        pes[a.tid].busy_until = 500  # a's PE got busy after the push
+        assert q.pop()[0] is b
+        ult, ready = q.pop()
+        assert ult is a and ready == 10
+
+    def test_contains_and_len(self):
+        q, (a, b, _), _ = make()
+        q.push(a, 1)
+        assert a in q and b not in q
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_peek_effective(self):
+        q, (a, _, _), pes = make()
+        assert q.peek_effective() is None
+        pes[a.tid].busy_until = 40
+        q.push(a, 10)
+        assert q.peek_effective() == 40
+
+    def test_drain(self):
+        q, (a, b, _), _ = make()
+        q.push(a, 1)
+        q.push(b, 2)
+        drained = list(q.drain())
+        assert set(drained) == {a, b}
+        assert q.pop() is None
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 1000),
+                              st.integers(0, 1000)),
+                    min_size=1, max_size=30))
+    def test_pop_order_never_decreases_effective_start(self, entries):
+        """With static PE business, pops come out in effective-start
+        order (the causality requirement)."""
+        ults = {}
+        pes = {}
+        q = RunQueue(lambda ult: pes[ult.tid].busy_until)
+        for idx, (slot, ready, busy) in enumerate(entries):
+            u = ults.get(slot)
+            if u is None:
+                u = UserLevelThread(f"p{slot}", lambda: 0)
+                ults[slot] = u
+                pes[u.tid] = FakePe(busy)
+            q.push(u, ready)
+        seq = []
+        while True:
+            item = q.pop()
+            if item is None:
+                break
+            ult, ready = item
+            seq.append(max(ready, pes[ult.tid].busy_until))
+        assert seq == sorted(seq)

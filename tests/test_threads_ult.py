@@ -1,0 +1,154 @@
+"""Tests for baton-passing user-level threads."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.threads.ult import UltKilled, UltState, UserLevelThread
+
+
+class TestLifecycle:
+    def test_runs_to_completion(self):
+        ult = UserLevelThread("t", lambda: 42)
+        ult.start()
+        state = ult.switch_in()
+        assert state is UltState.DONE
+        assert ult.result == 42
+        ult.join_thread()
+
+    def test_exception_captured(self):
+        def boom():
+            raise ValueError("nope")
+
+        ult = UserLevelThread("t", boom)
+        ult.start()
+        assert ult.switch_in() is UltState.ERROR
+        assert isinstance(ult.exception, ValueError)
+
+    def test_args_passed(self):
+        ult = UserLevelThread("t", lambda a, b: a + b, (2, 3))
+        ult.start()
+        ult.switch_in()
+        assert ult.result == 5
+
+    def test_cannot_start_twice(self):
+        ult = UserLevelThread("t", lambda: 0)
+        ult.start()
+        with pytest.raises(ReproError):
+            ult.start()
+        ult.switch_in()
+
+    def test_cannot_switch_to_unstarted(self):
+        ult = UserLevelThread("t", lambda: 0)
+        with pytest.raises(ReproError):
+            ult.switch_in()
+
+    def test_cannot_switch_to_done(self):
+        ult = UserLevelThread("t", lambda: 0)
+        ult.start()
+        ult.switch_in()
+        with pytest.raises(ReproError):
+            ult.switch_in()
+
+
+class TestYielding:
+    def test_yield_suspends_and_resumes(self):
+        log = []
+
+        def body(self_ref=[]):
+            log.append("a")
+            ult.yield_("waiting")
+            log.append("b")
+            return "done"
+
+        ult = UserLevelThread("t", body)
+        ult.start()
+        state = ult.switch_in()
+        assert state is UltState.BLOCKED
+        assert ult.block_reason == "waiting"
+        assert log == ["a"]
+        state = ult.switch_in()
+        assert state is UltState.DONE
+        assert log == ["a", "b"]
+
+    def test_two_ults_interleave_deterministically(self):
+        log = []
+
+        def make(name):
+            def body():
+                for i in range(3):
+                    log.append(f"{name}{i}")
+                    (a if name == "a" else b).yield_()
+            return body
+
+        a = UserLevelThread("a", make("a"))
+        b = UserLevelThread("b", make("b"))
+        a.start()
+        b.start()
+        for _ in range(4):
+            if not a.finished:
+                a.switch_in()
+            if not b.finished:
+                b.switch_in()
+        assert log == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_clock_owned_per_ult(self):
+        def body():
+            ult.clock.advance(100)
+
+        ult = UserLevelThread("t", body)
+        ult.start()
+        ult.switch_in()
+        assert ult.clock.now == 100
+
+
+class TestKill:
+    def test_kill_unwinds_blocked_ult(self):
+        cleanup = []
+
+        def body():
+            try:
+                ult.yield_("block forever")
+            finally:
+                cleanup.append("unwound")
+
+        ult = UserLevelThread("t", body)
+        ult.start()
+        ult.switch_in()
+        ult.kill()
+        assert cleanup == ["unwound"]
+        assert ult.state is UltState.ERROR
+        assert isinstance(ult.exception, UltKilled)
+
+    def test_kill_not_swallowed_by_except_exception(self):
+        """UltKilled derives from BaseException so user code's broad
+        `except Exception` cannot eat it."""
+        swallowed = []
+
+        def body():
+            try:
+                ult.yield_("x")
+            except Exception:          # noqa: BLE001 - the point of the test
+                swallowed.append(True)
+
+        ult = UserLevelThread("t", body)
+        ult.start()
+        ult.switch_in()
+        ult.kill()
+        assert not swallowed
+
+    def test_kill_finished_is_noop(self):
+        ult = UserLevelThread("t", lambda: 1)
+        ult.start()
+        ult.switch_in()
+        ult.kill()
+        assert ult.result == 1
+
+    def test_kill_unstarted_is_noop(self):
+        UserLevelThread("t", lambda: 1).kill()
+
+
+class TestIds:
+    def test_tids_unique(self):
+        a = UserLevelThread("a", lambda: 0)
+        b = UserLevelThread("b", lambda: 0)
+        assert a.tid != b.tid
