@@ -17,6 +17,7 @@ from repro.ampi.comm import ANY_SOURCE, ANY_TAG, Communicator
 from repro.ampi.ops import Op, SUM
 from repro.ampi.requests import Request, Status
 from repro.errors import MpiError
+from repro.perf.counters import EV_SHIM_DISPATCH
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.charm.vrank import VirtualRank
@@ -26,9 +27,13 @@ class MpiHandle:
     """Per-rank MPI entry object."""
 
     def __init__(self, rank: "VirtualRank",
-                 calltable: dict[str, Callable]):
+                 calltable: dict[str, Callable],
+                 via_shim: bool = False):
         self._rank = rank
         self._calltable = calltable
+        #: True when the calltable was unpacked from the rank's privatized
+        #: function-pointer shim slots (PIP/FS/PIEglobals builds)
+        self.via_shim = via_shim
 
     def _call(self, name: str, *args: Any, **kw: Any) -> Any:
         try:
@@ -38,6 +43,8 @@ class MpiHandle:
                 f"MPI entry point {name!r} missing from the calltable "
                 "(shim not unpacked?)"
             ) from None
+        if self.via_shim:
+            self._rank.counters.incr(EV_SHIM_DISPATCH)
         return fn(self._rank, *args, **kw)
 
     # -- setup / teardown ------------------------------------------------------

@@ -96,7 +96,8 @@ class CollectiveEngine:
             raise MpiError(
                 f"rank {my} entered {kind} #{seq} on {comm.name} twice"
             )
-        state.arrivals[my] = (rank.clock.now, contribution)
+        t_arrive = rank.clock.now
+        state.arrivals[my] = (t_arrive, contribution)
 
         if len(state.arrivals) < comm.size:
             state.blocked.add(my)
@@ -104,6 +105,7 @@ class CollectiveEngine:
             # woken: releases has our slot now
             release, result = state.releases[my]
             rank.clock.advance_to(release)
+            self._trace_phase(rank, comm, kind, seq, t_arrive, release)
             return result
 
         # Last arriver completes the operation and wakes everyone.
@@ -117,7 +119,20 @@ class CollectiveEngine:
             self.job.scheduler.wake(self.job.rank_of(vp), release)
         release, result = state.releases[my]
         rank.clock.advance_to(release)
+        self._trace_phase(rank, comm, kind, seq, t_arrive, release)
         return result
+
+    def _trace_phase(self, rank: "VirtualRank", comm: Communicator,
+                     kind: str, seq: int, t_arrive: int,
+                     release: int) -> None:
+        """One rank's arrival-to-release interval inside a collective."""
+        tr = self.job.trace
+        if tr is None:
+            return
+        tr.span(f"coll:{kind}", "coll", t_arrive,
+                max(0, release - t_arrive),
+                pid=self.job.trace_pid_of(rank.pe), tid=rank.vp,
+                args={"comm": comm.name, "seq": seq})
 
     # -- completion rules -----------------------------------------------------------
 

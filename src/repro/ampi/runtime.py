@@ -46,6 +46,7 @@ from repro.program.compiler import Compiler, CompileOptions
 from repro.program.context import ExecutionContext, FetchTracer, GlobalsView
 from repro.program.source import ProgramSource
 from repro.threads.ult import UserLevelThread
+from repro.trace.recorder import TraceRecorder
 
 _job_ids = itertools.count(0)
 
@@ -86,6 +87,8 @@ class JobResult:
     forwarded_messages: int
     collectives_completed: int
     rank_cpu_ns: dict[int, int]
+    #: the job's trace recorder, when tracing was enabled
+    trace: "TraceRecorder | None" = None
 
     @property
     def app_ns(self) -> int:
@@ -93,12 +96,68 @@ class JobResult:
         return max(0, self.makespan_ns - self.startup_ns)
 
     def summary(self) -> str:
+        top = sorted(self.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        highlights = " ".join(f"{k}={v}" for k, v in top[:3])
         return (
             f"[{self.method}] nvp={self.nvp} "
             f"pes={self.layout.total_pes} "
-            f"startup={self.startup_ns} ns makespan={self.makespan_ns} ns "
+            f"startup={self.startup_ns} ns app={self.app_ns} ns "
+            f"makespan={self.makespan_ns} ns "
             f"migrations={sum(1 for m in self.migrations if m.src_pe != m.dst_pe)}"
+            + (f" | {highlights}" if highlights else "")
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable report (gem5-style standardized results).
+
+        Everything is plain JSON-able data; rank exit values that are not
+        JSON-native are stringified.
+        """
+        def _jsonable(v: Any) -> Any:
+            if isinstance(v, (int, float, str, bool)) or v is None:
+                return v
+            return repr(v)
+
+        return {
+            "method": self.method,
+            "nvp": self.nvp,
+            "machine": self.machine,
+            "layout": {
+                "nodes": self.layout.nodes,
+                "processes_per_node": self.layout.processes_per_node,
+                "pes_per_process": self.layout.pes_per_process,
+            },
+            "makespan_ns": self.makespan_ns,
+            "startup_ns": self.startup_ns,
+            "app_ns": self.app_ns,
+            "startup_per_process_ns": list(self.startup_per_process),
+            "counters": dict(sorted(self.counters.snapshot().items())),
+            "pe_stats": [
+                {"pe": p.index, "busy_ns": p.busy_ns, "idle_ns": p.idle_ns,
+                 "ctx_switches": p.ctx_switches,
+                 "final_ranks": list(p.final_ranks)}
+                for p in self.pe_stats
+            ],
+            "migrations": [
+                {"vp": m.vp, "src_pe": m.src_pe, "dst_pe": m.dst_pe,
+                 "nbytes": m.nbytes, "ns": m.ns,
+                 "cross_process": m.cross_process}
+                for m in self.migrations
+            ],
+            "lb_reports": [
+                {"at_ns": r.at_ns, "strategy": r.strategy, "moves": r.moves,
+                 "bytes_moved": r.bytes_moved,
+                 "imbalance_before": r.imbalance_before,
+                 "imbalance_after": r.imbalance_after}
+                for r in self.lb_reports
+            ],
+            "forwarded_messages": self.forwarded_messages,
+            "collectives_completed": self.collectives_completed,
+            "rank_cpu_ns": {str(vp): ns
+                            for vp, ns in sorted(self.rank_cpu_ns.items())},
+            "exit_values": {str(vp): _jsonable(v)
+                            for vp, v in sorted(self.exit_values.items())},
+        }
 
 
 @dataclass
@@ -123,6 +182,7 @@ class AmpiJob:
         slot_size: int = DEFAULT_SLOT_SIZE,
         placement: str = "block",
         trace_fetches: bool = False,
+        trace: "TraceRecorder | bool | None" = None,
         argv: tuple[str, ...] = (),
         restore_from: "Any | None" = None,
     ):
@@ -144,6 +204,14 @@ class AmpiJob:
             raise ReproError(f"unknown placement {placement!r}")
         self.placement = placement
         self.trace_fetches = trace_fetches
+        #: Projections-style tracing: off unless a recorder is attached.
+        if trace is True:
+            trace = TraceRecorder()
+        elif trace is False:
+            trace = None
+        self.trace: TraceRecorder | None = trace
+        self._pe_pid_base = 0
+        self._proc_pid_base = 0
         self.argv = tuple(argv)
         self.restore_from = restore_from
 
@@ -210,10 +278,23 @@ class AmpiJob:
         self.nodes, self.processes, self.pes = build_topology(
             self.layout, self.machine, arena
         )
+        tr = self.trace
+        if tr is not None:
+            # One pid per PE, then one per OS process (startup track).
+            base = tr.alloc_pid_block(len(self.pes) + len(self.processes))
+            self._pe_pid_base = base
+            self._proc_pid_base = base + len(self.pes)
+            for pe in self.pes:
+                tr.name_process(base + pe.index,
+                                f"{self.method.name}/pe{pe.index}")
+            for proc in self.processes:
+                tr.name_process(self._proc_pid_base + proc.index,
+                                f"{self.method.name}/proc{proc.index} startup")
         for proc in self.processes:
             proc.loader = DynamicLoader(
                 proc.vm, self.machine.toolchain, self.costs,
                 counters=proc.counters,
+                trace=tr, trace_pid=self._proc_pid_base + proc.index,
             )
             proc.startup_clock.advance(self.costs.ampi_init_base_ns)
 
@@ -255,8 +336,18 @@ class AmpiJob:
                 job_tag=f"job{self.job_id}",
                 optimized=self.optimize >= 1,
                 funcptr_transport=transport,
+                trace=tr,
+                trace_pid=self._proc_pid_base + proc.index,
             )
+            t_setup = proc.startup_clock.now
             wirings = self.method.setup_process(env, self.binary, ranks_here)
+            if tr is not None:
+                tr.span(
+                    f"setup:{self.method.name}", "priv", t_setup,
+                    proc.startup_clock.now - t_setup,
+                    pid=self._proc_pid_base + proc.index,
+                    args={"ranks": len(ranks_here)},
+                )
             for rank in ranks_here:
                 wiring = wirings[rank.vp]
                 view = GlobalsView(
@@ -278,18 +369,30 @@ class AmpiJob:
                     tracer=tracer,
                     argv=self.argv,
                 )
-                ctx.mpi = MpiHandle(rank, calltable)
+                ctx.mpi = MpiHandle(
+                    rank, calltable,
+                    via_shim=wiring.shim_calltable is not None,
+                )
                 rank.ctx = ctx
 
         if self.restore_from is not None:
             self.restore_from.apply_to(self)
 
         self.migration_engine = MigrationEngine(
-            self.network, self.locmgr, self.method, self.counters
+            self.network, self.locmgr, self.method, self.counters,
+            trace=tr, trace_pid_base=self._pe_pid_base,
         )
         self.scheduler = JobScheduler(
-            self.costs, self.method.context_switch_extra_ns(self.costs)
+            self.costs, self.method.context_switch_extra_ns(self.costs),
+            trace=tr, trace_pid_base=self._pe_pid_base,
+            trace_label=self.method.name,
         )
+        if tr is not None:
+            for proc in self.processes:
+                tr.span("ampi-init", "startup", 0, proc.startup_clock.now,
+                        pid=self._proc_pid_base + proc.index,
+                        args={"method": self.method.name,
+                              "ranks": len(proc.resident_ranks())})
         for vp in range(self.nvp):
             rank = self._ranks[vp]
             self.scheduler.register(
@@ -351,12 +454,17 @@ class AmpiJob:
             forwarded_messages=self.locmgr.forwarded_messages,
             collectives_completed=self.collectives.completed,
             rank_cpu_ns={vp: r.total_cpu_ns for vp, r in self._ranks.items()},
+            trace=self.trace,
         )
 
     # -- lookups ------------------------------------------------------------------------------
 
     def rank_of(self, vp: int) -> VirtualRank:
         return self._ranks[vp]
+
+    def trace_pid_of(self, pe) -> int:
+        """Trace pid of a PE's timeline track (valid when tracing is on)."""
+        return self._pe_pid_base + pe.index
 
     def ranks(self) -> list[VirtualRank]:
         return [self._ranks[vp] for vp in range(self.nvp)]
@@ -437,6 +545,13 @@ class AmpiJob:
             rank.clock.advance(self.costs.rendezvous_handshake_ns)
         self.counters.incr(EV_MSG_SENT)
         self.counters.incr(EV_MSG_BYTES, nbytes)
+        if self.trace is not None:
+            self.trace.instant(
+                "send", "msg", now, pid=self.trace_pid_of(rank.pe),
+                tid=rank.vp,
+                args={"dst_vp": dst_vp, "tag": tag, "nbytes": nbytes,
+                      "arrival": now + ns},
+            )
         self._deliver(dst_vp, msg)
 
     def _deliver(self, dst_vp: int, msg: Message) -> None:
@@ -449,6 +564,13 @@ class AmpiJob:
                     when=msg.arrival, payload=msg.payload,
                     source=msg.src, tag=msg.tag, nbytes=msg.nbytes,
                 )
+                if self.trace is not None:
+                    self.trace.instant(
+                        "recv-match", "msg", msg.arrival,
+                        pid=self.trace_pid_of(dst_rank.pe), tid=dst_vp,
+                        args={"src": msg.src, "tag": msg.tag,
+                              "nbytes": msg.nbytes},
+                    )
                 if self._waiting.get(dst_vp) is req:
                     self.scheduler.wake(dst_rank, msg.arrival)
                 elif req.rid in self._waiting_any.get(dst_vp, ()):
@@ -504,11 +626,18 @@ class AmpiJob:
                 f"vp {rank.vp} cannot wait on vp {request.vp}'s request"
             )
         if not request.completed:
+            t_block = rank.clock.now
             self._waiting[rank.vp] = request
             self.scheduler.block_current("MPI_Wait")
             self._waiting.pop(rank.vp, None)
             if not request.completed:
                 raise MpiError("woken before request completion")
+            if self.trace is not None:
+                self.trace.span(
+                    "MPI_Wait", "msg", t_block,
+                    max(0, request.completion_time - t_block),
+                    pid=self.trace_pid_of(rank.pe), tid=rank.vp,
+                )
         rank.clock.advance_to(request.completion_time)
         rank.clock.advance(self.costs.msg_overhead_ns)
         if status is not None:

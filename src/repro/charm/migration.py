@@ -25,6 +25,7 @@ from repro.perf.counters import (
     EV_MIGRATION_BYTES,
 )
 from repro.privatization.base import PrivatizationMethod
+from repro.trace.recorder import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.charm.locmgr import LocationManager
@@ -49,11 +50,15 @@ class MigrationEngine:
         locmgr: "LocationManager",
         method: PrivatizationMethod,
         counters: CounterSet | None = None,
+        trace: TraceRecorder | None = None,
+        trace_pid_base: int = 0,
     ):
         self.network = network
         self.locmgr = locmgr
         self.method = method
-        self.counters = counters or CounterSet()
+        self.counters = counters if counters is not None else CounterSet()
+        self.trace = trace
+        self.trace_pid_base = trace_pid_base
         self.records: list[MigrationRecord] = []
 
     def migrate(self, rank: "VirtualRank", dest_pe: "Pe") -> MigrationRecord:
@@ -102,6 +107,13 @@ class MigrationEngine:
         self.counters.incr(EV_MIGRATION_BYTES, nbytes)
         rec = MigrationRecord(rank.vp, src_pe.index, dest_pe.index, nbytes,
                               ns, cross_process=cross)
+        if self.trace is not None:
+            self.trace.span(
+                f"migrate vp{rank.vp}", "mig", rank.clock.now, ns,
+                pid=self.trace_pid_base + src_pe.index, tid=rank.vp,
+                args={"nbytes": nbytes, "src_pe": src_pe.index,
+                      "dst_pe": dest_pe.index, "cross_process": cross},
+            )
         self.records.append(rec)
         return rec
 

@@ -20,6 +20,7 @@ from repro.perf.costs import CostModel
 from repro.perf.counters import CounterSet, EV_CTX_SWITCH
 from repro.threads.runqueue import RunQueue
 from repro.threads.ult import UltState, UserLevelThread
+from repro.trace.recorder import PE_TID, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.charm.vrank import VirtualRank
@@ -29,9 +30,14 @@ class JobScheduler:
     """Runs all virtual ranks of a job to completion."""
 
     def __init__(self, costs: CostModel, ctx_switch_extra_ns: int = 0,
-                 record_timeline: bool = True):
+                 record_timeline: bool = True,
+                 trace: TraceRecorder | None = None,
+                 trace_pid_base: int = 0, trace_label: str = ""):
         self.costs = costs
         self.ctx_switch_extra_ns = ctx_switch_extra_ns
+        self.trace = trace
+        self.trace_pid_base = trace_pid_base
+        self.trace_label = trace_label
         self.counters = CounterSet()
         self.current: "VirtualRank | None" = None
         self._ranks_by_tid: dict[int, "VirtualRank"] = {}
@@ -65,6 +71,10 @@ class JobScheduler:
         rank = self.current
         if rank is None or rank.ult is None:
             raise ReproError("block_current outside a running rank")
+        tr = self.trace
+        if tr is not None:
+            tr.instant(f"block:{reason}", "sched", rank.clock.now,
+                       pid=self.trace_pid_base + rank.pe.index, tid=rank.vp)
         rank.ult.yield_(reason)
 
     def wake(self, rank: "VirtualRank", at_time: int) -> None:
@@ -86,6 +96,7 @@ class JobScheduler:
 
     def run(self) -> None:
         ctx_switch_ns = self.costs.context_switch_ns + self.ctx_switch_extra_ns
+        tr = self.trace
         try:
             while True:
                 item = self.runq.pop()
@@ -98,11 +109,23 @@ class JobScheduler:
                 pe = rank.pe
 
                 if ready_time > pe.busy_until:
+                    if tr is not None:
+                        tr.span("idle", "sched-idle", pe.busy_until,
+                                ready_time - pe.busy_until,
+                                pid=self.trace_pid_base + pe.index,
+                                tid=PE_TID)
                     pe.idle_ns += ready_time - pe.busy_until
-                start = max(ready_time, pe.busy_until) + ctx_switch_ns
+                switch_at = max(ready_time, pe.busy_until)
+                start = switch_at + ctx_switch_ns
                 pe.ctx_switches += 1
                 self.counters.incr(EV_CTX_SWITCH)
                 ult.clock.advance_to(start)
+                if tr is not None:
+                    tr.span("ctx-switch", "sched-overhead", switch_at,
+                            ctx_switch_ns,
+                            pid=self.trace_pid_base + pe.index, tid=rank.vp,
+                            args={"method": self.trace_label,
+                                  "surcharge_ns": self.ctx_switch_extra_ns})
 
                 if self.record_timeline:
                     self.timeline.append((pe.index, rank.vp, start))
@@ -115,6 +138,9 @@ class JobScheduler:
                 pe.busy_ns += ran_ns
                 pe.busy_until = ult.clock.now
                 pe.last_rank = rank
+                if tr is not None and ran_ns > 0:
+                    tr.span(f"vp{rank.vp}", "exec", start, ran_ns,
+                            pid=self.trace_pid_base + pe.index, tid=rank.vp)
 
                 if state is UltState.ERROR:
                     exc = ult.exception

@@ -6,12 +6,16 @@ Commands
     The privatization methods and their declared capabilities.
 ``list-machines``
     Machine presets and their toolchains.
-``probe <method>``
+``probe <method> [--json]``
     Run the executed capability probes for one method.
 ``tables``
     Regenerate the paper's Tables 1 and 3 from probes.
-``run <experiment>``
+``run <experiment> [--json]``
     Run one experiment driver: fig5, fig6, fig7, fig8, icache, adcirc.
+``trace <experiment> [--out F]``
+    Run an experiment with Projections-style tracing on; writes a Chrome
+    trace-event JSON (open in Perfetto / about:tracing) and a plain-text
+    per-PE timeline.
 ``hello [--method M] [--vp N]``
     The Figure 2/3 hello world under a chosen method.
 """
@@ -19,6 +23,8 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from repro.harness.tables import format_table
@@ -62,6 +68,9 @@ def cmd_probe(args) -> int:
     from repro.harness.capabilities import probe_method
 
     row = probe_method(args.method)
+    if getattr(args, "json", False):
+        print(json.dumps(dataclasses.asdict(row), sort_keys=True, indent=2))
+        return 0
     print(f"method      : {row.display_name}")
     print(f"automation  : {row.automation}")
     print(f"portability : {row.portability}")
@@ -88,56 +97,115 @@ def cmd_tables(_args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+#: experiments the ``trace`` subcommand can run with a recorder attached
+TRACEABLE_EXPERIMENTS = ("fig5", "fig6", "fig7", "fig8")
+
+
+def _run_experiment(name: str, args, trace=None):
+    """Run one experiment driver; returns (rows, formatted table)."""
     from repro.harness import experiments as ex
 
-    name = args.experiment
     if name == "fig5":
-        rows = ex.startup_experiment()
-        print(format_table(
+        rows = ex.startup_experiment(trace=trace)
+        table = format_table(
             ["method", "startup (ms)", "overhead %"],
             [[r.method, r.startup_ns / 1e6, r.overhead_pct] for r in rows],
-            title="Figure 5: startup overhead (8x virtualization)"))
+            title="Figure 5: startup overhead (8x virtualization)")
     elif name == "fig6":
-        rows = ex.context_switch_experiment(yields_per_rank=args.quick_n
-                                            or 20_000)
-        print(format_table(
+        rows = ex.context_switch_experiment(
+            yields_per_rank=getattr(args, "quick_n", None) or 20_000,
+            trace=trace)
+        table = format_table(
             ["method", "ns/switch", "delta vs baseline"],
             [[r.method, r.ns_per_switch, r.delta_vs_baseline_ns]
              for r in rows],
-            title="Figure 6: ULT context-switch time"))
+            title="Figure 6: ULT context-switch time")
     elif name == "fig7":
-        rows = ex.jacobi_access_experiment()
-        print(format_table(
+        rows = ex.jacobi_access_experiment(trace=trace)
+        table = format_table(
             ["method", "exec (ms)", "relative"],
             [[r.method, r.exec_ns / 1e6, r.rel_to_baseline] for r in rows],
-            title="Figure 7: privatized-access overhead (-O2)"))
+            title="Figure 7: privatized-access overhead (-O2)")
     elif name == "fig8":
-        rows = ex.migration_experiment()
-        print(format_table(
+        rows = ex.migration_experiment(trace=trace)
+        table = format_table(
             ["method", "heap MB", "migrate (ms)", "moved MB"],
             [[r.method, r.heap_mb, r.migrate_ns / 1e6,
               r.bytes_moved / 2**20] for r in rows],
-            title="Figure 8: migration time vs heap"))
+            title="Figure 8: migration time vs heap")
     elif name == "icache":
         rows = ex.icache_experiment()
-        print(format_table(
+        table = format_table(
             ["machine", "method", "fetches", "misses", "miss rate"],
             [[r.machine, r.method, r.accesses, r.misses,
               f"{100 * r.miss_rate:.1f}%"] for r in rows],
-            title="Section 4.5: L1 icache misses"))
+            title="Section 4.5: L1 icache misses")
     elif name == "adcirc":
-        cores = tuple(int(c) for c in (args.cores or "1,2,4,8").split(","))
-        _, summaries = ex.adcirc_scaling_experiment(cores_list=cores)
-        print(format_table(
+        cores = tuple(int(c) for c in
+                      (getattr(args, "cores", None) or "1,2,4,8").split(","))
+        _, rows = ex.adcirc_scaling_experiment(cores_list=cores)
+        table = format_table(
             ["cores", "best ratio", "baseline (ms)", "best (ms)",
              "speedup %"],
             [[s.cores, s.best_ratio, s.baseline_ns / 1e6, s.best_ns / 1e6,
-              s.speedup_pct] for s in summaries],
-            title="Table 2: ADCIRC speedup over baseline"))
+              s.speedup_pct] for s in rows],
+            title="Table 2: ADCIRC speedup over baseline")
     else:
-        print(f"unknown experiment {name!r}", file=sys.stderr)
+        raise ValueError(f"unknown experiment {name!r}")
+    return rows, table
+
+
+def cmd_run(args) -> int:
+    try:
+        rows, table = _run_experiment(args.experiment, args)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
         return 2
+    if getattr(args, "json", False):
+        print(json.dumps(
+            {"experiment": args.experiment,
+             "rows": [dataclasses.asdict(r) for r in rows]},
+            sort_keys=True, indent=2))
+    else:
+        print(table)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.trace import (
+        TraceRecorder,
+        render_timeline,
+        write_chrome_trace,
+    )
+
+    try:
+        recorder = TraceRecorder(capacity=args.capacity)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    try:
+        _, table = _run_experiment(args.experiment, args, trace=recorder)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    print(table)
+
+    out = args.out or f"{args.experiment}-trace.json"
+    timeline = render_timeline(recorder)
+    timeline_out = args.timeline_out or f"{out}.timeline.txt"
+    try:
+        nbytes = write_chrome_trace(recorder, out)
+        with open(timeline_out, "w") as f:
+            f.write(timeline + "\n")
+    except OSError as e:
+        print(f"cannot write trace: {e}", file=sys.stderr)
+        return 2
+    print()
+    print(timeline)
+    print()
+    print(f"wrote {out} ({nbytes} bytes, {len(recorder)} events, "
+          f"{recorder.dropped} dropped) — open in https://ui.perfetto.dev")
+    print(f"wrote {timeline_out}")
     return 0
 
 
@@ -178,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     probe = sub.add_parser("probe")
     probe.add_argument("method")
+    probe.add_argument("--json", action="store_true",
+                       help="emit the capability row as JSON")
     probe.set_defaults(fn=cmd_probe)
 
     sub.add_parser("tables").set_defaults(fn=cmd_tables)
@@ -189,7 +259,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cores", help="adcirc: comma-separated core counts")
     run.add_argument("--quick-n", type=int, default=None,
                      help="fig6: yields per rank")
+    run.add_argument("--json", action="store_true",
+                     help="emit result rows as JSON instead of a table")
     run.set_defaults(fn=cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with tracing on; write a Chrome "
+             "trace-event JSON and a per-PE text timeline")
+    trace.add_argument("experiment", choices=list(TRACEABLE_EXPERIMENTS))
+    trace.add_argument("--out", default=None,
+                       help="Chrome trace-event JSON path "
+                            "(default: <experiment>-trace.json)")
+    trace.add_argument("--timeline-out", default=None,
+                       help="text timeline path (default: <out>.timeline.txt)")
+    trace.add_argument("--quick-n", type=int, default=2000,
+                       help="fig6: yields per rank (small default keeps the "
+                            "trace within the ring buffer)")
+    trace.add_argument("--capacity", type=int, default=1 << 20,
+                       help="trace ring-buffer capacity in events")
+    trace.set_defaults(fn=cmd_trace)
 
     hello = sub.add_parser("hello")
     hello.add_argument("--method", default="none")

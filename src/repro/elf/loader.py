@@ -43,6 +43,7 @@ from repro.mem.segments import CodeInstance, SegmentInstance
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
 from repro.perf.counters import CounterSet, EV_DLMOPEN, EV_DLOPEN
+from repro.trace.recorder import TraceRecorder
 
 LM_ID_BASE = 0
 LM_ID_NEWLM = -1
@@ -134,12 +135,16 @@ class DynamicLoader:
         costs: CostModel,
         clock: SimClock | None = None,
         counters: CounterSet | None = None,
+        trace: TraceRecorder | None = None,
+        trace_pid: int = 0,
     ):
         self.vm = vm
         self.toolchain = toolchain
         self.costs = costs
         self.clock = clock or SimClock()
-        self.counters = counters or CounterSet()
+        self.counters = counters if counters is not None else CounterSet()
+        self.trace = trace
+        self.trace_pid = trace_pid
         self._handles = itertools.count(1)
         #: lmid -> {image name -> LinkMap}
         self._namespaces: dict[int, dict[str, LinkMap]] = {}
@@ -236,10 +241,17 @@ class DynamicLoader:
 
     def _run_static_ctors(self, lm: LinkMap) -> None:
         ctx = LoaderCtx(self, lm)
+        t0 = self.clock.now
         for name in lm.image.static_ctors:
             fn = lm.code.fn(name)
             fn(ctx)
             self.clock.advance(self.costs.malloc_ns)
+        if self.trace is not None and lm.image.static_ctors:
+            self.trace.span(
+                f"ctors:{lm.image.name}", "loader", t0, self.clock.now - t0,
+                pid=self.trace_pid,
+                args={"ctors": len(lm.image.static_ctors), "lmid": lm.lmid},
+            )
 
     def _ctor_malloc(self, nbytes: int, data: Any, tag: str) -> Allocation:
         addr = self._ctor_bump
@@ -257,9 +269,17 @@ class DynamicLoader:
             existing.refcount += 1
             self.clock.advance(self.costs.dlsym_ns)  # cache-hit path is cheap
             return existing
+        t0 = self.clock.now
         self.clock.advance(self.costs.dlopen_base_ns)
         self.counters.incr(EV_DLOPEN)
         lm = self._materialize(image, LM_ID_BASE)
+        if self.trace is not None:
+            self.trace.span(
+                f"dlopen:{image.name}", "loader", t0, self.clock.now - t0,
+                pid=self.trace_pid,
+                args={"lmid": LM_ID_BASE, "load_size": image.load_size,
+                      "relocs": image.runtime_reloc_count},
+            )
         ns[image.name] = lm
         self._load_order.append(lm)
         return lm
@@ -287,9 +307,17 @@ class DynamicLoader:
             lm = ns[image.name]
             lm.refcount += 1
             return lm
+        t0 = self.clock.now
         self.clock.advance(self.costs.dlmopen_base_ns)
         self.counters.incr(EV_DLMOPEN)
         lm = self._materialize(image, lmid)
+        if self.trace is not None:
+            self.trace.span(
+                f"dlmopen:{image.name}", "loader", t0, self.clock.now - t0,
+                pid=self.trace_pid,
+                args={"lmid": lmid, "load_size": image.load_size,
+                      "relocs": image.runtime_reloc_count},
+            )
         ns[image.name] = lm
         self._load_order.append(lm)
         return lm

@@ -25,6 +25,7 @@ from repro.machine import BRIDGES2, STAMPEDE2_ICX, MachineModel
 from repro.perf.counters import EV_CTX_SWITCH
 from repro.perf.icache import SetAssociativeCache
 from repro.program.source import Program, ProgramSource
+from repro.trace.recorder import TraceRecorder
 
 #: methods compared in Figures 5-7 (Swapglobals "we were unable to get
 #: working on this system", exactly as on Bridges-2)
@@ -65,6 +66,7 @@ def startup_experiment(
     nodes: int = 1,
     machine: MachineModel = BRIDGES2,
     code_bytes: int = 256 * 1024,
+    trace: TraceRecorder | None = None,
 ) -> list[StartupRow]:
     """Figure 5: AMPI init time with 8x virtualization, per method."""
     source = _startup_program(code_bytes)
@@ -74,7 +76,7 @@ def startup_experiment(
     baseline = None
     for method in methods:
         job = AmpiJob(source, nvp, method=method, machine=machine,
-                      layout=layout, slot_size=1 << 26)
+                      layout=layout, slot_size=1 << 26, trace=trace)
         result = job.run()
         if method == "none":
             baseline = result.startup_ns
@@ -115,6 +117,7 @@ def context_switch_experiment(
     *,
     yields_per_rank: int = 100_000,
     machine: MachineModel = BRIDGES2,
+    trace: TraceRecorder | None = None,
 ) -> list[SwitchRow]:
     """Figure 6: two ULTs on one PE yielding back and forth.
 
@@ -126,7 +129,8 @@ def context_switch_experiment(
     baseline = None
     for method in methods:
         job = AmpiJob(source, nvp=2, method=method, machine=machine,
-                      layout=JobLayout.single(1), slot_size=1 << 26)
+                      layout=JobLayout.single(1), slot_size=1 << 26,
+                      trace=trace)
         result = job.run()
         switches = result.counters[EV_CTX_SWITCH]
         ns = result.app_ns / max(1, switches)
@@ -158,6 +162,7 @@ def jacobi_access_experiment(
     nvp: int = 8,
     machine: MachineModel = BRIDGES2,
     optimize: int = 2,
+    trace: TraceRecorder | None = None,
 ) -> list[AccessRow]:
     """Figure 7 at -O2 (no hidden per-access cost); run with
     ``optimize=0`` for the ablation where TLS indirection shows up.
@@ -175,7 +180,7 @@ def jacobi_access_experiment(
         )
         job = AmpiJob(source, nvp, method=method, machine=machine,
                       layout=JobLayout.single(min(nvp, 8)),
-                      optimize=optimize, slot_size=1 << 27)
+                      optimize=optimize, slot_size=1 << 27, trace=trace)
         result = job.run()
         if method == "none":
             baseline = result.app_ns
@@ -204,6 +209,7 @@ def migration_experiment(
     heap_mbs: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 100),
     code_bytes: int = 14 * 1024 * 1024,
     machine: MachineModel = BRIDGES2,
+    trace: TraceRecorder | None = None,
 ) -> list[MigrationRow]:
     """Figure 8: migrate one rank across nodes as its heap grows.
 
@@ -219,7 +225,7 @@ def migration_experiment(
                 source, nvp=2, method=method, machine=machine,
                 layout=JobLayout(nodes=2, processes_per_node=1,
                                  pes_per_process=1),
-                slot_size=1 << 28,
+                slot_size=1 << 28, trace=trace,
             )
             result = job.run()
             cross = [m for m in result.migrations if m.cross_process]

@@ -24,6 +24,7 @@ EV_GLOBAL_WRITE = "GLOBAL_WRITE"
 EV_DLOPEN = "DLOPEN"
 EV_DLMOPEN = "DLMOPEN"
 EV_FS_BYTES = "FS_BYTES_COPIED"
+EV_SHIM_DISPATCH = "SHIM_DISPATCH"  #: MPI calls routed via the funcptr shim
 
 
 class CounterSet:
@@ -66,6 +67,19 @@ class CounterSet:
 
     def reset(self) -> None:
         self._counts.clear()
+
+    def total(self) -> int:
+        """Sum of all event counts."""
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        """Number of distinct events recorded."""
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CounterSet):
+            return self._counts == other._counts
+        return NotImplemented
 
     def snapshot(self) -> dict[str, int]:
         """An immutable-ish copy for reporting."""

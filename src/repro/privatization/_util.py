@@ -49,8 +49,15 @@ def clone_instance_private(
     inst = src.clone_at(mapping.start)
     mapping.payload = inst
     clk = env.process.startup_clock
+    t0 = clk.now
     clk.advance(env.costs.isomalloc_alloc_ns)
     clk.advance(env.costs.memcpy_ns(src.image.size))
+    if env.trace is not None:
+        env.trace.span(
+            f"clone:{kind.value}", "priv", t0, clk.now - t0,
+            pid=env.trace_pid, tid=rank.vp,
+            args={"nbytes": src.image.size, "tag": tag},
+        )
     return inst, mapping
 
 
@@ -95,5 +102,12 @@ def unpack_funcptr_shim(
             found = True
     if not found:
         return None
-    env.process.startup_clock.advance(env.costs.dlsym_ns * 2)
+    clk = env.process.startup_clock
+    t0 = clk.now
+    clk.advance(env.costs.dlsym_ns * 2)
+    if env.trace is not None:
+        env.trace.span(
+            "shim:AMPI_FuncPtr_Unpack", "priv", t0, clk.now - t0,
+            pid=env.trace_pid, args={"entries": len(calltable)},
+        )
     return calltable

@@ -80,6 +80,10 @@ class SetupEnv:
     #: the AMPI API transport handed to funcptr shims (one per process;
     #: identical bound methods everywhere == the runtime is NOT privatized)
     funcptr_transport: dict[str, Callable] | None = None
+    #: optional :class:`repro.trace.TraceRecorder` (None == tracing off)
+    trace: Any = None
+    #: pid of this process's startup track in the trace
+    trace_pid: int = 0
 
 
 class PrivatizationMethod(abc.ABC):

@@ -238,20 +238,46 @@ class PieGlobals(PrivatizationMethod):
         mapping.payload = {
             "code": code_priv, "data": data_priv, "rodata": rodata_priv
         }
+        t_copy = clk.now
         clk.advance(env.costs.isomalloc_alloc_ns)
         clk.advance(env.costs.memcpy_ns(copied))
+        if env.trace is not None:
+            env.trace.span(
+                "pie:image-copy", "priv", t_copy, clk.now - t_copy,
+                pid=env.trace_pid, tid=rank.vp,
+                args={"nbytes": copied, "share_rodata": self.share_rodata,
+                      "mmap_code_sharing": self.mmap_code_sharing},
+            )
 
         region = PieRegion(vp=rank.vp, new_base=new_base, size=copy_span,
                            orig_base=orig_base)
         self._regions.append(region)
 
         # Replicate constructor-made heap allocations, then fix pointers.
+        t_ctor = clk.now
         heap_map = self._replicate_ctor_allocations(env, rank, lm)
+        if env.trace is not None and heap_map:
+            env.trace.span(
+                "pie:ctor-replicate", "priv", t_ctor, clk.now - t_ctor,
+                pid=env.trace_pid, tid=rank.vp,
+                args={"allocations": len(heap_map)},
+            )
+        t_scan = clk.now
         got_priv = lm.got.clone()
         report = self._scan_and_fixup(
             env, binary, rank, data_priv, got_priv, orig_base,
             orig_base + copy_span, delta, heap_map,
         )
+        if env.trace is not None:
+            env.trace.span(
+                "pie:pointer-scan", "priv", t_scan, clk.now - t_scan,
+                pid=env.trace_pid, tid=rank.vp,
+                args={"slots_scanned": report.slots_scanned,
+                      "segment_pointers_fixed": report.segment_pointers_fixed,
+                      "heap_pointers_fixed": report.heap_pointers_fixed,
+                      "got_entries_fixed": report.got_entries_fixed,
+                      "robust_scan": self.robust_scan},
+            )
         self.scan_reports[rank.vp] = report
         rank.method_data.update(
             pie_region=region, got=got_priv, orig_base=orig_base

@@ -187,7 +187,7 @@ class ExecutionContext:
         self.clock = clock
         self.costs = costs
         self.heap = heap
-        self.counters = counters or CounterSet()
+        self.counters = counters if counters is not None else CounterSet()
         self.mpi = mpi              #: MPI facade, set by the AMPI runtime
         self.tracer = tracer
         self.argv = argv

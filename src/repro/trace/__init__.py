@@ -1,0 +1,39 @@
+"""repro.trace — Projections-style tracing for the simulator.
+
+Attach a :class:`TraceRecorder` to a job (``AmpiJob(..., trace=True)`` or
+``trace=recorder``) and every layer the paper's techniques touch emits
+spans and instant events stamped with simulated nanoseconds: ULT
+dispatch and context-switch surcharges (scheduler), sends and collective
+phases (AMPI), migrations (migration engine / LB), ``dlopen``/``dlmopen``
+and static constructors (dynamic loader), and per-method privatization
+setup work (GOT build, pointer scans, TLS composition).
+
+Export with :func:`write_chrome_trace` and open the file in Perfetto or
+``about:tracing``, or render a terminal view with :func:`render_timeline`.
+"""
+
+from repro.trace.export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.recorder import PE_TID, TraceEvent, TraceRecorder
+from repro.trace.timeline import (
+    PeUtilization,
+    render_timeline,
+    utilization_profile,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "TraceEvent",
+    "PE_TID",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_timeline",
+    "utilization_profile",
+    "PeUtilization",
+]

@@ -1,0 +1,100 @@
+"""Chrome trace-event (catapult) JSON export.
+
+Traces written here open directly in ``about:tracing`` (Chrome) and in
+Perfetto (https://ui.perfetto.dev — drag the file in).  The format is the
+"JSON Array / JSON Object" flavour documented by the catapult project:
+a ``traceEvents`` list whose entries carry ``name``/``cat``/``ph``/
+``ts``/``dur``/``pid``/``tid``/``args``, with ``M``-phase metadata events
+naming the process and thread tracks.
+
+Timestamps in the file are **microseconds** (the catapult convention);
+the recorder's integer simulated nanoseconds are divided by 1000.
+Serialization is fully deterministic (sorted keys, fixed separators), so
+identical runs produce byte-identical files — the property
+``tests/test_determinism.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.trace.recorder import PH_COUNTER, PH_INSTANT, PH_SPAN, TraceRecorder
+
+
+def _us(ns: int) -> float | int:
+    """ns -> us, keeping exact integers exact (deterministic repr)."""
+    q, r = divmod(ns, 1000)
+    return q if r == 0 else ns / 1000.0
+
+
+def chrome_trace(recorder: TraceRecorder) -> dict[str, Any]:
+    """The trace as a JSON-able dict in Chrome trace-event format."""
+    events: list[dict[str, Any]] = []
+    for pid in sorted(recorder.process_names):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": recorder.process_names[pid]},
+        })
+    for (pid, tid) in sorted(recorder.thread_names):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": recorder.thread_names[(pid, tid)]},
+        })
+    for ev in recorder.events():
+        entry: dict[str, Any] = {
+            "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+            "ts": _us(ev.ts), "pid": ev.pid, "tid": ev.tid,
+        }
+        if ev.ph == PH_SPAN:
+            entry["dur"] = _us(ev.dur)
+        elif ev.ph == PH_INSTANT:
+            entry["s"] = "t"          # thread-scoped instant
+        if ev.args:
+            entry["args"] = ev.args
+        events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.trace",
+            "droppedEvents": recorder.dropped,
+        },
+    }
+
+
+def dumps_chrome_trace(recorder: TraceRecorder) -> str:
+    """Deterministic JSON text of the trace."""
+    return json.dumps(chrome_trace(recorder), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> int:
+    """Write the trace to ``path``; returns the number of bytes written."""
+    text = dumps_chrome_trace(recorder)
+    with open(path, "w") as f:
+        f.write(text)
+    return len(text)
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Shape-check a parsed trace dict; returns a list of problems.
+
+    Used by tests (and available to users) to confirm an exported file
+    is structurally loadable by about:tracing/Perfetto.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' list"]
+    for i, ev in enumerate(obj["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph in (PH_SPAN, PH_INSTANT, PH_COUNTER):
+            if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+                problems.append(f"{where}: bad ts {ev.get('ts')!r}")
+        if ph == PH_SPAN and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"{where}: span without numeric dur")
+    return problems

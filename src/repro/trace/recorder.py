@@ -1,0 +1,169 @@
+"""Projections-style structured trace recorder.
+
+The real AMPI/Charm++ stack ships with the *Projections* tracing tool:
+per-PE timelines of entry methods, messages, and migrations are how the
+paper's authors diagnose startup cost, context-switch surcharges, and
+load-balancer behaviour.  :class:`TraceRecorder` is the simulator's
+equivalent — a bounded ring buffer of spans and instant events stamped
+with *simulated* nanosecond timestamps read from the existing
+:class:`~repro.perf.clock.SimClock` instances.
+
+Design rules:
+
+* **Zero overhead when disabled.**  Tracing is off unless a recorder is
+  attached; every instrumentation site guards with ``if tr is not None``
+  and never touches a clock, so a traced run and an untraced run produce
+  byte-identical simulated times.
+* **Bounded.**  The buffer is a ring (``deque(maxlen=...)``); once full,
+  the oldest events are dropped and :attr:`TraceRecorder.dropped` counts
+  them, so tracing can be left on for arbitrarily long jobs.
+* **Deterministic.**  The simulator is sequential, so events are appended
+  in a reproducible order and two identical runs export byte-identical
+  traces (asserted by ``tests/test_determinism.py``).
+
+Track model (matching the Chrome trace-event ``pid``/``tid`` scheme):
+each job claims a contiguous *pid block* from the recorder — one pid per
+PE followed by one pid per OS process (the startup track).  Within a PE
+pid, ``tid`` is the virtual rank number; :data:`PE_TID` is a reserved
+row for PE-level events (idle gaps).  Sharing one recorder across jobs
+(as the ``repro trace fig6`` CLI does for every privatization method)
+just allocates successive pid blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+#: reserved tid for PE-level events (idle gaps) inside a PE's pid
+PE_TID = 1_000_000
+
+#: phase codes (Chrome trace-event "ph" values)
+PH_SPAN = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+
+class TraceEvent:
+    """One recorded event; ``ts``/``dur`` are simulated nanoseconds."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: int, dur: int,
+                 pid: int, tid: int, args: dict[str, Any] | None):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    @property
+    def end(self) -> int:
+        return self.ts + self.dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.name!r}, {self.cat!r}, ph={self.ph}, "
+                f"ts={self.ts}, dur={self.dur}, pid={self.pid}, "
+                f"tid={self.tid})")
+
+
+class TraceRecorder:
+    """A bounded ring buffer of :class:`TraceEvent`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained events; older events are dropped
+        (and counted in :attr:`dropped`) once the ring is full.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = True
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._next_pid = 0
+        #: pid -> display name (exported as process_name metadata)
+        self.process_names: dict[int, str] = {}
+        #: (pid, tid) -> display name (exported as thread_name metadata)
+        self.thread_names: dict[tuple[int, int], str] = {}
+
+    # -- track management ---------------------------------------------------
+
+    def alloc_pid_block(self, n: int) -> int:
+        """Claim ``n`` consecutive pids; returns the first."""
+        base = self._next_pid
+        self._next_pid += max(1, n)
+        return base
+
+    def name_process(self, pid: int, name: str) -> None:
+        self.process_names[pid] = name
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self.thread_names[(pid, tid)] = name
+
+    # -- recording ----------------------------------------------------------
+
+    def _push(self, ev: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(ev)
+
+    def span(self, name: str, cat: str, ts: int, dur: int, *, pid: int,
+             tid: int = 0, args: dict[str, Any] | None = None) -> None:
+        """A complete interval ``[ts, ts + dur)`` in simulated ns."""
+        if not self.enabled:
+            return
+        self._push(TraceEvent(name, cat, PH_SPAN, int(ts), max(0, int(dur)),
+                              pid, tid, args))
+
+    def instant(self, name: str, cat: str, ts: int, *, pid: int,
+                tid: int = 0, args: dict[str, Any] | None = None) -> None:
+        """A point event at ``ts``."""
+        if not self.enabled:
+            return
+        self._push(TraceEvent(name, cat, PH_INSTANT, int(ts), 0,
+                              pid, tid, args))
+
+    def counter(self, name: str, ts: int, *, pid: int,
+                values: dict[str, int]) -> None:
+        """A sampled counter track (rendered as a stacked area chart)."""
+        if not self.enabled:
+            return
+        self._push(TraceEvent(name, "counter", PH_COUNTER, int(ts), 0,
+                              pid, 0, dict(values)))
+
+    # -- reading ------------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def spans(self, cat: str | None = None,
+              name: str | None = None) -> list[TraceEvent]:
+        """Complete spans, optionally filtered by category and/or name."""
+        return [e for e in self._events
+                if e.ph == PH_SPAN
+                and (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+    def categories(self) -> set[str]:
+        return {e.cat for e in self._events}
+
+    def end_ns(self) -> int:
+        """Latest timestamp covered by any event."""
+        return max((e.end for e in self._events), default=0)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceRecorder({len(self._events)}/{self.capacity} events, "
+                f"dropped={self.dropped})")

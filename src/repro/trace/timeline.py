@@ -1,0 +1,123 @@
+"""Plain-text per-PE timeline and utilization profile.
+
+A terminal-friendly slice of what Projections shows graphically: one row
+per PE track, bucketed over the traced interval, each bucket showing the
+virtual rank that occupied most of it (its last decimal digit), ``.`` for
+idle and ``:`` for runtime overhead (context switches, migrations).
+Below the rows, a utilization profile lists busy/overhead/idle
+percentages per PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.clock import fmt_ns
+from repro.trace.recorder import PH_SPAN, TraceRecorder
+
+#: categories counted as useful rank execution
+_EXEC_CATS = {"exec"}
+#: categories counted as runtime overhead on the PE
+_OVERHEAD_CATS = {"sched-overhead", "mig"}
+
+
+@dataclass(frozen=True)
+class PeUtilization:
+    pid: int
+    label: str
+    busy_ns: int
+    overhead_ns: int
+    span_ns: int
+
+    @property
+    def idle_ns(self) -> int:
+        return max(0, self.span_ns - self.busy_ns - self.overhead_ns)
+
+    def pct(self, ns: int) -> float:
+        return 100.0 * ns / self.span_ns if self.span_ns else 0.0
+
+
+def _pe_pids(recorder: TraceRecorder) -> list[int]:
+    """pids that carry execution or PE-overhead spans, in pid order."""
+    pids = {e.pid for e in recorder.events()
+            if e.ph == PH_SPAN and e.cat in (_EXEC_CATS | _OVERHEAD_CATS)}
+    return sorted(pids)
+
+
+def utilization_profile(recorder: TraceRecorder,
+                        span_ns: int | None = None) -> list[PeUtilization]:
+    """Busy/overhead totals per PE track over the traced interval."""
+    span = span_ns if span_ns is not None else recorder.end_ns()
+    busy: dict[int, int] = {}
+    over: dict[int, int] = {}
+    for ev in recorder.events():
+        if ev.ph != PH_SPAN:
+            continue
+        if ev.cat in _EXEC_CATS:
+            busy[ev.pid] = busy.get(ev.pid, 0) + ev.dur
+        elif ev.cat in _OVERHEAD_CATS:
+            over[ev.pid] = over.get(ev.pid, 0) + ev.dur
+    return [
+        PeUtilization(
+            pid=pid,
+            label=recorder.process_names.get(pid, f"pid{pid}"),
+            busy_ns=busy.get(pid, 0),
+            overhead_ns=over.get(pid, 0),
+            span_ns=span,
+        )
+        for pid in _pe_pids(recorder)
+    ]
+
+
+def render_timeline(recorder: TraceRecorder, width: int = 72) -> str:
+    """Render the per-PE timeline plus utilization profile as text."""
+    end = recorder.end_ns()
+    pids = _pe_pids(recorder)
+    if not pids or end <= 0:
+        return "(no execution spans recorded)"
+
+    lines = [f"timeline 0 .. {fmt_ns(end)}  ({width} buckets, "
+             f"{fmt_ns(end / width)}/bucket)"]
+    bucket_ns = end / width
+
+    for pid in pids:
+        # For each bucket track the (kind, vp) that covered most of it.
+        occupancy: list[dict[tuple[str, int], float]] = \
+            [dict() for _ in range(width)]
+        for ev in recorder.events():
+            if ev.ph != PH_SPAN or ev.pid != pid or ev.dur <= 0:
+                continue
+            if ev.cat in _EXEC_CATS:
+                key = ("exec", ev.tid)
+            elif ev.cat in _OVERHEAD_CATS:
+                key = ("overhead", -1)
+            else:
+                continue
+            lo = min(width - 1, int(ev.ts / bucket_ns))
+            hi = min(width - 1, int(max(ev.ts, ev.end - 1) / bucket_ns))
+            for b in range(lo, hi + 1):
+                b_start, b_end = b * bucket_ns, (b + 1) * bucket_ns
+                overlap = min(ev.end, b_end) - max(ev.ts, b_start)
+                if overlap > 0:
+                    occupancy[b][key] = occupancy[b].get(key, 0.0) + overlap
+        row = []
+        for b in range(width):
+            if not occupancy[b]:
+                row.append(".")
+                continue
+            (kind, vp), _ = max(occupancy[b].items(),
+                                key=lambda kv: (kv[1], kv[0]))
+            row.append(":" if kind == "overhead" else str(vp % 10))
+        label = recorder.process_names.get(pid, f"pid{pid}")
+        lines.append(f"{label:>24s} |{''.join(row)}|")
+
+    lines.append("")
+    lines.append("utilization (busy / overhead / idle):")
+    for u in utilization_profile(recorder, span_ns=end):
+        lines.append(
+            f"{u.label:>24s}  {u.pct(u.busy_ns):5.1f}% / "
+            f"{u.pct(u.overhead_ns):5.1f}% / {u.pct(u.idle_ns):5.1f}%"
+        )
+    if recorder.dropped:
+        lines.append(f"(ring buffer dropped {recorder.dropped} oldest events)")
+    return "\n".join(lines)

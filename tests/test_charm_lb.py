@@ -59,10 +59,18 @@ class TestGreedyLB:
     @given(st.lists(st.integers(0, 1000), min_size=1, max_size=20),
            st.integers(1, 8))
     def test_greedy_within_bound(self, loads, n_pes):
-        """LPT-style greedy stays within (4/3)·OPT >= max(avg, biggest)."""
+        """LPT-style greedy stays within (4/3)·OPT.
+
+        OPT is unknown, so bound it from below: the average, the biggest
+        item, and — when items outnumber PEs — the m-th plus (m+1)-th
+        largest (some PE must take two of the top m+1).
+        """
         s = stats(loads)
         a = GreedyLB().assign(s, n_pes)
-        lower = max(max(loads), sum(loads) / n_pes)
+        desc = sorted(loads, reverse=True)
+        lower = max(desc[0], sum(loads) / n_pes)
+        if len(loads) > n_pes:
+            lower = max(lower, desc[n_pes - 1] + desc[n_pes])
         assert max_pe_load(s, a, n_pes) <= lower * 4 / 3 + 1e-9
 
 

@@ -50,3 +50,41 @@ class TestCommands:
         assert main(["run", "fig6", "--quick-n", "500"]) == 0
         out = capsys.readouterr().out
         assert "ns/switch" in out and "pieglobals" in out
+
+    def test_probe_json(self, capsys):
+        import json
+
+        assert main(["probe", "pieglobals", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["method"] == "pieglobals"
+        assert obj["migration"] == "Yes"
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "fig6", "--quick-n", "200", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["experiment"] == "fig6"
+        methods = [r["method"] for r in obj["rows"]]
+        assert "pieglobals" in methods and "none" in methods
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        from repro.trace import validate_chrome_trace
+
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "fig6", "--quick-n", "50",
+                     "--out", out]) == 0
+        obj = json.load(open(out))
+        assert validate_chrome_trace(obj) == []
+        methods = {e["args"]["method"] for e in obj["traceEvents"]
+                   if e.get("name") == "ctx-switch"}
+        assert len(methods) >= 2
+        text = capsys.readouterr().out
+        assert "timeline" in text and "wrote" in text
+        assert (tmp_path / "trace.json.timeline.txt").exists()
+
+    def test_trace_rejects_untraceable_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "icache"])

@@ -63,6 +63,30 @@ class TestJobDeterminism:
         assert fingerprint(a) == fingerprint(b)
 
 
+class TestTraceDeterminism:
+    def test_identical_runs_export_byte_identical_traces(self):
+        """Two identical pieglobals jobs, each with a fresh recorder,
+        serialize to byte-identical Chrome trace JSON."""
+        from repro.trace import TraceRecorder, dumps_chrome_trace
+
+        def go():
+            rec = TraceRecorder()
+            run_job(make_hello(), 6, method="pieglobals",
+                    layout=JobLayout.single(2), trace=rec)
+            return dumps_chrome_trace(rec)
+
+        a, b = go(), go()
+        assert a == b
+
+    def test_tracing_leaves_fingerprint_unchanged(self):
+        from repro.trace import TraceRecorder
+
+        plain = run_job(make_hello(), 6, layout=JobLayout.single(2))
+        traced = run_job(make_hello(), 6, layout=JobLayout.single(2),
+                         trace=TraceRecorder())
+        assert fingerprint(plain) == fingerprint(traced)
+
+
 class TestSimulatedTimeInvariance:
     def test_wall_time_does_not_leak_into_results(self):
         """Injecting real-time delays leaves simulated results unchanged."""

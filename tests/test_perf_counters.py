@@ -59,6 +59,34 @@ class TestCounterSet:
         c = CounterSet({"a": 4})
         assert c["a"] == 4
 
+    def test_eq_compares_counts(self):
+        assert CounterSet({"x": 1}) == CounterSet({"x": 1})
+        assert CounterSet({"x": 1}) != CounterSet({"x": 2})
+        assert CounterSet({"x": 1}) != CounterSet({"y": 1})
+        assert CounterSet() == CounterSet()
+
+    def test_eq_other_types_not_implemented(self):
+        assert CounterSet({"x": 1}) != {"x": 1}
+        assert (CounterSet({"x": 1}) == object()) is False
+
+    def test_len_counts_distinct_events(self):
+        c = CounterSet()
+        assert len(c) == 0
+        c.incr("a", 3)
+        c.incr("b")
+        c.incr("a")
+        assert len(c) == 2
+
+    def test_total_sums_all_counts(self):
+        c = CounterSet({"a": 3, "b": 4})
+        assert c.total() == 7
+        assert CounterSet().total() == 0
+
+    def test_merge_then_eq_roundtrip(self):
+        a, b = CounterSet({"x": 1}), CounterSet({"y": 2})
+        a.merge(b)
+        assert a == CounterSet({"x": 1, "y": 2})
+
     @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
                               st.integers(0, 100)), max_size=40))
     def test_totals_match_sum_of_increments(self, ops):
