@@ -32,6 +32,7 @@ class RankSnapshot:
     clock_ns: int
     globals_: dict[str, Any]
     heap_items: list[tuple[int, Any, str]]   #: (nbytes, data, tag)
+    nbytes: int = 0                          #: packed size of this rank's state
 
 
 @dataclass
@@ -70,16 +71,20 @@ class Checkpoint:
                 (a.nbytes, copy.deepcopy(a.data), a.tag)
                 for a in rank.heap
             ] if rank.heap is not None else []
+            nbytes = (
+                sum(payload_nbytes(v) for v in globals_.values())
+                + sum(n for n, _, _ in heap_items)
+                + (rank.stack_mapping.size if rank.stack_mapping else 0)
+            )
             snap = RankSnapshot(
                 vp=rank.vp,
                 clock_ns=rank.clock.now,
                 globals_=globals_,
                 heap_items=heap_items,
+                nbytes=nbytes,
             )
             snaps[rank.vp] = snap
-            total += sum(payload_nbytes(v) for v in globals_.values())
-            total += sum(n for n, _, _ in heap_items)
-            total += rank.stack_mapping.size if rank.stack_mapping else 0
+            total += nbytes
         return cls(
             nvp=job.nvp,
             method=job.method.name,
@@ -101,18 +106,40 @@ class Checkpoint:
                 f"{job.nvp}; shrink/expand restart needs matching "
                 f"decomposition in this simulator"
             )
+        if job.method.name != self.method:
+            raise CheckpointError(
+                f"checkpoint was taken under privatization method "
+                f"{self.method!r} but the job uses {job.method.name!r}; "
+                "restored globals routing would not match"
+            )
         for rank in job.ranks():
-            snap = self.snapshots[rank.vp]
-            view = rank.ctx.view
-            for name, value in snap.globals_.items():
-                route = view.routes.get(name)
-                if route is None:
-                    raise CheckpointError(
-                        f"vp {rank.vp}: checkpointed variable {name!r} "
-                        "does not exist in the restarted program"
-                    )
-                route.instance.values[name] = copy.deepcopy(value)
-            if rank.heap is not None:
-                for nbytes, data, tag in snap.heap_items:
-                    rank.heap.malloc(nbytes, data=copy.deepcopy(data),
-                                     tag=tag)
+            self.restore_rank(rank)
+
+    def restore_rank(self, rank: Any, *, reset_heap: bool = False) -> None:
+        """Restore one rank's globals and heap from its snapshot.
+
+        With ``reset_heap`` the rank's current heap allocations are
+        freed first — the in-run rollback path, where the rank's live
+        heap must be replaced rather than added to.
+        """
+        snap = self.snapshots.get(rank.vp)
+        if snap is None:
+            raise CheckpointError(
+                f"checkpoint has no snapshot for vp {rank.vp}"
+            )
+        view = rank.ctx.view
+        for name, value in snap.globals_.items():
+            route = view.routes.get(name)
+            if route is None:
+                raise CheckpointError(
+                    f"vp {rank.vp}: checkpointed variable {name!r} "
+                    "does not exist in the restarted program"
+                )
+            route.instance.values[name] = copy.deepcopy(value)
+        if rank.heap is not None:
+            if reset_heap:
+                for addr in list(rank.heap.allocations):
+                    rank.heap.free(addr)
+            for nbytes, data, tag in snap.heap_items:
+                rank.heap.malloc(nbytes, data=copy.deepcopy(data),
+                                 tag=tag)

@@ -62,6 +62,17 @@ class CollectiveEngine:
         self._seq: dict[tuple[int, int], int] = {}
         self.completed = 0
 
+    def reset(self) -> None:
+        """Forget every in-flight collective and sequence number.
+
+        Fault-recovery rollback: ranks replay from the checkpoint, so
+        their collective call numbering restarts from zero; partially
+        assembled rendezvous states are garbage from the lost timeline.
+        ``completed`` is cumulative history and is kept.
+        """
+        self._states.clear()
+        self._seq.clear()
+
     # -- entry point -------------------------------------------------------------
 
     def enter(self, rank: "VirtualRank", comm: Communicator, kind: str,
@@ -343,15 +354,32 @@ class CollectiveEngine:
     def _finish_checkpoint(self, state: CollectiveState) -> None:
         from repro.ampi.checkpoint import Checkpoint
 
+        comm = state.comm
+        T = self._max_arrival(state)
+        barrier = tree_depth(comm.size) * self._step_ns(comm)
+        bc = self.job.buddy_ckpt
+        if bc is not None:
+            # Double in-memory scheme: snapshots replicate to buddy
+            # processes over the network, no shared-FS traffic.  A
+            # request arriving inside the configured interval coalesces
+            # into the previous checkpoint (barrier only).
+            if bc.due(T):
+                extra = bc.take(self.job, T)
+                self.job.checkpoints.append(bc.checkpoint)
+            else:
+                bc.coalesced += 1
+                extra = 0
+            release = T + barrier + extra
+            state.releases = {r: (release, None) for r in state.arrivals}
+            return
+
         ckpt = Checkpoint.capture(self.job)
         self.job.checkpoints.append(ckpt)
-        comm = state.comm
         # Every process streams its ranks' state to the shared FS.
         io_ns = self.job.costs.fs_write_ns(
             ckpt.nbytes, max(1, self.job.layout.total_processes)
         )
-        release = (self._max_arrival(state)
-                   + tree_depth(comm.size) * self._step_ns(comm) + io_ns)
+        release = T + barrier + io_ns
         state.releases = {r: (release, None) for r in state.arrivals}
 
     def _finish_exscan(self, state: CollectiveState) -> None:

@@ -36,8 +36,19 @@ from repro.mem.address_space import MapKind
 from repro.mem.heap import RankHeap
 from repro.mem.isomalloc import IsomallocArena
 from repro.mem.layout import DEFAULT_SLOT_SIZE
+from repro.ft.buddy import BuddyCheckpointer, FtConfig
+from repro.ft.plan import FaultInjector, FaultPlan
+from repro.ft.recovery import RecoveryManager
 from repro.net.network import Network
-from repro.perf.counters import CounterSet, EV_MSG_BYTES, EV_MSG_SENT
+from repro.perf.counters import (
+    CounterSet,
+    EV_FAULT,
+    EV_MSG_BYTES,
+    EV_MSG_FAULT_CORRUPT,
+    EV_MSG_FAULT_DROP,
+    EV_MSG_FAULT_DUP,
+    EV_MSG_SENT,
+)
 from repro.privatization import get_method
 from repro.privatization.base import SetupEnv
 from repro.privatization.pieglobals import PieGlobals
@@ -89,6 +100,8 @@ class JobResult:
     rank_cpu_ns: dict[int, int]
     #: the job's trace recorder, when tracing was enabled
     trace: "TraceRecorder | None" = None
+    #: completed crash recoveries (fault-tolerance subsystem)
+    recoveries: int = 0
 
     @property
     def app_ns(self) -> int:
@@ -153,6 +166,7 @@ class JobResult:
             ],
             "forwarded_messages": self.forwarded_messages,
             "collectives_completed": self.collectives_completed,
+            "recoveries": self.recoveries,
             "rank_cpu_ns": {str(vp): ns
                             for vp, ns in sorted(self.rank_cpu_ns.items())},
             "exit_values": {str(vp): _jsonable(v)
@@ -185,6 +199,8 @@ class AmpiJob:
         trace: "TraceRecorder | bool | None" = None,
         argv: tuple[str, ...] = (),
         restore_from: "Any | None" = None,
+        fault_plan: FaultPlan | None = None,
+        ft: FtConfig | None = None,
     ):
         if nvp < 1:
             raise ReproError("need at least one virtual rank")
@@ -214,6 +230,14 @@ class AmpiJob:
         self._proc_pid_base = 0
         self.argv = tuple(argv)
         self.restore_from = restore_from
+        #: fault tolerance: injector follows the plan; buddy checkpoints
+        #: and the recovery manager are created by start() when enabled
+        self.fault_plan = fault_plan
+        self.ft = ft
+        self.fault_injector = (FaultInjector(fault_plan)
+                               if fault_plan is not None else None)
+        self.buddy_ckpt: BuddyCheckpointer | None = None
+        self.recovery: RecoveryManager | None = None
 
         self.method.check_supported(machine, self.layout)
         self.binary = (source if isinstance(source, Binary)
@@ -387,6 +411,31 @@ class AmpiJob:
             trace=tr, trace_pid_base=self._pe_pid_base,
             trace_label=self.method.name,
         )
+
+        # Fault tolerance: buddy checkpointing is on whenever an FtConfig
+        # is given or the fault plan can kill a node (a crash without a
+        # checkpoint would be unrecoverable by construction).
+        wants_ft = self.ft is not None or (
+            self.fault_plan is not None and self.fault_plan.node_crashes
+        )
+        if wants_ft:
+            self.buddy_ckpt = BuddyCheckpointer(
+                self.ft or FtConfig(), self.network, self.costs,
+                self.counters, trace=tr, trace_pid_base=self._pe_pid_base,
+            )
+        if self.fault_plan is not None and self.fault_plan.node_crashes:
+            self.recovery = RecoveryManager(self, self.fault_injector)
+            self.scheduler.fault_check = self.recovery.poll
+        if self.buddy_ckpt is not None:
+            # Baseline checkpoint at startup: a crash before the first
+            # application checkpoint restarts from the initial state, and
+            # non-checkpointable methods fail here, structured and early.
+            at0 = max(p.startup_clock.now for p in self.processes)
+            extra = self.buddy_ckpt.take(self, at0)
+            self.checkpoints.append(self.buddy_ckpt.checkpoint)
+            for proc in self.processes:
+                proc.startup_clock.advance(extra)
+
         if tr is not None:
             for proc in self.processes:
                 tr.span("ampi-init", "startup", 0, proc.startup_clock.now,
@@ -398,6 +447,23 @@ class AmpiJob:
             self.scheduler.register(
                 rank, rank.pe.process.startup_clock.now
             )
+
+    def _ft_reset_mpi_state(self) -> None:
+        """Roll the MPI layer back to pristine (crash recovery).
+
+        Messages in flight, posted receives, wait/probe registrations
+        and in-progress collectives all belong to the timeline the crash
+        destroyed; ranks replay from MPI_Init.
+        """
+        for vp in range(self.nvp):
+            self._mailboxes[vp] = Mailbox()
+            self._posted[vp] = []
+        self._waiting.clear()
+        self._waiting_any.clear()
+        self._probing.clear()
+        self._initialized.clear()
+        self._finalized.clear()
+        self.collectives.reset()
 
     def _rank_entry(self, rank: VirtualRank) -> Any:
         ctx = rank.ctx
@@ -455,6 +521,7 @@ class AmpiJob:
             collectives_completed=self.collectives.completed,
             rank_cpu_ns={vp: r.total_cpu_ns for vp, r in self._ranks.items()},
             trace=self.trace,
+            recoveries=self.recovery.recoveries if self.recovery else 0,
         )
 
     # -- lookups ------------------------------------------------------------------------------
@@ -536,6 +603,28 @@ class AmpiJob:
         nbytes = payload_nbytes(payload)
         now = rank.clock.now
         ns = self._transfer_plan(rank, dst_vp, nbytes)
+        if self.fault_injector is not None:
+            fault = self.fault_injector.next_message_fault()
+            if fault is not None:
+                # The transport detects and repairs the fault (retransmit
+                # or discard), so the payload arrives intact — only
+                # latency is lost.  Numerics stay replay-identical.
+                ns += self.fault_injector.message_penalty_ns(
+                    fault, ns, self.costs.msg_overhead_ns
+                )
+                self.counters.incr(EV_FAULT)
+                self.counters.incr({
+                    "drop": EV_MSG_FAULT_DROP,
+                    "duplicate": EV_MSG_FAULT_DUP,
+                    "corrupt": EV_MSG_FAULT_CORRUPT,
+                }[fault])
+                if self.trace is not None:
+                    self.trace.instant(
+                        f"fault:msg-{fault}", "ft", now,
+                        pid=self.trace_pid_of(rank.pe), tid=rank.vp,
+                        args={"dst_vp": dst_vp, "tag": tag,
+                              "nbytes": nbytes},
+                    )
         msg = Message(
             src=src_cr, dst=dest, tag=tag, comm_id=comm.cid,
             payload=payload, nbytes=nbytes, sent_at=now, arrival=now + ns,
@@ -855,7 +944,7 @@ class AmpiJob:
         moved = bytes_moved = 0
         for s in stats:
             target = assignment.get(s.vp, s.pe)
-            if target != s.pe:
+            if target != s.pe and not self.pes[target].failed:
                 rec = self.migration_engine.migrate(
                     self._ranks[s.vp], self.pes[target]
                 )
@@ -924,7 +1013,7 @@ class AmpiJob:
         move_ns: dict[int, int] = {}
         for s in stats:
             target = assignment.get(s.vp, s.vp % n_active)
-            if target != s.pe:
+            if target != s.pe and not self.pes[target].failed:
                 rec = self.migration_engine.migrate(
                     self._ranks[s.vp], self.pes[target]
                 )

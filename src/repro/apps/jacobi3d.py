@@ -43,6 +43,10 @@ class JacobiConfig:
     compute_ns_per_cell: float = 2.0
     code_bytes: int = JACOBI_CODE_BYTES
     lb_period: int = 0               #: call AMPI_Migrate every k iters (0=off)
+    #: collective checkpoint every k iters (0=off); makes the solver
+    #: restart-aware: it resumes from the checkpointed iteration, both
+    #: after an in-run crash recovery and under ``restore_from=``
+    ckpt_period: int = 0
     #: tag the inner-loop globals ``thread_local`` — what a user does when
     #: building for TLSglobals (Figure 7's per-access overhead probe)
     tag_tls: bool = False
@@ -93,10 +97,17 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
     # Safe globals:
     p.add_global("n_global", cfg.n, write_once_same=True)
     p.add_global("residual", 0.0)
+    if cfg.ckpt_period:
+        # Restart state: which iteration to resume at, and the block
+        # itself (checkpointed alongside the heap copy so the restored
+        # solver picks up exactly where the snapshot was taken).
+        p.add_global("next_iter", 0)
+        p.add_global("ublock", None)
 
     iters = cfg.iters
     reduce_every = cfg.reduce_every
     lb_period = cfg.lb_period
+    ckpt_period = cfg.ckpt_period
     compute_ns = cfg.compute_ns_per_cell
     n = cfg.n
 
@@ -167,14 +178,21 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
         (z0, z1) = _block_bounds(n, dims[2], cz)
         ctx.g.nx, ctx.g.ny, ctx.g.nz = x1 - x0, y1 - y0, z1 - z0
 
-        # Initial condition: hot plane at x == 0 globally, zero elsewhere.
-        u = np.zeros((x1 - x0 + 2, y1 - y0 + 2, z1 - z0 + 2))
-        if x0 == 0:
-            u[1, 1:-1, 1:-1] = 100.0
-        ctx.malloc(u.nbytes, data=u, tag="jacobi:block")
+        start_iter = ctx.g.next_iter if ckpt_period else 0
+        if start_iter > 0:
+            # Restarted from a checkpoint: the block comes back through
+            # the restored globals, already holding iteration start_iter.
+            u = ctx.g.ublock
+        else:
+            # Initial condition: hot plane at x == 0 globally, zero
+            # elsewhere.
+            u = np.zeros((x1 - x0 + 2, y1 - y0 + 2, z1 - z0 + 2))
+            if x0 == 0:
+                u[1, 1:-1, 1:-1] = 100.0
+            ctx.malloc(u.nbytes, data=u, tag="jacobi:block")
 
         resid = float("inf")
-        for it in range(iters):
+        for it in range(start_iter, iters):
             ctx.g.cur_iter = it
             ctx.call("exchange_halos", u, coords, dims, comm)
             u, local_resid = ctx.call("relax", u)
@@ -185,6 +203,11 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
                 ctx.g.residual = resid
             if lb_period and (it + 1) % lb_period == 0:
                 mpi.migrate()
+            if ckpt_period and (it + 1) % ckpt_period == 0 \
+                    and (it + 1) < iters:
+                ctx.g.ublock = u
+                ctx.g.next_iter = it + 1
+                mpi.checkpoint()
         mpi.finalize()
         return resid
 
@@ -218,6 +241,9 @@ def run_jacobi(
     optimize: int = 2,
     lb_strategy: str | Any = "greedyrefine",
     trace_fetches: bool = False,
+    trace: Any = None,
+    fault_plan: Any = None,
+    ft: Any = None,
 ) -> JobResult:
     """Build + run Jacobi-3D; returns the job result (exit value of each
     rank is the final global residual)."""
@@ -225,6 +251,7 @@ def run_jacobi(
     job = AmpiJob(
         source, nvp, method=method, machine=machine, layout=layout,
         optimize=optimize, lb_strategy=lb_strategy,
-        trace_fetches=trace_fetches,
+        trace_fetches=trace_fetches, trace=trace,
+        fault_plan=fault_plan, ft=ft,
     )
     return job.run()

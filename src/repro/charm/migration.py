@@ -68,6 +68,10 @@ class MigrationEngine:
         (the LB driver charges the migrating rank and folds the time into
         the LB barrier).
         """
+        if dest_pe.failed:
+            raise MigrationUnsupportedError(
+                f"cannot migrate vp {rank.vp} to failed PE {dest_pe.index}"
+            )
         src_pe = rank.pe
         if dest_pe is src_pe:
             rec = MigrationRecord(rank.vp, src_pe.index, dest_pe.index, 0, 0,

@@ -68,6 +68,7 @@ class Pe:
         self.busy_ns = 0                  #: accumulated execution time
         self.idle_ns = 0                  #: accumulated idle gaps
         self.ctx_switches = 0
+        self.failed = False               #: set when the PE's node crashed
         self.last_rank: "VirtualRank | None" = None
         self.resident: dict[int, "VirtualRank"] = {}  #: vp -> rank
         self.counters = CounterSet()

@@ -50,6 +50,10 @@ class JobScheduler:
         self.timeline: list[tuple[int, int, int]] = []
         #: called after each rank finishes (runtime hooks e.g. finalize)
         self.on_rank_done: Callable[["VirtualRank"], None] | None = None
+        #: fault-injection hook, called with each quantum's effective
+        #: start time before it runs; returning True means a fault fired
+        #: and rolled the job back — the popped quantum is stale
+        self.fault_check: Callable[[int], bool] | None = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -60,6 +64,23 @@ class JobScheduler:
         self._all_ranks.append(rank)
         rank.ult.start()
         self.runq.push(rank.ult, start_time)
+
+    def reregister(self, rank: "VirtualRank", start_time: int) -> None:
+        """Re-admit a rank after fault recovery gave it a fresh ULT.
+
+        The rank stays in ``_all_ranks``; only the tid mapping and the
+        run queue entry are renewed.
+        """
+        if rank.ult is None:
+            raise ReproError(f"rank {rank.vp} has no ULT")
+        self._ranks_by_tid[rank.ult.tid] = rank
+        if rank.ult.state is UltState.NEW:
+            rank.ult.start()
+        self.runq.push(rank.ult, start_time)
+
+    def flush(self) -> None:
+        """Drop every queued quantum (fault rollback)."""
+        self.runq.drain()
 
     def _pe_busy_of(self, ult: UserLevelThread) -> int:
         return self._ranks_by_tid[ult.tid].pe.busy_until
@@ -107,6 +128,12 @@ class JobScheduler:
                 ult, ready_time = item
                 rank = self._ranks_by_tid[ult.tid]
                 pe = rank.pe
+
+                if self.fault_check is not None and \
+                        self.fault_check(max(ready_time, pe.busy_until)):
+                    # A fault fired and the job rolled back: the popped
+                    # quantum belongs to a killed ULT generation.
+                    continue
 
                 if ready_time > pe.busy_until:
                     if tr is not None:

@@ -16,8 +16,15 @@ Commands
     Run an experiment with Projections-style tracing on; writes a Chrome
     trace-event JSON (open in Perfetto / about:tracing) and a plain-text
     per-PE timeline.
+``faults <app> [--kmax K] [--json]``
+    Fault-tolerance overhead sweep: failure-free vs. k node crashes on
+    a checkpointing Jacobi-3D, with deterministic fault injection.
 ``hello [--method M] [--vp N]``
     The Figure 2/3 hello world under a chosen method.
+
+Every command exits nonzero when the simulated job fails (e.g. an
+unrecoverable fault or an unsupported method/toolchain combination), so
+scripts and CI can detect it.
 """
 
 from __future__ import annotations
@@ -209,6 +216,30 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.harness.experiments import fault_overhead_experiment
+
+    rows = fault_overhead_experiment(
+        kmax=args.kmax, seed=args.seed, nvp=args.nvp, nodes=args.nodes,
+        method=args.method, ckpt_interval_ns=args.interval_ns,
+    )
+    if args.json:
+        print(json.dumps(
+            {"experiment": "faults", "app": args.app,
+             "rows": [dataclasses.asdict(r) for r in rows]},
+            sort_keys=True, indent=2))
+    else:
+        print(format_table(
+            ["k", "status", "makespan (ms)", "overhead %", "recovery (ms)",
+             "ckpts", "migrations"],
+            [[r.k, r.status, r.makespan_ns / 1e6, r.overhead_pct,
+              r.recovery_ns / 1e6, r.checkpoints, r.migrations]
+             for r in rows],
+            title=f"Fault-tolerance overhead ({args.app}, seed={args.seed})",
+        ))
+    return 0 if all(r.status == "ok" for r in rows) else 1
+
+
 def cmd_hello(args) -> int:
     from repro.ampi.runtime import AmpiJob
     from repro.charm.node import JobLayout
@@ -280,6 +311,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace ring-buffer capacity in events")
     trace.set_defaults(fn=cmd_trace)
 
+    faults = sub.add_parser(
+        "faults",
+        help="failure-free vs. k-crash overhead sweep with deterministic "
+             "fault injection and buddy checkpointing")
+    faults.add_argument("app", choices=["jacobi"])
+    faults.add_argument("--kmax", type=int, default=2,
+                        help="sweep k = 0..kmax node crashes")
+    faults.add_argument("--seed", type=int, default=20220822,
+                        help="fault-plan seed (sweeps are reproducible)")
+    faults.add_argument("--nvp", type=int, default=8)
+    faults.add_argument("--nodes", type=int, default=4)
+    faults.add_argument("--method", default="pieglobals")
+    faults.add_argument("--interval-ns", type=int, default=0,
+                        help="minimum ns between accepted checkpoints "
+                             "(0 = accept every request)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit result rows as JSON instead of a table")
+    faults.set_defaults(fn=cmd_faults)
+
     hello = sub.add_parser("hello")
     hello.add_argument("--method", default="none")
     hello.add_argument("--vp", type=int, default=2)
@@ -288,8 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        # Simulated-job failure (unrecoverable fault, unsupported
+        # toolchain, deadlock, ...): report and exit nonzero so scripts
+        # and CI can detect it.
+        print(f"error: {type(e).__name__}: {e}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -114,6 +114,17 @@ class CheckpointError(ReproError):
     """Checkpoint/restart failure."""
 
 
+class FaultUnrecoverableError(ReproError):
+    """An injected fault cannot be recovered from.
+
+    Raised (instead of hanging or silently corrupting the job) when a
+    node crash strikes a job whose state cannot be restored: no
+    checkpoint exists, the privatization method cannot checkpoint
+    (PIPglobals/FSglobals under the Isomalloc limitation), or the crash
+    took both in-memory copies of some rank's snapshot.
+    """
+
+
 # ---------------------------------------------------------------------------
 # MPI-layer errors
 # ---------------------------------------------------------------------------

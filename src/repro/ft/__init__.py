@@ -1,0 +1,38 @@
+"""Fault-tolerance subsystem: deterministic fault injection, buddy
+checkpointing, and automatic restart.
+
+The paper's privatization methods exist to make AMPI ranks migratable;
+the flagship payoff of migratability in the Charm++/AMPI ecosystem is
+fault tolerance — double in-memory ("buddy") checkpointing and restart
+on surviving PEs.  This package adds exactly that to the simulator:
+
+* :mod:`repro.ft.prng` — a counter-based PRNG (splitmix64-style) so
+  every fault decision is a pure function of ``(seed, stream, counter)``
+  — no hidden generator state, no wall clock, fully replayable;
+* :mod:`repro.ft.plan` — :class:`FaultPlan` schedules node crashes at
+  simulated-ns instants and message-level faults (drop / duplicate /
+  corrupt) by probability, and :class:`FaultInjector` executes it;
+* :mod:`repro.ft.buddy` — :class:`BuddyCheckpointer`, the periodic
+  collective double-in-memory checkpoint scheme (each process stores
+  its ranks' snapshots locally *and* on a buddy process);
+* :mod:`repro.ft.recovery` — :class:`RecoveryManager`, which detects
+  node death, rolls every rank back to the last consistent checkpoint,
+  re-maps dead-node ranks onto surviving PEs via the migration engine,
+  and replays.
+"""
+
+from repro.ft.buddy import BuddyCheckpointer, FtConfig
+from repro.ft.plan import FaultInjector, FaultPlan, MessageFaults, NodeCrash
+from repro.ft.prng import CounterRng
+from repro.ft.recovery import RecoveryManager
+
+__all__ = [
+    "BuddyCheckpointer",
+    "CounterRng",
+    "FaultInjector",
+    "FaultPlan",
+    "FtConfig",
+    "MessageFaults",
+    "NodeCrash",
+    "RecoveryManager",
+]

@@ -1,0 +1,161 @@
+"""Double in-memory ("buddy") checkpointing.
+
+Charm++'s classic in-memory fault-tolerance scheme: at a checkpoint
+collective every OS process keeps its ranks' packed snapshots locally
+*and* pushes a copy to a buddy process — ``(p + 1) % nprocs``.  A single
+node failure then always leaves at least one surviving copy of every
+rank's state; recovery restores from it without touching disk.
+
+The simulator prices a checkpoint as the slowest process's work:
+a local memcpy of its share plus the :meth:`~repro.net.network.Network.
+transfer_ns` of shipping that share to the buddy's endpoint, on top of
+the collective barrier the caller already pays.  A job with a single OS
+process has nowhere redundant to put the copy — its buddy is itself —
+so a crash there is deliberately unrecoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import CheckpointError, FaultUnrecoverableError
+from repro.ampi.checkpoint import Checkpoint
+from repro.net.network import Network
+from repro.perf.costs import CostModel
+from repro.perf.counters import CounterSet, EV_CKPT, EV_CKPT_BYTES
+from repro.trace.recorder import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.runtime import AmpiJob
+
+
+@dataclass(frozen=True)
+class FtConfig:
+    """Fault-tolerance knobs for one job.
+
+    ``ckpt_interval_ns = 0`` accepts every ``mpi.checkpoint()`` request;
+    a positive interval coalesces requests arriving sooner than that
+    after the last accepted checkpoint into a plain barrier, so apps can
+    call the collective every iteration and let the runtime pick the
+    actual cadence.
+    """
+
+    ckpt_interval_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ckpt_interval_ns < 0:
+            raise FaultUnrecoverableError(
+                "checkpoint interval must be >= 0"
+            )
+
+
+class BuddyCheckpointer:
+    """Owns the job's last consistent double in-memory checkpoint."""
+
+    def __init__(self, config: FtConfig, network: Network, costs: CostModel,
+                 counters: CounterSet, trace: TraceRecorder | None = None,
+                 trace_pid_base: int = 0):
+        self.config = config
+        self.network = network
+        self.costs = costs
+        self.counters = counters
+        self.trace = trace
+        self.trace_pid_base = trace_pid_base
+        self.checkpoint: Checkpoint | None = None
+        #: vp -> (primary process index, buddy process index)
+        self.holders: dict[int, tuple[int, int]] = {}
+        self.last_at_ns: int | None = None
+        self.taken = 0
+        self.coalesced = 0
+
+    @staticmethod
+    def buddy_of(proc_index: int, nprocs: int) -> int:
+        return (proc_index + 1) % nprocs
+
+    @staticmethod
+    def _live_buddy_of(job: "AmpiJob", proc_index: int) -> int:
+        """The next process ring-wise that still has live PEs.
+
+        Before any failure this is ``(p + 1) % nprocs``; after one, the
+        replacement checkpoint must not park its redundant copy on a
+        dead process.  A job reduced to one live process gets itself —
+        deliberately non-redundant.
+        """
+        nprocs = len(job.processes)
+        for step in range(1, nprocs + 1):
+            cand = job.processes[(proc_index + step) % nprocs]
+            if any(not pe.failed for pe in cand.pes):
+                return cand.index
+        return proc_index
+
+    def due(self, at_ns: int) -> bool:
+        """Would a checkpoint request at ``at_ns`` be accepted?"""
+        if self.last_at_ns is None or self.config.ckpt_interval_ns == 0:
+            return True
+        return at_ns - self.last_at_ns >= self.config.ckpt_interval_ns
+
+    def take(self, job: "AmpiJob", at_ns: int) -> int:
+        """Capture + replicate one collective checkpoint at ``at_ns``.
+
+        Returns the extra simulated ns (beyond the caller's barrier):
+        the slowest process's local copy plus buddy transfer.
+        """
+        try:
+            ckpt = Checkpoint.capture(job)
+        except CheckpointError as e:
+            raise FaultUnrecoverableError(
+                f"buddy checkpointing impossible under method "
+                f"{job.method.name!r}: {e}"
+            ) from e
+
+        share: dict[int, int] = {p.index: 0 for p in job.processes}
+        holders: dict[int, tuple[int, int]] = {}
+        for rank in job.ranks():
+            pidx = rank.pe.process.index
+            share[pidx] += ckpt.snapshots[rank.vp].nbytes
+            holders[rank.vp] = (pidx, self._live_buddy_of(job, pidx))
+
+        extra = 0
+        for proc in job.processes:
+            if all(pe.failed for pe in proc.pes):
+                continue  # dead processes hold no ranks and no copies
+            nbytes = share[proc.index]
+            buddy = job.processes[self._live_buddy_of(job, proc.index)]
+            ns = self.costs.memcpy_ns(nbytes)
+            if buddy is not proc:
+                ns += self.network.transfer_ns(
+                    nbytes, proc.endpoint, buddy.endpoint
+                )
+            extra = max(extra, ns)
+
+        self.checkpoint = ckpt
+        self.holders = holders
+        self.last_at_ns = at_ns
+        self.taken += 1
+        self.counters.incr(EV_CKPT)
+        self.counters.incr(EV_CKPT_BYTES, ckpt.nbytes)
+        if self.trace is not None:
+            self.trace.instant(
+                "buddy-ckpt", "ft", at_ns,
+                pid=self.trace_pid_base,
+                args={"nbytes": ckpt.nbytes, "extra_ns": extra,
+                      "nprocs": len(job.processes)},
+            )
+        return extra
+
+    def recoverable_after(self, dead_procs: set[int]) -> bool:
+        """Does every rank still have a surviving snapshot copy?"""
+        if self.checkpoint is None:
+            return False
+        return all(
+            primary not in dead_procs or buddy not in dead_procs
+            for primary, buddy in self.holders.values()
+        )
+
+    def lost_ranks(self, dead_procs: set[int]) -> list[int]:
+        """Ranks whose both snapshot copies died (for error reporting)."""
+        return sorted(
+            vp for vp, (primary, buddy) in self.holders.items()
+            if primary in dead_procs and buddy in dead_procs
+        )

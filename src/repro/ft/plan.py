@@ -1,0 +1,184 @@
+"""Fault plans: *what* fails, *when*, decided before the job runs.
+
+A :class:`FaultPlan` is immutable data — node crashes pinned to
+simulated-ns instants plus per-message fault probabilities.  The plan
+never consults a wall clock or a stateful generator, so two jobs built
+from the same plan inject byte-for-byte identical fault sequences
+(the determinism acceptance bar for this subsystem).
+
+:class:`FaultInjector` is the small mutable cursor that walks a plan
+during one job: it remembers which crashes already fired and numbers
+the messages so each send's fault decision is
+``CounterRng(seed, "msg").uniform(message_index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ft.prng import CounterRng
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` dies at simulated instant ``at_ns``.
+
+    The crash takes effect at the first scheduling decision at or after
+    ``at_ns`` (the simulator's event granularity): every PE on the node
+    fails and every rank resident there is lost.
+    """
+
+    at_ns: int
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ReproError(f"crash time must be >= 0, got {self.at_ns}")
+        if self.node < 0:
+            raise ReproError(f"node index must be >= 0, got {self.node}")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-message fault probabilities for point-to-point traffic.
+
+    Faults are *detected and repaired* by the modelled transport (drops
+    and corruptions are retransmitted after a timeout; duplicates are
+    discarded by sequence number), so they cost latency but never change
+    application data — numerics stay identical to a fault-free run.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    #: detection + retransmission delay charged per lost/corrupt message
+    retry_timeout_ns: int = 50_000
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"{name} probability must be in [0,1], "
+                                 f"got {p}")
+        if self.drop + self.duplicate + self.corrupt > 1.0:
+            raise ReproError("fault probabilities must sum to <= 1")
+        if self.retry_timeout_ns < 0:
+            raise ReproError("retry_timeout_ns must be >= 0")
+
+    @property
+    def any(self) -> bool:
+        return (self.drop + self.duplicate + self.corrupt) > 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, deterministic fault schedule for one job."""
+
+    seed: int = 0
+    node_crashes: tuple[NodeCrash, ...] = ()
+    message_faults: MessageFaults | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ReproError("fault-plan seed must be non-negative")
+        # Normalize: accept any iterable of crashes, store sorted tuple.
+        crashes = tuple(sorted(self.node_crashes,
+                               key=lambda c: (c.at_ns, c.node)))
+        object.__setattr__(self, "node_crashes", crashes)
+
+    @classmethod
+    def random_crashes(cls, seed: int, k: int, nodes: int,
+                       window: tuple[int, int],
+                       message_faults: MessageFaults | None = None,
+                       ) -> "FaultPlan":
+        """``k`` crashes of distinct nodes at seeded-random instants in
+        ``[window[0], window[1])``.
+
+        Deterministic in ``(seed, k, nodes, window)``; the first ``j``
+        crashes of a ``k``-crash plan equal the ``j``-crash plan, so
+        overhead sweeps over ``k`` nest naturally.
+        """
+        if k < 0:
+            raise ReproError("crash count must be >= 0")
+        if k > nodes:
+            raise ReproError(f"cannot crash {k} distinct nodes out of "
+                             f"{nodes}")
+        lo, hi = window
+        if not 0 <= lo < hi:
+            raise ReproError(f"bad crash window {window!r}")
+        rng = CounterRng(seed, "crash")
+        crashes = []
+        alive = list(range(nodes))
+        for i in range(k):
+            at = lo + rng.randrange(2 * i, hi - lo)
+            node = alive.pop(rng.randrange(2 * i + 1, len(alive)))
+            crashes.append(NodeCrash(at_ns=at, node=node))
+        return cls(seed=seed, node_crashes=tuple(crashes),
+                   message_faults=message_faults)
+
+
+#: message fault kinds in draw order (drop | duplicate | corrupt)
+MSG_FAULT_KINDS = ("drop", "duplicate", "corrupt")
+
+
+@dataclass
+class FaultInjector:
+    """Mutable cursor executing a :class:`FaultPlan` during one job."""
+
+    plan: FaultPlan
+    _crash_idx: int = 0
+    _msg_idx: int = field(default=0, repr=False)
+    _msg_rng: CounterRng | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._msg_rng = CounterRng(self.plan.seed, "msg")
+
+    # -- node crashes -----------------------------------------------------------
+
+    def next_crash(self, now_ns: int) -> NodeCrash | None:
+        """Pop the next crash due at or before ``now_ns``, if any."""
+        crashes = self.plan.node_crashes
+        if self._crash_idx < len(crashes) \
+                and crashes[self._crash_idx].at_ns <= now_ns:
+            crash = crashes[self._crash_idx]
+            self._crash_idx += 1
+            return crash
+        return None
+
+    @property
+    def pending_crashes(self) -> int:
+        return len(self.plan.node_crashes) - self._crash_idx
+
+    # -- message faults -----------------------------------------------------------
+
+    def next_message_fault(self) -> str | None:
+        """Fault kind for the next point-to-point send (or None).
+
+        Decision ``i`` depends only on ``(seed, i)`` — the i-th send of
+        a run is faulted identically in every replay.
+        """
+        mf = self.plan.message_faults
+        if mf is None or not mf.any:
+            return None
+        i = self._msg_idx
+        self._msg_idx += 1
+        r = self._msg_rng.uniform(i)
+        acc = 0.0
+        for kind in MSG_FAULT_KINDS:
+            acc += getattr(mf, kind)
+            if r < acc:
+                return kind
+        return None
+
+    def message_penalty_ns(self, kind: str, transfer_ns: int,
+                           msg_overhead_ns: int) -> int:
+        """Extra latency the transport pays to repair fault ``kind``."""
+        mf = self.plan.message_faults
+        if kind in ("drop", "corrupt"):
+            # Detected (timeout / checksum), then fully retransmitted.
+            return mf.retry_timeout_ns + transfer_ns
+        if kind == "duplicate":
+            # Receiver identifies and discards the spurious copy.
+            return msg_overhead_ns
+        raise ReproError(f"unknown message fault kind {kind!r}")

@@ -1,0 +1,66 @@
+"""Counter-based pseudo-random numbers for deterministic fault injection.
+
+gem5-style reproducibility (Pai et al., PAPERS.md) demands that a
+simulation be a pure function of its inputs.  Stateful generators break
+that the moment two subsystems interleave draws differently; wall-clock
+seeding breaks it always.  A *counter-based* generator sidesteps both:
+the n-th value of a stream is ``mix(seed ^ stream ^ n)`` — stateless,
+order-independent, and trivially replayable.  The mixer is the
+splitmix64 finalizer (Steele et al.), which passes BigCrush when used
+this way and needs only integer ops.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+_MASK64 = (1 << 64) - 1
+#: golden-ratio increment, the splitmix64 stream constant
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix(x: int) -> int:
+    """splitmix64 finalizer: a 64-bit avalanche permutation."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def _stream_id(stream: int | str) -> int:
+    """Derive a 64-bit stream id; strings hash via CRC32 (stable across
+    Python processes, unlike ``hash``)."""
+    if isinstance(stream, str):
+        return _mix(zlib.crc32(stream.encode("utf-8")))
+    return stream & _MASK64
+
+
+class CounterRng:
+    """A family of independent deterministic random streams.
+
+    ``CounterRng(seed, "msg").u64(i)`` is the same value in every run,
+    on every platform, regardless of how many draws other streams made.
+    """
+
+    __slots__ = ("seed", "stream", "_base")
+
+    def __init__(self, seed: int, stream: int | str = 0):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = seed
+        self.stream = stream
+        self._base = _mix(seed ^ _mix(_stream_id(stream)))
+
+    def u64(self, counter: int) -> int:
+        """The ``counter``-th 64-bit value of this stream."""
+        return _mix(self._base + (counter & _MASK64) * _GAMMA)
+
+    def uniform(self, counter: int) -> float:
+        """The ``counter``-th float in [0, 1) (53-bit resolution)."""
+        return (self.u64(counter) >> 11) * (1.0 / (1 << 53))
+
+    def randrange(self, counter: int, n: int) -> int:
+        """The ``counter``-th integer in [0, n)."""
+        if n <= 0:
+            raise ValueError("randrange needs n >= 1")
+        return self.u64(counter) % n

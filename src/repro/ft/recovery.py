@@ -1,0 +1,181 @@
+"""Automatic crash recovery: detect, roll back, re-map, replay.
+
+When a :class:`~repro.ft.plan.NodeCrash` fires, the node's PEs fail and
+every rank resident there is lost.  Recovery is global, like Charm++'s
+in-memory restart protocol: *all* ranks (not just the dead ones) roll
+back to the last buddy checkpoint, because messages sent after it are
+gone with the node that acknowledged them.  Concretely:
+
+1. flush the run queue and reset the MPI layer (mailboxes, posted
+   receives, wait/probe registrations, in-flight collectives);
+2. re-map dead-node ranks onto surviving PEs through the existing
+   :class:`~repro.charm.migration.MigrationEngine` (least-loaded
+   surviving PE, deterministic vp order) — recovery migrations show up
+   in ``JobResult.migrations`` like any LB move;
+3. restore every rank's globals + heap from the checkpoint and give it
+   a fresh ULT **reusing its old simulated clock object** (the rank's
+   execution context captured that clock at privatization setup);
+4. charge a recovery cost (restart barrier + state memcpy + slowest
+   retrieval/migration) and re-register every rank at
+   ``crash time + recovery time``.
+
+Restart-aware programs (ones that consult restored globals before
+iterating, the same contract ``restore_from=`` uses) then replay from
+the checkpointed step and finish with numerics identical to a
+failure-free run.  Anything that makes this impossible — no redundant
+snapshot copy left, a non-checkpointable method, no surviving PE —
+raises :class:`~repro.errors.FaultUnrecoverableError` out of the
+scheduler loop instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.charm.reduction import tree_depth
+from repro.errors import FaultUnrecoverableError, ReproError
+from repro.ft.plan import FaultInjector, NodeCrash
+from repro.perf.counters import EV_FAULT, EV_RECOVERY_NS
+from repro.threads.ult import UserLevelThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.runtime import AmpiJob
+
+
+class RecoveryManager:
+    """Watches the scheduler for due node crashes and performs recovery."""
+
+    def __init__(self, job: "AmpiJob", injector: FaultInjector):
+        self.job = job
+        self.injector = injector
+        self.dead_procs: set[int] = set()
+        self.recoveries = 0
+        self.recovery_ns_total = 0
+        for crash in injector.plan.node_crashes:
+            if crash.node >= len(job.nodes):
+                raise ReproError(
+                    f"fault plan crashes node {crash.node} but the job "
+                    f"has only {len(job.nodes)} nodes"
+                )
+
+    # -- scheduler hook -----------------------------------------------------------
+
+    def poll(self, now_ns: int) -> bool:
+        """Called before each scheduling quantum; True if a crash fired
+        (the popped quantum is stale and must be discarded)."""
+        crash = self.injector.next_crash(now_ns)
+        if crash is None:
+            return False
+        self.handle_crash(crash)
+        return True
+
+    # -- the recovery protocol ------------------------------------------------------
+
+    def handle_crash(self, crash: NodeCrash) -> None:
+        job = self.job
+        node = job.nodes[crash.node]
+        job.counters.incr(EV_FAULT)
+        if job.trace is not None:
+            job.trace.instant(
+                "fault:node-crash", "ft", crash.at_ns,
+                pid=job._pe_pid_base,
+                args={"node": crash.node,
+                      "pes": [pe.index for proc in node.processes
+                              for pe in proc.pes]},
+            )
+
+        newly_dead = [pe for proc in node.processes for pe in proc.pes
+                      if not pe.failed]
+        if not newly_dead:
+            return  # node already down; nothing further to lose
+        for pe in newly_dead:
+            pe.failed = True
+        self.dead_procs.update(proc.index for proc in node.processes)
+
+        survivors = [pe for pe in job.pes if not pe.failed]
+        if not survivors:
+            raise FaultUnrecoverableError(
+                f"node {crash.node} crash at t={crash.at_ns} left no "
+                "surviving PE"
+            )
+        bc = job.buddy_ckpt
+        if bc is None or bc.checkpoint is None:
+            raise FaultUnrecoverableError(
+                f"node {crash.node} crashed at t={crash.at_ns} with no "
+                "checkpoint to restart from"
+            )
+        if not bc.recoverable_after(self.dead_procs):
+            lost = bc.lost_ranks(self.dead_procs)
+            raise FaultUnrecoverableError(
+                f"node {crash.node} crash at t={crash.at_ns} destroyed "
+                f"both snapshot copies of vp(s) {lost}; with "
+                f"{len(job.processes)} OS process(es) the buddy scheme "
+                "holds no surviving replica"
+            )
+
+        recovery_ns = self._rollback(crash, survivors)
+        self.recoveries += 1
+        self.recovery_ns_total += recovery_ns
+        job.counters.incr(EV_RECOVERY_NS, recovery_ns)
+        if job.trace is not None:
+            job.trace.span(
+                "recovery", "ft", crash.at_ns, recovery_ns,
+                pid=job._pe_pid_base,
+                args={"node": crash.node, "recoveries": self.recoveries},
+            )
+
+    def _rollback(self, crash: NodeCrash, survivors: list) -> int:
+        """Global rollback to the buddy checkpoint; returns its cost."""
+        job = self.job
+        bc = job.buddy_ckpt
+        ckpt = bc.checkpoint
+
+        # 1. Quiesce: nothing queued or half-communicated survives the
+        #    rollback horizon.
+        job.scheduler.flush()
+        job._ft_reset_mpi_state()
+
+        # 2. Dead ranks move to the least-loaded surviving PE, in vp
+        #    order — the same deterministic tie-break the LB uses.
+        move_ns = 0
+        for rank in sorted((r for r in job.ranks() if r.pe.failed),
+                           key=lambda r: r.vp):
+            target = min(survivors,
+                         key=lambda pe: (len(pe.resident), pe.index))
+            rec = job.migration_engine.migrate(rank, target)
+            move_ns = max(move_ns, rec.ns)
+
+        # 3. Every rank restarts from its snapshot on a fresh ULT that
+        #    keeps the old SimClock object (contexts hold references).
+        for rank in job.ranks():
+            old = rank.ult
+            clock = old.clock
+            if not old.finished:
+                old.kill()
+            ult = UserLevelThread(
+                f"vp{rank.vp}", job._rank_entry, (rank,),
+                stack_bytes=job.stack_bytes,
+            )
+            ult.clock = clock
+            rank.ult = ult
+            rank.finished = False
+            rank.exit_value = None
+            ckpt.restore_rank(rank, reset_heap=True)
+
+        # 4. Price the restart: a job-wide barrier, unpacking the
+        #    checkpoint state, and the slowest snapshot retrieval/move.
+        costs = job.costs
+        recovery_ns = (
+            tree_depth(job.nvp) * costs.collective_step_ns
+            + costs.memcpy_ns(ckpt.nbytes)
+            + move_ns
+        )
+        resume_at = crash.at_ns + recovery_ns
+        for rank in job.ranks():
+            # A rank can never run before its process finished AMPI
+            # startup, even when the crash struck mid-initialization.
+            job.scheduler.reregister(
+                rank,
+                max(resume_at, rank.pe.process.startup_clock.now),
+            )
+        return recovery_ns

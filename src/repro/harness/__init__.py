@@ -5,8 +5,10 @@ experiment drivers."""
 from repro.harness.tables import format_table, format_markdown_table
 from repro.harness.capabilities import CapabilityRow, probe_method, capability_table
 from repro.harness.experiments import (
+    FaultRow,
     adcirc_scaling_experiment,
     context_switch_experiment,
+    fault_overhead_experiment,
     icache_experiment,
     jacobi_access_experiment,
     migration_experiment,
@@ -20,6 +22,8 @@ __all__ = [
     "probe_method",
     "capability_table",
     "startup_experiment",
+    "FaultRow",
+    "fault_overhead_experiment",
     "context_switch_experiment",
     "jacobi_access_experiment",
     "migration_experiment",

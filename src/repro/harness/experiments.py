@@ -434,3 +434,113 @@ def _square_layout(cores: int, machine: MachineModel) -> JobLayout:
     nodes = (cores + per_node - 1) // per_node
     return JobLayout(nodes=nodes, processes_per_node=1,
                      pes_per_process=per_node)
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerance overhead sweep: failure-free vs. k node crashes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRow:
+    k: int                    #: injected node crashes
+    seed: int
+    status: str               #: "ok" or "unrecoverable: <reason>"
+    makespan_ns: int
+    overhead_pct: float       #: vs. the failure-free (k=0) run
+    recovery_ns: int          #: total simulated recovery time (counter)
+    faults: int               #: EV_FAULT
+    checkpoints: int          #: EV_CKPT (incl. the startup baseline)
+    ckpt_bytes: int           #: EV_CKPT_BYTES
+    migrations: int           #: cross-PE moves (recovery re-mapping)
+    residual: float | None    #: final Jacobi residual (None if failed)
+
+
+def fault_overhead_experiment(
+    kmax: int = 2,
+    *,
+    seed: int = 20220822,
+    nvp: int = 8,
+    nodes: int = 4,
+    method: str = "pieglobals",
+    machine: MachineModel = None,
+    cfg: JacobiConfig | None = None,
+    ckpt_interval_ns: int = 0,
+    trace: TraceRecorder | None = None,
+) -> list[FaultRow]:
+    """Runtime overhead of surviving ``k`` node crashes, k = 0..kmax.
+
+    A restart-aware Jacobi-3D (checkpointing every ``ckpt_period``
+    iterations) runs once failure-free to calibrate the crash window
+    (inside the application phase, away from the edges), then once per
+    ``k`` with :meth:`FaultPlan.random_crashes`.  Everything is seeded —
+    rerunning the sweep reproduces it bit-for-bit.  A run whose crashes
+    destroy both snapshot copies reports ``status="unrecoverable: ..."``
+    instead of raising.
+    """
+    from repro.apps.jacobi3d import run_jacobi
+    from repro.errors import FaultUnrecoverableError
+    from repro.ft import FaultPlan, FtConfig
+    from repro.machine import GENERIC_LINUX
+    from repro.perf.counters import (
+        EV_CKPT,
+        EV_CKPT_BYTES,
+        EV_FAULT,
+        EV_RECOVERY_NS,
+    )
+
+    if kmax < 0:
+        raise ValueError("kmax must be >= 0")
+    machine = machine or GENERIC_LINUX
+    cfg = cfg or JacobiConfig(n=16, iters=16, reduce_every=4,
+                              ckpt_period=2, compute_ns_per_cell=2000.0)
+    if not cfg.ckpt_period:
+        raise ValueError("fault sweep needs a checkpointing app "
+                         "(cfg.ckpt_period > 0)")
+    per_node = max(1, min(machine.cores_per_node,
+                          (nvp + nodes - 1) // nodes))
+    layout = JobLayout(nodes=nodes, processes_per_node=1,
+                       pes_per_process=per_node)
+    ft = FtConfig(ckpt_interval_ns=ckpt_interval_ns)
+
+    def one(plan) -> JobResult:
+        return run_jacobi(cfg, nvp, method=method, machine=machine,
+                          layout=layout, fault_plan=plan, ft=ft,
+                          trace=trace)
+
+    base = one(None)
+    base_span = base.makespan_ns
+    # Crash window: the middle of the application phase.
+    lo = base.startup_ns + base.app_ns // 10
+    hi = base.startup_ns + (base.app_ns * 8) // 10
+    if hi <= lo:
+        hi = lo + 1
+
+    def row(k: int, result: JobResult | None, status: str) -> FaultRow:
+        if result is None:
+            return FaultRow(k=k, seed=seed, status=status, makespan_ns=0,
+                            overhead_pct=0.0, recovery_ns=0, faults=k,
+                            checkpoints=0, ckpt_bytes=0, migrations=0,
+                            residual=None)
+        c = result.counters
+        return FaultRow(
+            k=k, seed=seed, status=status,
+            makespan_ns=result.makespan_ns,
+            overhead_pct=round(
+                100.0 * (result.makespan_ns - base_span) / base_span, 4),
+            recovery_ns=c[EV_RECOVERY_NS],
+            faults=c[EV_FAULT],
+            checkpoints=c[EV_CKPT],
+            ckpt_bytes=c[EV_CKPT_BYTES],
+            migrations=sum(1 for m in result.migrations
+                           if m.src_pe != m.dst_pe),
+            residual=result.exit_values.get(0),
+        )
+
+    rows = [row(0, base, "ok")]
+    for k in range(1, kmax + 1):
+        plan = FaultPlan.random_crashes(seed, k, nodes, (lo, hi))
+        try:
+            rows.append(row(k, one(plan), "ok"))
+        except FaultUnrecoverableError as e:
+            rows.append(row(k, None, f"unrecoverable: {e}"))
+    return rows

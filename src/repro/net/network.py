@@ -58,6 +58,8 @@ class Network:
 
     def migration_ns(self, nbytes: int, src: Endpoint, dst: Endpoint) -> int:
         """Time to move a packed rank of ``nbytes`` (pack cost included)."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
         if src == dst:
             return self.costs.migration_pack_ns
         base = self.costs.migration_pack_ns + self.costs.memcpy_ns(nbytes)

@@ -25,6 +25,13 @@ EV_DLOPEN = "DLOPEN"
 EV_DLMOPEN = "DLMOPEN"
 EV_FS_BYTES = "FS_BYTES_COPIED"
 EV_SHIM_DISPATCH = "SHIM_DISPATCH"  #: MPI calls routed via the funcptr shim
+EV_CKPT = "CKPT"                    #: buddy checkpoints taken
+EV_CKPT_BYTES = "CKPT_BYTES"        #: bytes captured into buddy checkpoints
+EV_FAULT = "FAULTS_INJECTED"        #: injected faults (crashes + messages)
+EV_RECOVERY_NS = "RECOVERY_NS"      #: simulated ns spent in crash recovery
+EV_MSG_FAULT_DROP = "MSG_FAULT_DROP"
+EV_MSG_FAULT_DUP = "MSG_FAULT_DUP"
+EV_MSG_FAULT_CORRUPT = "MSG_FAULT_CORRUPT"
 
 
 class CounterSet:

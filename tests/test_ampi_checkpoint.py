@@ -83,6 +83,43 @@ class TestRestart:
                     layout=JobLayout.single(2), slot_size=1 << 24,
                     restore_from=ckpt).run()
 
+    def test_restart_method_mismatch_names_both_methods(self):
+        src = restartable_program()
+        job, _ = run(src)
+        ckpt = job.checkpoints[0]
+        with pytest.raises(CheckpointError,
+                           match="pieglobals.*tlsglobals"):
+            AmpiJob(src, 2, method="tlsglobals", machine=TEST_MACHINE,
+                    layout=JobLayout.single(2), slot_size=1 << 24,
+                    restore_from=ckpt).run()
+
+    def test_missing_snapshot_for_vp(self):
+        src = restartable_program()
+        job, _ = run(src)
+        ckpt = job.checkpoints[0]
+        del ckpt.snapshots[1]
+        with pytest.raises(CheckpointError, match="no snapshot for vp 1"):
+            AmpiJob(src, 2, method="pieglobals", machine=TEST_MACHINE,
+                    layout=JobLayout.single(2), slot_size=1 << 24,
+                    restore_from=ckpt).run()
+
+    def test_restore_rerun_is_deterministic(self):
+        """capture -> restore -> rerun twice: identical state + counters."""
+        src = restartable_program(total_steps=6)
+        job, first = run(src)
+        ckpt = job.checkpoints[0]
+
+        def rerun():
+            return AmpiJob(src, 2, method="pieglobals",
+                           machine=TEST_MACHINE,
+                           layout=JobLayout.single(2), slot_size=1 << 24,
+                           restore_from=ckpt).run()
+
+        a, b = rerun(), rerun()
+        assert a.exit_values == b.exit_values == first.exit_values
+        assert a.counters == b.counters
+        assert a.makespan_ns == b.makespan_ns
+
     def test_restart_program_mismatch(self):
         src = restartable_program()
         job, _ = run(src)

@@ -88,3 +88,41 @@ class TestCommands:
     def test_trace_rejects_untraceable_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "icache"])
+
+
+class TestFaultsCommand:
+    def test_faults_table(self, capsys):
+        assert main(["faults", "jacobi", "--kmax", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "recovery" in out
+        assert out.count("ok") >= 2
+
+    def test_faults_json(self, capsys):
+        import json
+
+        assert main(["faults", "jacobi", "--kmax", "1", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["experiment"] == "faults"
+        rows = obj["rows"]
+        assert [r["k"] for r in rows] == [0, 1]
+        assert all(r["status"] == "ok" for r in rows)
+        assert rows[1]["recovery_ns"] > 0
+        assert rows[1]["overhead_pct"] > 0
+
+    def test_faults_unrecoverable_exits_nonzero(self, capsys):
+        # One node: a crash takes out every PE, so the sweep's k=1 row
+        # fails and the command must report it via the exit status.
+        assert main(["faults", "jacobi", "--kmax", "1",
+                     "--nodes", "1", "--json"]) == 1
+        import json
+
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["rows"][0]["status"] == "ok"
+        assert obj["rows"][1]["status"].startswith("unrecoverable")
+
+    def test_simulated_failure_exits_nonzero(self, capsys):
+        # swapglobals needs a patched glibc: the simulated job aborts
+        # and the CLI surfaces it as a nonzero exit with a diagnostic.
+        assert main(["hello", "--method", "swapglobals", "--vp", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "UnsupportedToolchain" in err

@@ -1,0 +1,83 @@
+"""Replay determinism of fault runs and the fault-overhead experiment.
+
+The acceptance bar for the fault-tolerance subsystem: two runs with the
+same seed and fault plan must be indistinguishable — byte-identical
+Chrome trace JSON, equal counters, equal numerics.
+"""
+
+from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+from repro.charm.node import JobLayout
+from repro.ft import FaultPlan, FtConfig, MessageFaults, NodeCrash
+from repro.harness import fault_overhead_experiment
+from repro.trace import TraceRecorder, dumps_chrome_trace
+
+CFG = JacobiConfig(n=12, iters=8, reduce_every=2, ckpt_period=2)
+LAYOUT = JobLayout(nodes=4, processes_per_node=1, pes_per_process=2)
+
+
+def _crash_instant():
+    base = run_jacobi(CFG, 8, layout=LAYOUT, ft=FtConfig())
+    return base.startup_ns + base.app_ns // 2
+
+
+CRASH_AT = _crash_instant()
+
+
+def _traced_run():
+    plan = FaultPlan(
+        seed=7,
+        node_crashes=(NodeCrash(at_ns=CRASH_AT, node=1),),
+        message_faults=MessageFaults(drop=0.1, duplicate=0.05,
+                                     corrupt=0.02),
+    )
+    tr = TraceRecorder()
+    res = run_jacobi(CFG, 8, layout=LAYOUT, fault_plan=plan,
+                     ft=FtConfig(), trace=tr)
+    return res, dumps_chrome_trace(tr)
+
+
+class TestFaultRunDeterminism:
+    def test_same_seed_runs_are_byte_identical(self):
+        res_a, blob_a = _traced_run()
+        res_b, blob_b = _traced_run()
+        assert blob_a == blob_b
+        assert res_a.counters == res_b.counters
+        assert res_a.exit_values == res_b.exit_values
+        assert res_a.makespan_ns == res_b.makespan_ns
+
+    def test_trace_records_fault_events(self):
+        res, blob = _traced_run()
+        assert res.recoveries == 1
+        assert "fault:node-crash" in blob
+        assert "recovery" in blob
+        assert "buddy-ckpt" in blob
+        assert "fault:msg-drop" in blob
+
+
+class TestFaultOverheadExperiment:
+    def test_sweep_rows(self):
+        rows = fault_overhead_experiment(kmax=1)
+        assert [r.k for r in rows] == [0, 1]
+        base, faulty = rows
+        assert base.status == "ok" and base.overhead_pct == 0.0
+        assert base.faults == 0 and base.recovery_ns == 0
+        assert faulty.status == "ok"
+        assert faulty.faults == 1
+        assert faulty.recovery_ns > 0
+        assert faulty.overhead_pct > 0.0
+        # Recovery must not change the converged answer.
+        assert faulty.residual == base.residual
+        assert base.checkpoints > 0 and base.ckpt_bytes > 0
+
+    def test_sweep_is_deterministic(self):
+        assert fault_overhead_experiment(kmax=1) == \
+            fault_overhead_experiment(kmax=1)
+
+    def test_rejects_bad_inputs(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            fault_overhead_experiment(kmax=-1)
+        with pytest.raises(ValueError):
+            fault_overhead_experiment(
+                kmax=0, cfg=JacobiConfig(n=8, iters=2, ckpt_period=0))

@@ -1,0 +1,145 @@
+"""Tests for buddy checkpointing and automatic crash recovery."""
+
+import pytest
+
+from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+from repro.charm.node import JobLayout
+from repro.errors import FaultUnrecoverableError, MigrationUnsupportedError
+from repro.ft import FaultPlan, FtConfig, MessageFaults, NodeCrash
+from repro.perf.counters import (
+    EV_CKPT,
+    EV_CKPT_BYTES,
+    EV_FAULT,
+    EV_MSG_FAULT_DROP,
+    EV_RECOVERY_NS,
+)
+
+CFG = JacobiConfig(n=12, iters=8, reduce_every=2, ckpt_period=2)
+LAYOUT = JobLayout(nodes=4, processes_per_node=1, pes_per_process=2)
+
+
+def _run(fault_plan=None, ft=FtConfig(), cfg=CFG, **kw):
+    return run_jacobi(cfg, 8, layout=LAYOUT, fault_plan=fault_plan,
+                      ft=ft, **kw)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Failure-free run with buddy checkpointing on."""
+    return _run()
+
+
+class TestBuddyCheckpointing:
+    def test_counters_and_costs(self, baseline):
+        # startup baseline + checkpoints after iterations 2, 4, 6
+        assert baseline.counters[EV_CKPT] == 4
+        assert baseline.counters[EV_CKPT_BYTES] > 0
+        assert baseline.recoveries == 0
+
+    def test_checkpointing_costs_time(self, baseline):
+        # Coalescing every periodic request down to the startup baseline
+        # checkpoint must be cheaper than taking all four.
+        coalesced = _run(ft=FtConfig(ckpt_interval_ns=10**15))
+        assert baseline.makespan_ns > coalesced.makespan_ns
+        assert baseline.exit_values == coalesced.exit_values
+
+    def test_interval_coalesces_requests(self):
+        # A huge interval keeps only the startup baseline checkpoint.
+        r = _run(ft=FtConfig(ckpt_interval_ns=10**15))
+        assert r.counters[EV_CKPT] == 1
+
+    def test_nonmigratable_method_fails_structured(self):
+        with pytest.raises(FaultUnrecoverableError, match="fsglobals"):
+            run_jacobi(
+                JacobiConfig(n=8, iters=2), 4, method="fsglobals",
+                layout=JobLayout(nodes=2, processes_per_node=2,
+                                 pes_per_process=1),
+                ft=FtConfig(),
+            )
+
+
+class TestCrashRecovery:
+    def test_k1_crash_same_numerics_with_overhead(self, baseline):
+        at = baseline.startup_ns + baseline.app_ns // 2
+        plan = FaultPlan(seed=1,
+                         node_crashes=(NodeCrash(at_ns=at, node=2),))
+        r = _run(plan)
+        assert r.recoveries == 1
+        assert r.counters[EV_FAULT] == 1
+        assert r.counters[EV_RECOVERY_NS] > 0
+        assert r.makespan_ns > baseline.makespan_ns
+        # The acceptance bar: identical numerical result.
+        assert r.exit_values == baseline.exit_values
+
+    def test_dead_ranks_remapped_to_survivors(self, baseline):
+        at = baseline.startup_ns + baseline.app_ns // 2
+        plan = FaultPlan(seed=1,
+                         node_crashes=(NodeCrash(at_ns=at, node=0),))
+        r = _run(plan)
+        # node 0 hosted 2 of the 8 vps; both must have moved.
+        moves = [m for m in r.migrations if m.src_pe != m.dst_pe]
+        assert len(moves) >= 2
+        for pe_stat in r.pe_stats[:2]:  # node 0's PEs
+            assert pe_stat.final_ranks == ()
+
+    def test_startup_crash_restarts_from_baseline(self, baseline):
+        # Crash before any rank ran: recovery restores the startup
+        # checkpoint and the job still completes correctly, no faster
+        # than failure-free.
+        plan = FaultPlan(seed=1, node_crashes=(
+            NodeCrash(at_ns=baseline.startup_ns // 2, node=1),))
+        r = _run(plan)
+        assert r.exit_values == baseline.exit_values
+        assert r.makespan_ns >= baseline.makespan_ns
+
+    def test_crash_without_checkpointable_state_unrecoverable(self):
+        # One OS process: the buddy is the process itself, so a node
+        # crash destroys both snapshot copies.
+        plan = FaultPlan(seed=1,
+                         node_crashes=(NodeCrash(at_ns=10**7, node=0),))
+        with pytest.raises(FaultUnrecoverableError):
+            run_jacobi(JacobiConfig(n=8, iters=4, ckpt_period=2), 4,
+                       layout=JobLayout.single(4), fault_plan=plan)
+
+    def test_double_fault_within_ckpt_period_unrecoverable(self, baseline):
+        # Two crashes closer together than a checkpoint period kill a
+        # rank's primary and its buddy copy.
+        at = baseline.startup_ns + baseline.app_ns // 2
+        plan = FaultPlan(seed=1, node_crashes=(
+            NodeCrash(at_ns=at, node=0),
+            NodeCrash(at_ns=at + 1000, node=3),
+        ))
+        with pytest.raises(FaultUnrecoverableError,
+                           match="both snapshot copies"):
+            _run(plan)
+
+    def test_crash_on_unknown_node_rejected(self):
+        from repro.errors import ReproError
+
+        plan = FaultPlan(seed=1,
+                         node_crashes=(NodeCrash(at_ns=1, node=99),))
+        with pytest.raises(ReproError, match="only"):
+            _run(plan)
+
+    def test_migration_to_failed_pe_rejected(self):
+        from repro.ampi.runtime import AmpiJob
+        from repro.apps.jacobi3d import build_jacobi_program
+
+        job = AmpiJob(build_jacobi_program(JacobiConfig(n=8, iters=1)), 4,
+                      layout=JobLayout(nodes=2, processes_per_node=1,
+                                       pes_per_process=2))
+        job.run()
+        job.pes[3].failed = True
+        with pytest.raises(MigrationUnsupportedError, match="failed PE"):
+            job.migration_engine.migrate(job.rank_of(0), job.pes[3])
+
+
+class TestMessageFaults:
+    def test_latency_only_numerics_identical(self, baseline):
+        plan = FaultPlan(seed=3, message_faults=MessageFaults(
+            drop=0.2, duplicate=0.1, corrupt=0.05))
+        r = _run(plan)
+        assert r.counters[EV_FAULT] > 0
+        assert r.counters[EV_MSG_FAULT_DROP] > 0
+        assert r.makespan_ns > baseline.makespan_ns
+        assert r.exit_values == baseline.exit_values

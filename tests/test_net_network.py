@@ -37,6 +37,10 @@ class TestRegimes:
 
 
 class TestMigration:
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NET.migration_ns(-1, A, B)
+
     def test_same_pe_is_pack_only(self):
         assert NET.migration_ns(1 << 20, A, A) == \
             TEST_COSTS.migration_pack_ns
