@@ -1,0 +1,78 @@
+"""Wall-clock perf smoke of the event loop (CI regression guard).
+
+Everything else under ``benchmarks/`` asserts on *simulated* time; this
+file asserts on *host* time — shrunken ``repro bench`` stages with
+generous-but-strict budgets, so a gross regression in the scheduler hot
+path or the pooled ULT backend fails CI instead of silently making
+every sweep slower.  The budgets are an order of magnitude above the
+measured numbers to stay robust on slow shared runners; the
+``pytest-timeout`` marker is the hard backstop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.bench import run_bench
+
+#: hard wall-clock stop for the whole module in CI (pytest-timeout);
+#: locally (plugin absent) the per-stage budget asserts still apply
+pytestmark = pytest.mark.timeout(300)
+
+#: seconds — quick-stage budgets, ~10x the measured numbers
+CHURN_BUDGET_S = 10.0
+JACOBI_BUDGET_S = 30.0
+SWEEP_BUDGET_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(quick=True)
+
+
+def _stage(payload, name):
+    return next(s for s in payload["stages"] if s["name"] == name)
+
+
+def test_payload_shape(payload):
+    assert payload["bench"] == "scale_smoke" and payload["quick"]
+    names = [s["name"] for s in payload["stages"]]
+    assert names == ["ult_churn", "jacobi", "ctx_sweep"]
+    for stage in payload["stages"]:
+        rows = stage.get("rows") or list(stage["backends"].values())
+        assert rows, f"stage {stage['name']} measured nothing"
+
+
+def test_backends_trace_identical(payload):
+    """The determinism contract, enforced at bench scale: both backends
+    must produce the same simulated makespan and timeline digest."""
+    jacobi = _stage(payload, "jacobi")
+    assert jacobi["trace_identical"], (
+        "thread and pooled backends diverged: "
+        f"{jacobi['backends']}"
+    )
+
+
+def test_pooled_beats_thread_on_lifecycle_churn(payload):
+    """The pooled backend's whole point: no OS-thread spawn/join per ULT
+    lifecycle.  Measured ~3-4x; assert a conservative floor for noisy
+    CI boxes."""
+    churn = _stage(payload, "ult_churn")
+    assert churn["speedup_pooled_vs_thread"] >= 1.5
+
+
+def test_stage_wall_clock_budgets(payload):
+    churn = _stage(payload, "ult_churn")
+    jacobi = _stage(payload, "jacobi")
+    sweep = _stage(payload, "ctx_sweep")
+    assert churn["backends"]["pooled"]["min_s"] < CHURN_BUDGET_S
+    assert jacobi["backends"]["pooled"]["min_s"] < JACOBI_BUDGET_S
+    assert all(r["wall_s"] < SWEEP_BUDGET_S for r in sweep["rows"])
+
+
+def test_ops_rates_positive(payload):
+    for name in ("ult_churn", "jacobi"):
+        for backend, sample in _stage(payload, name)["backends"].items():
+            assert sample["ops_per_s"] > 0, (name, backend)
+    assert all(r["switches_per_s"] > 0
+               for r in _stage(payload, "ctx_sweep")["rows"])

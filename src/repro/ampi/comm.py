@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.charm.messages import ANY_SOURCE, ANY_TAG  # re-exported
 from repro.errors import MpiError
@@ -30,10 +31,17 @@ class Communicator:
     def size(self) -> int:
         return len(self.group)
 
+    @cached_property
+    def _rank_by_vp(self) -> dict[int, int]:
+        # The linear tuple.index scan here was O(nvp) per send — at
+        # paper-scale VP counts that made membership lookup quadratic
+        # job-wide.  The group is immutable, so invert it once.
+        return {vp: i for i, vp in enumerate(self.group)}
+
     def rank_of_vp(self, vp: int) -> int:
         try:
-            return self.group.index(vp)
-        except ValueError:
+            return self._rank_by_vp[vp]
+        except KeyError:
             raise MpiError(
                 f"vp {vp} is not a member of {self.name}"
             ) from None
@@ -46,7 +54,7 @@ class Communicator:
         return self.group[rank]
 
     def __contains__(self, vp: int) -> bool:
-        return vp in self.group
+        return vp in self._rank_by_vp
 
     def derive(self, group: tuple[int, ...], name: str) -> "Communicator":
         if not group:

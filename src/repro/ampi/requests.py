@@ -15,7 +15,7 @@ class RequestKind(enum.Enum):
     RECV = "recv"
 
 
-@dataclass
+@dataclass(slots=True)
 class Status:
     """MPI_Status analogue filled in at completion."""
 
@@ -24,7 +24,7 @@ class Status:
     nbytes: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """Handle for an in-flight isend/irecv."""
 

@@ -201,6 +201,7 @@ class AmpiJob:
         restore_from: "Any | None" = None,
         fault_plan: FaultPlan | None = None,
         ft: FtConfig | None = None,
+        ult_backend: "str | Any | None" = None,
     ):
         if nvp < 1:
             raise ReproError("need at least one virtual rank")
@@ -216,6 +217,10 @@ class AmpiJob:
         self.optimize = optimize
         self.stack_bytes = stack_bytes
         self.slot_size = slot_size
+        #: how rank ULTs get their OS stacks ("thread", "pooled", a
+        #: backend instance, or None for the process default) — a pure
+        #: execution-speed choice with no effect on simulated timelines
+        self.ult_backend = ult_backend
         if placement not in ("block", "roundrobin"):
             raise ReproError(f"unknown placement {placement!r}")
         self.placement = placement
@@ -338,6 +343,7 @@ class AmpiJob:
             rank.ult = UserLevelThread(
                 f"vp{vp}", self._rank_entry, (rank,),
                 stack_bytes=self.stack_bytes,
+                backend=self.ult_backend,
             )
             proc.startup_clock.advance(
                 self.costs.ult_create_ns + self.costs.ampi_rank_setup_ns

@@ -18,6 +18,7 @@ each privatized global per cell.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any
 
 import numpy as np
@@ -56,8 +57,14 @@ class JacobiConfig:
             raise ReproError("jacobi needs n >= 2 and iters >= 1")
 
 
+@lru_cache(maxsize=None)
 def dims_create(nranks: int, ndims: int = 3) -> tuple[int, ...]:
-    """MPI_Dims_create-style balanced factorization of ``nranks``."""
+    """MPI_Dims_create-style balanced factorization of ``nranks``.
+
+    Pure function of its arguments and called once per rank, so it is
+    memoized — at 4k VPs the repeated factorization showed up in the
+    event-loop profile.
+    """
     dims = [1] * ndims
     remaining = nranks
     f = 2
@@ -70,7 +77,7 @@ def dims_create(nranks: int, ndims: int = 3) -> tuple[int, ...]:
     if remaining > 1:
         factors.append(remaining)
     for p in sorted(factors, reverse=True):
-        dims[int(np.argmin(dims))] *= p
+        dims[dims.index(min(dims))] *= p
     return tuple(sorted(dims, reverse=True))
 
 
@@ -116,7 +123,6 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
         """Six-face halo exchange: all irecv/isend posted, then waited —
         deadlock-free and overlappable by the message-driven scheduler."""
         mpi = ctx.mpi
-        grid = np.arange(dims[0] * dims[1] * dims[2]).reshape(dims)
         cx, cy, cz = coords
         recvs = []
         for axis in (0, 1, 2):
@@ -125,7 +131,8 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
                 nc[axis] += direction
                 if not 0 <= nc[axis] < dims[axis]:
                     continue
-                nbr = int(grid[tuple(nc)])
+                # Row-major rank of the neighbour coordinate.
+                nbr = (nc[0] * dims[1] + nc[1]) * dims[2] + nc[2]
                 # The message I receive travels opposite to the one I send.
                 send_tag = 10 + axis * 2 + (direction > 0)
                 recv_tag = 10 + axis * 2 + (direction < 0)
@@ -149,7 +156,7 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
             + u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:]
         )
         interior = u[1:-1, 1:-1, 1:-1]
-        updated = (1.0 - om) * interior + om * inv6 * stencil
+        updated = (1.0 - om) * interior + (om * inv6) * stencil
         resid = float(np.max(np.abs(updated - interior)))
         cells = interior.size
         # Simulated cost of the compiled loop: arithmetic plus one access
@@ -244,6 +251,7 @@ def run_jacobi(
     trace: Any = None,
     fault_plan: Any = None,
     ft: Any = None,
+    ult_backend: Any = None,
 ) -> JobResult:
     """Build + run Jacobi-3D; returns the job result (exit value of each
     rank is the final global residual)."""
@@ -252,6 +260,6 @@ def run_jacobi(
         source, nvp, method=method, machine=machine, layout=layout,
         optimize=optimize, lb_strategy=lb_strategy,
         trace_fetches=trace_fetches, trace=trace,
-        fault_plan=fault_plan, ft=ft,
+        fault_plan=fault_plan, ft=ft, ult_backend=ult_backend,
     )
     return job.run()

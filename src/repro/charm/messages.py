@@ -12,7 +12,7 @@ ANY_TAG = -1
 _msg_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One in-flight or delivered point-to-point message."""
 

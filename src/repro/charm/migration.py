@@ -93,11 +93,18 @@ class MigrationEngine:
             except IsomallocError as e:
                 raise MigrationUnsupportedError(str(e)) from e
             nbytes = sum(m.size for m in mappings)
-            ns = self.network.migration_ns(
-                max(0, nbytes - discount),
-                src_proc.endpoint, dst_proc.endpoint,
-            )
-            dst_proc.isomalloc.install_rank(rank.vp, mappings)
+            try:
+                ns = self.network.migration_ns(
+                    max(0, nbytes - discount),
+                    src_proc.endpoint, dst_proc.endpoint,
+                )
+                dst_proc.isomalloc.install_rank(rank.vp, mappings)
+            except BaseException:
+                # The rank's pages were already extracted; losing them
+                # here would strand the rank with no mappings anywhere.
+                # Put them back where they came from before re-raising.
+                src_proc.isomalloc.install_rank(rank.vp, mappings)
+                raise
             if rank.heap is not None:
                 rank.heap.isomalloc = dst_proc.isomalloc
         else:
@@ -105,7 +112,18 @@ class MigrationEngine:
             nbytes = 0
             ns = self.network.costs.migration_pack_ns
 
-        rank.move_to(dest_pe)
+        try:
+            rank.move_to(dest_pe)
+        except BaseException:
+            if cross:
+                # Undo the half-finished transfer: pull the pages out of
+                # the destination and reinstall them at the source so the
+                # rank remains consistent (and migratable later).
+                mappings = dst_proc.isomalloc.extract_rank(rank.vp)
+                src_proc.isomalloc.install_rank(rank.vp, mappings)
+                if rank.heap is not None:
+                    rank.heap.isomalloc = src_proc.isomalloc
+            raise
         self.locmgr.moved(rank, dest_pe)
         self.counters.incr(EV_MIGRATIONS)
         self.counters.incr(EV_MIGRATION_BYTES, nbytes)

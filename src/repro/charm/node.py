@@ -72,10 +72,9 @@ class Pe:
         self.last_rank: "VirtualRank | None" = None
         self.resident: dict[int, "VirtualRank"] = {}  #: vp -> rank
         self.counters = CounterSet()
-
-    @property
-    def endpoint(self) -> Endpoint:
-        return self.process.endpoint
+        #: cached — identical for every PE of the process, read on every
+        #: message transfer
+        self.endpoint = process.endpoint
 
     @property
     def node_index(self) -> int:
@@ -106,10 +105,8 @@ class OsProcess:
         self.startup_clock = SimClock()   #: charges AMPI init / privatization setup
         self.counters = CounterSet()
         self.loader: "DynamicLoader | None" = None  # attached by the runtime
-
-    @property
-    def endpoint(self) -> Endpoint:
-        return Endpoint(node=self.node.index, process=self.index)
+        #: cached — node/process numbers are fixed for the process's life
+        self.endpoint = Endpoint(node=node.index, process=index)
 
     def resident_ranks(self) -> list["VirtualRank"]:
         out: list["VirtualRank"] = []

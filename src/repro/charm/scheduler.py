@@ -41,8 +41,11 @@ class JobScheduler:
         self.counters = CounterSet()
         self.current: "VirtualRank | None" = None
         self._ranks_by_tid: dict[int, "VirtualRank"] = {}
+        self._tid_by_vp: dict[int, int] = {}
         self._all_ranks: list["VirtualRank"] = []
-        self.runq = RunQueue(self._pe_busy_of)
+        #: ULT OS threads that survived their join timeout at shutdown
+        self.orphaned = 0
+        self.runq = RunQueue(self._pe_busy_of, pe_of=self._pe_of)
         #: (pe index, vp, start ns) per scheduling quantum, in order —
         #: consumed by the instruction-cache study to reconstruct the
         #: interleaving of rank code on each PE.
@@ -61,6 +64,7 @@ class JobScheduler:
         if rank.ult is None:
             raise ReproError(f"rank {rank.vp} has no ULT")
         self._ranks_by_tid[rank.ult.tid] = rank
+        self._tid_by_vp[rank.vp] = rank.ult.tid
         self._all_ranks.append(rank)
         rank.ult.start()
         self.runq.push(rank.ult, start_time)
@@ -68,12 +72,17 @@ class JobScheduler:
     def reregister(self, rank: "VirtualRank", start_time: int) -> None:
         """Re-admit a rank after fault recovery gave it a fresh ULT.
 
-        The rank stays in ``_all_ranks``; only the tid mapping and the
-        run queue entry are renewed.
+        The rank stays in ``_all_ranks``; the dead ULT generation's tid
+        mapping is purged so repeated crash/recover cycles cannot grow
+        ``_ranks_by_tid`` without bound.
         """
         if rank.ult is None:
             raise ReproError(f"rank {rank.vp} has no ULT")
+        old_tid = self._tid_by_vp.get(rank.vp)
+        if old_tid is not None and old_tid != rank.ult.tid:
+            self._ranks_by_tid.pop(old_tid, None)
         self._ranks_by_tid[rank.ult.tid] = rank
+        self._tid_by_vp[rank.vp] = rank.ult.tid
         if rank.ult.state is UltState.NEW:
             rank.ult.start()
         self.runq.push(rank.ult, start_time)
@@ -84,6 +93,9 @@ class JobScheduler:
 
     def _pe_busy_of(self, ult: UserLevelThread) -> int:
         return self._ranks_by_tid[ult.tid].pe.busy_until
+
+    def _pe_of(self, ult: UserLevelThread):
+        return self._ranks_by_tid[ult.tid].pe
 
     # -- blocking / waking (called by the MPI layer) ---------------------------------
 
@@ -102,6 +114,11 @@ class JobScheduler:
         """Make a blocked rank runnable no earlier than ``at_time``."""
         if rank is self.current or rank.finished:
             return
+        if rank.ult is None:
+            # Post-recovery window: the rank's dead ULT is gone and its
+            # replacement has not been reregistered yet.  Recovery will
+            # requeue it; waking a ghost here would be an AttributeError.
+            return
         self.runq.push(rank.ult, max(at_time, rank.clock.now))
 
     def yield_current(self, resume_at: int) -> None:
@@ -116,78 +133,105 @@ class JobScheduler:
     # -- the event loop ------------------------------------------------------------------
 
     def run(self) -> None:
+        # The loop below runs once per scheduling quantum — hundreds of
+        # thousands of iterations for paper-scale sweeps — so everything
+        # invariant across quanta is hoisted into locals, including the
+        # trace/timeline/fault guards (all three are decided before run()
+        # and stay fixed for its duration).
         ctx_switch_ns = self.costs.context_switch_ns + self.ctx_switch_extra_ns
         tr = self.trace
+        pid_base = self.trace_pid_base
+        runq_pop = self.runq.pop
+        ranks_by_tid = self._ranks_by_tid
+        incr_ctx = self.counters.incr
+        fault_check = self.fault_check
+        record_timeline = self.record_timeline
+        timeline_append = self.timeline.append
+        DONE = UltState.DONE
+        ERROR = UltState.ERROR
         try:
             while True:
-                item = self.runq.pop()
+                item = runq_pop()
                 if item is None:
                     if all(r.finished for r in self._all_ranks):
                         return
                     self._report_deadlock()
                 ult, ready_time = item
-                rank = self._ranks_by_tid[ult.tid]
+                rank = ranks_by_tid[ult.tid]
                 pe = rank.pe
+                busy_until = pe.busy_until
 
-                if self.fault_check is not None and \
-                        self.fault_check(max(ready_time, pe.busy_until)):
+                if fault_check is not None and \
+                        fault_check(max(ready_time, busy_until)):
                     # A fault fired and the job rolled back: the popped
                     # quantum belongs to a killed ULT generation.
                     continue
 
-                if ready_time > pe.busy_until:
+                if ready_time > busy_until:
                     if tr is not None:
-                        tr.span("idle", "sched-idle", pe.busy_until,
-                                ready_time - pe.busy_until,
-                                pid=self.trace_pid_base + pe.index,
+                        tr.span("idle", "sched-idle", busy_until,
+                                ready_time - busy_until,
+                                pid=pid_base + pe.index,
                                 tid=PE_TID)
-                    pe.idle_ns += ready_time - pe.busy_until
-                switch_at = max(ready_time, pe.busy_until)
+                    pe.idle_ns += ready_time - busy_until
+                    switch_at = ready_time
+                else:
+                    switch_at = busy_until
                 start = switch_at + ctx_switch_ns
                 pe.ctx_switches += 1
-                self.counters.incr(EV_CTX_SWITCH)
+                incr_ctx(EV_CTX_SWITCH)
                 ult.clock.advance_to(start)
                 if tr is not None:
                     tr.span("ctx-switch", "sched-overhead", switch_at,
                             ctx_switch_ns,
-                            pid=self.trace_pid_base + pe.index, tid=rank.vp,
+                            pid=pid_base + pe.index, tid=rank.vp,
                             args={"method": self.trace_label,
                                   "surcharge_ns": self.ctx_switch_extra_ns})
 
-                if self.record_timeline:
-                    self.timeline.append((pe.index, rank.vp, start))
+                if record_timeline:
+                    timeline_append((pe.index, rank.vp, start))
                 self.current = rank
                 state = ult.switch_in()
                 self.current = None
 
-                ran_ns = max(0, ult.clock.now - start)
+                now = ult.clock.now
+                ran_ns = now - start
+                if ran_ns < 0:
+                    ran_ns = 0
                 rank.record_run(ran_ns)
                 pe.busy_ns += ran_ns
-                pe.busy_until = ult.clock.now
+                pe.busy_until = now
                 pe.last_rank = rank
                 if tr is not None and ran_ns > 0:
                     tr.span(f"vp{rank.vp}", "exec", start, ran_ns,
-                            pid=self.trace_pid_base + pe.index, tid=rank.vp)
+                            pid=pid_base + pe.index, tid=rank.vp)
 
-                if state is UltState.ERROR:
-                    exc = ult.exception
-                    self.shutdown()
-                    raise exc
-                if state is UltState.DONE:
+                if state is DONE:
                     rank.finished = True
                     rank.exit_value = ult.result
                     if self.on_rank_done is not None:
                         self.on_rank_done(rank)
+                elif state is ERROR:
+                    exc = ult.exception
+                    self.shutdown()
+                    raise exc
         finally:
             # Leave no orphan OS threads behind on any exit path.
             self.shutdown()
 
     def _report_deadlock(self) -> None:
-        blocked = [
-            f"vp {r.vp} ({r.ult.block_reason or 'blocked'}) at t={r.clock.now}"
-            for r in self._all_ranks
-            if not r.finished
-        ]
+        blocked = []
+        for r in self._all_ranks:
+            if r.finished:
+                continue
+            if r.ult is None:
+                # Post-recovery window: don't let a secondary error here
+                # (no ULT means no clock either) mask the DeadlockError
+                # we are trying to raise.
+                blocked.append(f"vp {r.vp} (no ULT (awaiting recovery))")
+            else:
+                reason = r.ult.block_reason or "blocked"
+                blocked.append(f"vp {r.vp} ({reason}) at t={r.clock.now}")
         self.shutdown()
         raise DeadlockError(
             "no runnable rank but the job is not finished; blocked: "
@@ -195,10 +239,21 @@ class JobScheduler:
         )
 
     def shutdown(self) -> None:
-        """Force-unwind every live ULT (idempotent)."""
+        """Force-unwind every live ULT and release its OS thread.
+
+        Idempotent.  A backing thread that refuses to die within the
+        backend's join timeout is counted in :attr:`orphaned` (and in the
+        process-wide :func:`repro.threads.orphan_count`) instead of being
+        silently leaked across sweeps.
+        """
         for rank in self._all_ranks:
-            if rank.ult is not None and not rank.ult.finished:
-                rank.ult.kill()
+            ult = rank.ult
+            if ult is None:
+                continue
+            if not ult.finished:
+                ult.kill()
+            if ult.join_thread():
+                self.orphaned += 1
 
     # -- reporting ------------------------------------------------------------------------
 

@@ -19,6 +19,11 @@ Commands
 ``faults <app> [--kmax K] [--json]``
     Fault-tolerance overhead sweep: failure-free vs. k node crashes on
     a checkpointing Jacobi-3D, with deterministic fault injection.
+``bench [--quick] [--json] [--out F]``
+    Wall-clock (host-time) performance smoke of the event loop itself:
+    ULT lifecycle churn, a paper-scale Jacobi run under both execution
+    backends (with a byte-identical-timeline determinism check), and a
+    figure-6-style context-switch sweep.  Writes ``BENCH_scale.json``.
 ``hello [--method M] [--vp N]``
     The Figure 2/3 hello world under a chosen method.
 
@@ -240,6 +245,49 @@ def cmd_faults(args) -> int:
     return 0 if all(r.status == "ok" for r in rows) else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import run_bench
+
+    payload = run_bench(quick=args.quick, nvp=args.nvp, reps=args.reps)
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if args.out:
+        try:
+            with open(args.out, "w") as f:
+                f.write(text + "\n")
+        except OSError as e:
+            print(f"cannot write {args.out}: {e}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(text)
+    else:
+        for stage in payload["stages"]:
+            name = stage["name"]
+            if "backends" in stage:
+                rows = [[b, s["min_s"], s["ops_per_s"]]
+                        for b, s in sorted(stage["backends"].items())]
+                extra = f" — pooled {stage['speedup_pooled_vs_thread']}x"
+                if "trace_identical" in stage:
+                    extra += (", timelines identical"
+                              if stage["trace_identical"]
+                              else ", TIMELINES DIVERGED")
+                print(format_table(
+                    ["backend", "best wall (s)", f"{stage['unit']}/s"],
+                    rows, title=f"{name}{extra}"))
+            else:
+                print(format_table(
+                    ["nvp", "wall (s)", "switches/s"],
+                    [[r["nvp"], r["wall_s"], r["switches_per_s"]]
+                     for r in stage["rows"]],
+                    title=f"{name} ({stage['params']['backend']} backend)"))
+            print()
+        if args.out:
+            print(f"wrote {args.out}")
+    # The determinism contract is part of the bench's contract: fail
+    # loudly if the backends ever produce different simulated timelines.
+    ok = all(s.get("trace_identical", True) for s in payload["stages"])
+    return 0 if ok else 1
+
+
 def cmd_hello(args) -> int:
     from repro.ampi.runtime import AmpiJob
     from repro.charm.node import JobLayout
@@ -329,6 +377,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", action="store_true",
                         help="emit result rows as JSON instead of a table")
     faults.set_defaults(fn=cmd_faults)
+
+    bench = sub.add_parser(
+        "bench",
+        help="host wall-clock smoke of the event loop (ULT churn, "
+             "Jacobi scale run per backend, ctx-switch sweep); writes "
+             "BENCH_scale.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="shrunken stages for CI (seconds, not minutes)")
+    bench.add_argument("--nvp", type=int, default=None,
+                       help="Jacobi stage VP count (default 1024; "
+                            "64 with --quick)")
+    bench.add_argument("--reps", type=int, default=None,
+                       help="timed repetitions per measurement (best-of)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the payload to stdout as JSON")
+    bench.add_argument("--out", default="BENCH_scale.json",
+                       help="output path (default BENCH_scale.json; "
+                            "'' to skip writing)")
+    bench.set_defaults(fn=cmd_bench)
 
     hello = sub.add_parser("hello")
     hello.add_argument("--method", default="none")

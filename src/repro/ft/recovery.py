@@ -152,9 +152,11 @@ class RecoveryManager:
             clock = old.clock
             if not old.finished:
                 old.kill()
+            old.join_thread()
             ult = UserLevelThread(
                 f"vp{rank.vp}", job._rank_entry, (rank,),
                 stack_bytes=job.stack_bytes,
+                backend=job.ult_backend,
             )
             ult.clock = clock
             rank.ult = ult

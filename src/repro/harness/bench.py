@@ -1,0 +1,324 @@
+"""Wall-clock performance harness (``repro bench``).
+
+Everything else in this repo measures *simulated* time; this module
+measures *real* time — how fast the event loop itself executes on the
+host — so regressions in the scheduler hot path or the ULT execution
+backends show up as numbers, not vibes.
+
+Three stages, written to ``BENCH_scale.json``:
+
+``ult_churn``
+    Pure backend lifecycle cost: create N ULTs, run each through a
+    couple of yields, join.  This isolates exactly the work the pooled
+    backend eliminates (OS-thread spawn/join per ULT), so it is the
+    stage where the backend speedup is visible undiluted.
+
+``jacobi``
+    End-to-end scale smoke: Jacobi-3D at paper-scale VP counts under
+    each backend.  The ratio here is bounded by the simulation model
+    work that both backends share; the stage also checks the
+    determinism contract — both backends must produce byte-identical
+    simulated timelines (same scheduling order, same makespan).
+
+``ctx_sweep``
+    Figure-6-style context-switch sweep: a yield ping-pong program at
+    increasing VP counts on one PE, reporting real switches/second.
+
+Wall-clock methodology: per measurement we take the best of ``reps``
+runs with the garbage collector disabled inside the timed window (GC
+pauses over the simulated-machine object graph otherwise dominate at
+1k+ VPs and are attributed to whatever allocation triggers them).  The
+pooled backend is prewarmed and each stage gets one untimed warmup run,
+so numbers reflect steady state, not first-touch costs.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.ampi.runtime import AmpiJob
+from repro.apps.jacobi3d import JacobiConfig, build_jacobi_program
+from repro.charm.node import JobLayout
+from repro.machine import GENERIC_LINUX
+from repro.perf.counters import EV_CTX_SWITCH
+from repro.program.source import Program, ProgramSource
+from repro.threads import UserLevelThread, get_backend
+
+#: the two execution backends every stage compares
+BACKENDS = ("thread", "pooled")
+
+
+@dataclass
+class BackendSample:
+    """Wall-clock samples for one backend in one stage."""
+
+    wall_s: list[float] = field(default_factory=list)
+    ops: int = 0                 #: stage-defined unit count per run
+    makespan_ns: int | None = None
+    timeline_sha: str | None = None
+
+    @property
+    def min_s(self) -> float:
+        return min(self.wall_s) if self.wall_s else float("inf")
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.min_s if self.wall_s and self.min_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "wall_s": [round(t, 6) for t in self.wall_s],
+            "min_s": round(self.min_s, 6),
+            "ops": self.ops,
+            "ops_per_s": round(self.ops_per_s, 1),
+        }
+        if self.makespan_ns is not None:
+            d["makespan_ns"] = self.makespan_ns
+        if self.timeline_sha is not None:
+            d["timeline_sha256"] = self.timeline_sha
+        return d
+
+
+def _timed(fn: Callable[[], int], reps: int, sample: BackendSample) -> None:
+    """Run ``fn`` ``reps`` times with GC off, recording wall seconds.
+
+    ``fn`` returns the stage's op count for the run (lifecycles, context
+    switches, ...); the last run's count is kept.
+    """
+    gc_was_on = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            ops = fn()
+            sample.wall_s.append(time.perf_counter() - t0)
+            sample.ops = ops
+    finally:
+        if gc_was_on:
+            gc.enable()
+
+
+def _reset_pool() -> None:
+    """Drop the shared pooled backend so the next stage starts clean."""
+    get_backend("pooled").close()
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: ULT lifecycle churn
+# ---------------------------------------------------------------------------
+
+def bench_ult_churn(
+    n_ults: int = 1024, yields: int = 2, reps: int = 3
+) -> dict[str, Any]:
+    """Create/run/join ``n_ults`` ULTs per rep under each backend.
+
+    The op unit is one full ULT lifecycle.  The thread backend pays an
+    OS-thread spawn + join per lifecycle; the pooled backend reuses a
+    warm worker, which is the whole point of pooling.
+    """
+    def one_batch(backend: str) -> int:
+        def body(u: UserLevelThread) -> None:
+            for _ in range(yields):
+                u.yield_("spin")
+
+        ults = []
+        for i in range(n_ults):
+            u = UserLevelThread(f"churn{i}", lambda: None, backend=backend)
+            u.target = body
+            u.args = (u,)
+            ults.append(u)
+            u.start()
+        live = ults
+        while live:
+            nxt = []
+            for u in live:
+                u.switch_in()
+                if not u.finished:
+                    nxt.append(u)
+            live = nxt
+        for u in ults:
+            u.join_thread()
+        return n_ults
+
+    samples: dict[str, BackendSample] = {}
+    for backend in BACKENDS:
+        if backend == "pooled":
+            get_backend("pooled").prewarm(n_ults)
+        s = samples[backend] = BackendSample()
+        one_batch(backend)  # untimed warmup
+        _timed(lambda: one_batch(backend), reps, s)
+    _reset_pool()
+
+    ratio = samples["thread"].min_s / samples["pooled"].min_s
+    return {
+        "name": "ult_churn",
+        "unit": "ULT lifecycles",
+        "params": {"n_ults": n_ults, "yields": yields, "reps": reps},
+        "backends": {b: s.to_dict() for b, s in samples.items()},
+        "speedup_pooled_vs_thread": round(ratio, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: Jacobi scale smoke + determinism contract
+# ---------------------------------------------------------------------------
+
+def _timeline_sha(job: AmpiJob) -> str:
+    """Digest of the scheduler's (pe, vp, start_ns) execution timeline."""
+    return hashlib.sha256(repr(job.scheduler.timeline).encode()).hexdigest()
+
+
+def _run_jacobi_job(
+    source: ProgramSource, nvp: int, layout: JobLayout, backend: str
+) -> tuple[int, int, str]:
+    """One Jacobi job; returns (ctx_switches, makespan_ns, timeline sha)."""
+    job = AmpiJob(source, nvp, method="pieglobals", machine=GENERIC_LINUX,
+                  layout=layout, ult_backend=backend)
+    result = job.run()
+    return (result.counters[EV_CTX_SWITCH], result.makespan_ns,
+            _timeline_sha(job))
+
+
+def bench_jacobi(
+    nvp: int = 1024, n: int = 16, iters: int = 1, reps: int = 3
+) -> dict[str, Any]:
+    """End-to-end Jacobi-3D at ``nvp`` ranks under each backend.
+
+    The op unit is one scheduler quantum (context switch).  Also
+    verifies the backend determinism contract: identical simulated
+    timelines and makespans across backends.
+    """
+    cfg = JacobiConfig(n=n, iters=iters, reduce_every=max(1, iters))
+    source = build_jacobi_program(cfg)
+    layout = JobLayout(nodes=2, processes_per_node=2, pes_per_process=4)
+
+    samples: dict[str, BackendSample] = {}
+    for backend in BACKENDS:
+        if backend == "pooled":
+            get_backend("pooled").prewarm(nvp)
+        s = samples[backend] = BackendSample()
+        _run_jacobi_job(source, nvp, layout, backend)  # untimed warmup
+
+        def one_job(backend: str = backend, s: BackendSample = s) -> int:
+            switches, makespan, sha = _run_jacobi_job(
+                source, nvp, layout, backend)
+            s.makespan_ns = makespan
+            s.timeline_sha = sha
+            return switches
+
+        _timed(one_job, reps, s)
+    _reset_pool()
+
+    identical = (
+        samples["thread"].timeline_sha == samples["pooled"].timeline_sha
+        and samples["thread"].makespan_ns == samples["pooled"].makespan_ns
+    )
+    ratio = samples["thread"].min_s / samples["pooled"].min_s
+    return {
+        "name": "jacobi",
+        "unit": "scheduler quanta",
+        "params": {"nvp": nvp, "n": n, "iters": iters, "reps": reps},
+        "backends": {b: s.to_dict() for b, s in samples.items()},
+        "speedup_pooled_vs_thread": round(ratio, 2),
+        "trace_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: figure-6-style context-switch sweep
+# ---------------------------------------------------------------------------
+
+def _yield_program(yields_per_rank: int) -> ProgramSource:
+    p = Program("bench_ctxswitch")
+    p.add_global("dummy", 0)
+
+    @p.function()
+    def main(ctx):
+        for _ in range(yields_per_rank):
+            ctx.mpi.yield_()
+        return ctx.mpi.rank()
+
+    return p.build()
+
+
+def bench_ctx_sweep(
+    vps: Sequence[int] = (2, 64, 256),
+    yields_per_rank: int = 200,
+    backend: str = "pooled",
+) -> dict[str, Any]:
+    """Real switches/second of the yield ping-pong at growing VP counts.
+
+    One PE, so every quantum is a scheduler-mediated baton handoff —
+    the figure 6 microbenchmark measured in host time instead of
+    simulated time.
+    """
+    source = _yield_program(yields_per_rank)
+    if backend == "pooled":
+        get_backend("pooled").prewarm(max(vps))
+    rows = []
+    for nvp in vps:
+        job = AmpiJob(source, nvp, method="none", machine=GENERIC_LINUX,
+                      layout=JobLayout.single(1), slot_size=1 << 26,
+                      ult_backend=backend)
+        gc.collect()
+        gc_was_on = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = job.run()
+            wall = time.perf_counter() - t0
+        finally:
+            if gc_was_on:
+                gc.enable()
+        switches = result.counters[EV_CTX_SWITCH]
+        rows.append({
+            "nvp": nvp,
+            "wall_s": round(wall, 6),
+            "switches": switches,
+            "switches_per_s": round(switches / wall, 1),
+        })
+    _reset_pool()
+    return {
+        "name": "ctx_sweep",
+        "unit": "context switches",
+        "params": {"yields_per_rank": yields_per_rank, "backend": backend},
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_bench(quick: bool = False, *, nvp: int | None = None,
+              reps: int | None = None) -> dict[str, Any]:
+    """Run all stages; returns the ``BENCH_scale.json`` payload.
+
+    ``quick`` shrinks every stage for CI smoke use (a few seconds
+    total); the full run targets the paper-scale 1k-VP smoke.
+    """
+    if quick:
+        churn_n, jacobi_nvp, sweep_vps = 128, 64, (2, 16, 64)
+        nreps = reps or 2
+    else:
+        churn_n, jacobi_nvp, sweep_vps = 1024, nvp or 1024, (2, 64, 256)
+        nreps = reps or 3
+    if nvp is not None:
+        jacobi_nvp = nvp
+    stages = [
+        bench_ult_churn(n_ults=churn_n, reps=nreps),
+        bench_jacobi(nvp=jacobi_nvp, reps=nreps),
+        bench_ctx_sweep(vps=sweep_vps),
+    ]
+    return {
+        "bench": "scale_smoke",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "stages": stages,
+    }

@@ -343,9 +343,9 @@ class PieGlobals(PrivatizationMethod):
         if self.robust_scan:
             known_slots = set(binary.image.addr_inits)
 
+        scan_ns = costs.pointer_scan_ns_per_slot
         for addr, name, value in data_priv.slots():
             report.slots_scanned += 1
-            clk.advance(costs.pointer_scan_ns_per_slot)
             if not isinstance(value, int) or isinstance(value, bool):
                 continue
             if known_slots is not None and name not in known_slots:
@@ -357,8 +357,11 @@ class PieGlobals(PrivatizationMethod):
                 data_priv.values[name] = heap_map[value]
                 report.heap_pointers_fixed += 1
 
+        # One batched advance — charging per slot inside the loop summed
+        # to the identical simulated time but cost a clock call per slot.
+        clk.advance(scan_ns * report.slots_scanned)
         report.got_entries_fixed = got_priv.rebase(orig_start, orig_end, delta)
-        clk.advance(costs.pointer_scan_ns_per_slot * len(got_priv.template))
+        clk.advance(scan_ns * len(got_priv.template))
 
         # Interior pointers of replicated constructor allocations: data
         # pointers may reference the original segments or *other* ctor

@@ -1,12 +1,15 @@
 """Baton-passing user-level threads.
 
-Each :class:`UserLevelThread` wraps a real OS thread that spends almost
-all of its life blocked on a private event.  Control is handed over
-explicitly: the scheduler calls :meth:`UserLevelThread.switch_in`, which
-wakes the ULT and blocks the caller until the ULT either *yields* (blocks
-on communication) or finishes.  At any instant exactly one thread — the
-scheduler or one ULT — is runnable, so no user-visible locking is needed
-and execution is fully deterministic.
+Each :class:`UserLevelThread` runs its user code on a real OS stack
+supplied by an :class:`~repro.threads.backend.ExecutionBackend` — a
+dedicated thread (``thread`` backend) or a recycled pool worker
+(``pooled`` backend).  The stack spends almost all of its life blocked
+on a private baton.  Control is handed over explicitly: the scheduler
+calls :meth:`UserLevelThread.switch_in`, which wakes the ULT and blocks
+the caller until the ULT either *yields* (blocks on communication) or
+finishes.  At any instant exactly one thread — the scheduler or one ULT
+— is runnable, so no user-visible locking is needed and execution is
+fully deterministic regardless of backend.
 
 Simulated time lives in ``ult.clock`` (a :class:`~repro.perf.clock.SimClock`);
 the real threads exist only to give user code an ordinary blocking call
@@ -16,11 +19,11 @@ stack, like AMPI gives legacy MPI code.
 from __future__ import annotations
 
 import enum
-import threading
 from typing import Any, Callable
 
 from repro.errors import ReproError
 from repro.perf.clock import SimClock
+from repro.threads.backend import ExecutionBackend, get_backend
 
 
 class UltState(enum.Enum):
@@ -51,6 +54,7 @@ class UserLevelThread:
         target: Callable[..., Any],
         args: tuple = (),
         stack_bytes: int = 1 << 20,
+        backend: "ExecutionBackend | str | None" = None,
     ):
         UserLevelThread._id_counter += 1
         self.tid = UserLevelThread._id_counter
@@ -58,28 +62,29 @@ class UserLevelThread:
         self.target = target
         self.args = args
         self.stack_bytes = stack_bytes  #: simulated ULT stack reservation
+        self.backend = get_backend(backend)
         self.clock = SimClock()
         self.state = UltState.NEW
         self.block_reason: str = ""
         self.result: Any = None
         self.exception: BaseException | None = None
 
-        self._my_turn = threading.Event()
-        self._caller_turn = threading.Event()
         self._kill = False
-        self._thread: threading.Thread | None = None
+        self._runner = None  # set by the backend (attach or first bind)
 
     # -- lifecycle (scheduler side) ---------------------------------------------
 
     def start(self) -> None:
-        """Create the backing thread, paused before user code runs."""
+        """Make the ULT runnable, paused before user code runs.
+
+        The thread backend spawns the backing OS thread here; the pooled
+        backend defers until the first :meth:`switch_in` so never-run
+        ULTs cost nothing.
+        """
         if self.state is not UltState.NEW:
             raise ReproError(f"ULT {self.name} already started")
-        self._thread = threading.Thread(
-            target=self._run, name=f"ult-{self.name}", daemon=True
-        )
         self.state = UltState.READY
-        self._thread.start()
+        self.backend.attach(self)
 
     def switch_in(self) -> UltState:
         """Hand the baton to this ULT; returns when it yields or finishes."""
@@ -87,26 +92,40 @@ class UserLevelThread:
             raise ReproError(
                 f"cannot switch to ULT {self.name} in state {self.state.value}"
             )
+        runner = self._runner
+        if runner is None:
+            runner = self._runner = self.backend.bind(self)
         self.state = UltState.RUNNING
-        self._caller_turn.clear()
-        self._my_turn.set()
-        self._caller_turn.wait()
+        runner.resume()
         return self.state
 
     def kill(self) -> None:
-        """Force the ULT to unwind (used at abnormal shutdown)."""
+        """Force the ULT to unwind (used at abnormal shutdown).
+
+        Under the pooled backend this recycles the worker rather than
+        joining an OS thread; under the thread backend the dead thread
+        is joined, and a join that times out is surfaced through the
+        backend's orphan counter instead of being silently ignored.
+        """
         if self.state in (UltState.DONE, UltState.ERROR, UltState.NEW):
             return
         self._kill = True
-        self._caller_turn.clear()
-        self._my_turn.set()
-        self._caller_turn.wait()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        if self._runner is None:
+            # Started but never ran: no user stack exists to unwind.
+            self.state = UltState.ERROR
+            self.exception = UltKilled(self.name)
+            return
+        # resume() returns only once the ULT has unwound (or yielded
+        # again, if user code swallowed UltKilled).  OS-thread cleanup
+        # and leak detection happen in join_thread()/backend.reap so a
+        # wedged stack is reported exactly once.
+        self._runner.resume()
 
-    def join_thread(self) -> None:
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+    def join_thread(self, timeout: float | None = None) -> bool:
+        """Release the ULT's OS resources; True if a thread leaked."""
+        if self._runner is None:
+            return False
+        return self.backend.reap(self, timeout=timeout)
 
     # -- ULT side -----------------------------------------------------------------
 
@@ -114,19 +133,21 @@ class UserLevelThread:
         """Suspend; returns when the scheduler switches back in."""
         self.block_reason = reason
         self.state = UltState.BLOCKED
-        self._my_turn.clear()
-        self._caller_turn.set()
-        self._my_turn.wait()
+        self._runner.park()
         if self._kill:
             raise UltKilled(self.name)
         self.block_reason = ""
 
-    def _run(self) -> None:
-        self._my_turn.wait()
+    def _main(self) -> None:
+        """Body executed on the backing OS stack (backend-invoked).
+
+        The first ``resume()`` has already been consumed by the backend
+        before this runs.  Never raises: all outcomes are captured in
+        ``state``/``result``/``exception`` for the scheduler.
+        """
         if self._kill:
             self.state = UltState.ERROR
             self.exception = UltKilled(self.name)
-            self._caller_turn.set()
             return
         try:
             self.result = self.target(*self.args)
@@ -137,8 +158,6 @@ class UserLevelThread:
         except BaseException as e:  # noqa: BLE001 - reported to the scheduler
             self.state = UltState.ERROR
             self.exception = e
-        finally:
-            self._caller_turn.set()
 
     # -- introspection --------------------------------------------------------------
 

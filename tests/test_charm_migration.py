@@ -180,3 +180,69 @@ class TestIntraProcessMigration:
         assert not rec.cross_process
         assert rec.nbytes == 0
         assert result.exit_values[0][2] == 1  # landed on PE 1
+
+
+class TestMigrationFailureRecovery:
+    """A failed cross-process migration must leave the rank consistent:
+    mappings back at the source, heap bound to the source allocator, and
+    the rank still migratable afterwards."""
+
+    def _finished_job(self):
+        p = Program("migfail")
+        p.add_global("x", 0)
+
+        @p.function()
+        def main(ctx):
+            ctx.malloc(8192, data=list(range(8)), tag="state")
+            return ctx.mpi.rank()
+
+        job = run_job(p.build())
+        job.run()
+        return job
+
+    def test_failed_install_restores_source_mappings(self, monkeypatch):
+        job = self._finished_job()
+        rank = job.rank_of(0)
+        src, dst = job.processes
+        before = src.vm.mappings_of_rank(0)
+        assert before and rank.pe is job.pes[0]
+
+        real_install = dst.isomalloc.install_rank
+        calls = {"n": 0}
+
+        def flaky_install(vp, mappings):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("destination install failed")
+            return real_install(vp, mappings)
+
+        monkeypatch.setattr(dst.isomalloc, "install_rank", flaky_install)
+        with pytest.raises(RuntimeError, match="destination install"):
+            job.migration_engine.migrate(rank, job.pes[1])
+
+        # Everything is back where it started ...
+        assert src.vm.mappings_of_rank(0) == before
+        assert dst.vm.mappings_of_rank(0) == []
+        assert rank.pe is job.pes[0]
+        assert rank.heap.isomalloc is src.isomalloc
+        # ... and the rank is still migratable (the regression: the old
+        # code left the extracted pages nowhere, stranding the rank).
+        rec = job.migration_engine.migrate(rank, job.pes[1])
+        assert rec.cross_process and dst.vm.mappings_of_rank(0) != []
+
+    def test_failed_move_to_rolls_back_transfer(self, monkeypatch):
+        job = self._finished_job()
+        rank = job.rank_of(0)
+        src, dst = job.processes
+        before = src.vm.mappings_of_rank(0)
+
+        def boom(pe):
+            raise RuntimeError("move_to failed")
+
+        monkeypatch.setattr(rank, "move_to", boom)
+        with pytest.raises(RuntimeError, match="move_to failed"):
+            job.migration_engine.migrate(rank, job.pes[1])
+
+        assert src.vm.mappings_of_rank(0) == before
+        assert dst.vm.mappings_of_rank(0) == []
+        assert rank.heap.isomalloc is src.isomalloc

@@ -201,3 +201,97 @@ class TestFailureModes:
         sched.register(r, 0)
         sched.run()
         assert r.clock.now == CS + 7
+
+
+class TestRecoveryWindowGuards:
+    """Ranks can transiently have ``ult is None`` between a crash and
+    recovery re-registering them; the scheduler must tolerate that."""
+
+    def test_wake_ignores_rank_without_ult(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.register(r, 0)
+        sched.run()
+        r.finished = False
+        r.ult = None                    # post-crash, pre-recovery window
+        sched.wake(r, 100)              # used to AttributeError
+        assert len(sched.runq) == 0
+
+    def test_deadlock_report_names_rank_awaiting_recovery(self):
+        sched, ranks, _ = make_ranks(2, JobLayout(1, 1, 1))
+        r0, r1 = ranks
+
+        def blocker():
+            r0.ult.yield_("recv")
+
+        r0.ult.target = blocker
+        sched.register(r0, 0)
+        # r1 lost its ULT to a crash and recovery has not requeued it.
+        r1.ult = None
+        sched._all_ranks.append(r1)
+        with pytest.raises(DeadlockError) as exc:
+            sched.run()
+        assert "no ULT (awaiting recovery)" in str(exc.value)
+        assert "recv" in str(exc.value)
+
+    def test_reregister_purges_dead_ult_tid(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.register(r, 0)
+        sched.run()
+        old_tid = r.ult.tid
+        # Fault recovery hands the rank a fresh ULT generation.
+        r.finished = False
+        r.ult = UserLevelThread("vp0-gen2", lambda: "again")
+        sched.reregister(r, 0)
+        assert old_tid not in sched._ranks_by_tid
+        assert sched._ranks_by_tid[r.ult.tid] is r
+        sched.run()
+        assert r.exit_value == "again"
+
+    def test_repeated_reregister_keeps_map_bounded(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.register(r, 0)
+        sched.run()
+        for gen in range(5):
+            r.finished = False
+            r.ult = UserLevelThread(f"vp0-g{gen}", lambda: gen)
+            sched.reregister(r, 0)
+            sched.run()
+        assert len(sched._ranks_by_tid) == 1
+        assert len(sched._tid_by_vp) == 1
+
+
+class TestShutdownLeakSurfacing:
+    def test_shutdown_counts_wedged_ult(self, monkeypatch):
+        import repro.threads.backend as backend_mod
+        from repro.threads import consume_orphan_count
+
+        monkeypatch.setattr(backend_mod, "JOIN_TIMEOUT_S", 0.05)
+        consume_orphan_count()
+        sched, (r,), _ = make_ranks(1)
+
+        def stubborn():
+            # Swallows UltKilled: the thread can never be joined.
+            while True:
+                try:
+                    r.ult.yield_("stuck")
+                except BaseException:
+                    pass
+
+        r.ult.target = stubborn
+        sched.register(r, 0)
+        with pytest.warns(ResourceWarning, match="did not terminate"):
+            with pytest.raises(DeadlockError):
+                sched.run()
+        assert sched.orphaned == 1
+        assert consume_orphan_count() == 1
+
+    def test_clean_job_leaves_no_orphans(self):
+        from repro.threads import consume_orphan_count
+
+        consume_orphan_count()
+        sched, ranks, _ = make_ranks(4)
+        for r in ranks:
+            sched.register(r, 0)
+        sched.run()
+        assert sched.orphaned == 0
+        assert consume_orphan_count() == 0

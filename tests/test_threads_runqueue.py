@@ -111,3 +111,77 @@ class TestProperties:
             ult, ready = item
             seq.append(max(ready, pes[ult.tid].busy_until))
         assert seq == sorted(seq)
+
+
+class TestStalePaths:
+    """Lazy-invalidation branches of the two-level queue."""
+
+    def test_peek_effective_reposts_when_pe_got_busier(self):
+        q, (a, _, _), pes = make()
+        q.push(a, 10)
+        pes[a.tid].busy_until = 500   # PE got busy after the push
+        assert q.peek_effective() == 500
+        ult, ready = q.pop()
+        assert ult is a and ready == 10
+
+    def test_peek_effective_skips_superseded_wake(self):
+        q, (a, b, _), _ = make()
+        q.push(a, 50)
+        q.push(a, 20)   # supersedes; the 50-entry is now stale
+        q.push(b, 30)
+        assert q.peek_effective() == 20
+        assert q.pop()[0] is a
+
+    def test_drain_during_in_flight_pops(self):
+        q, (a, b, c), _ = make()
+        for u, t in ((a, 10), (b, 20), (c, 30)):
+            q.push(u, t)
+        assert q.pop()[0] is a          # pop mid-stream, then drain
+        drained = list(q.drain())
+        assert set(drained) == {b, c}
+        assert q.pop() is None and len(q) == 0
+        # the queue stays usable after a drain (fault rollback reuses it)
+        q.push(b, 5)
+        assert q.pop() == (b, 5)
+        assert q.peek_effective() is None
+
+    def test_contains_tracks_pop_and_drain(self):
+        q, (a, b, _), _ = make()
+        q.push(a, 1)
+        q.push(b, 2)
+        assert a in q and b in q
+        q.pop()
+        assert a not in q and b in q
+        q.drain()
+        assert b not in q
+
+    def test_migrated_ult_rerouted_to_new_bucket(self):
+        """A rank that migrates while queued pops from its *new* PE's
+        bucket with that PE's business applied."""
+        pes = {"p0": FakePe(), "p1": FakePe()}
+        where = {}
+        a = UserLevelThread("ma", lambda: 0)
+        b = UserLevelThread("mb", lambda: 0)
+        where[a.tid] = "p0"
+        where[b.tid] = "p0"
+        q = RunQueue(lambda u: pes[where[u.tid]].busy_until,
+                     pe_of=lambda u: where[u.tid])
+        q.push(a, 10)
+        q.push(b, 20)
+        where[a.tid] = "p1"             # a migrated after being queued
+        pes["p1"].busy_until = 1000     # and its new PE is busy
+        assert q.pop() == (b, 20)       # b overtakes on the old PE
+        assert q.pop() == (a, 10)       # a pops with effective start 1000
+        assert q.pop() is None
+
+    def test_migrated_ult_found_by_peek(self):
+        pes = {"p0": FakePe(), "p1": FakePe(busy=300)}
+        where = {}
+        a = UserLevelThread("mc", lambda: 0)
+        where[a.tid] = "p0"
+        q = RunQueue(lambda u: pes[where[u.tid]].busy_until,
+                     pe_of=lambda u: where[u.tid])
+        q.push(a, 10)
+        where[a.tid] = "p1"
+        assert q.peek_effective() == 300
+        assert q.pop() == (a, 10)
