@@ -42,7 +42,6 @@ def test_fig5_startup(benchmark):
     report_table("fig5_startup", table)
 
     by = {r.method: r for r in rows}
-    baseline = by["none"].startup_ns
     # Every method costs at least the baseline; the worst new method is
     # within ~15% of baseline (paper: 9%).
     worst = max(r.overhead_pct for r in rows)

@@ -32,7 +32,6 @@ def build():
     @p.function()
     def main(ctx):
         mpi = ctx.mpi
-        me = mpi.rank()
         placements = []
         for active, steps in PHASES:
             mpi.resize(active)

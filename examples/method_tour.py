@@ -15,12 +15,7 @@ from repro.errors import (
     SmpUnsupportedError,
     UnsupportedToolchain,
 )
-from repro.machine import (
-    GENERIC_LINUX,
-    LEGACY_LINUX_OLD_LD,
-    STAMPEDE2_ICX,
-    TEST_MACHINE,
-)
+from repro.machine import LEGACY_LINUX_OLD_LD, STAMPEDE2_ICX, TEST_MACHINE
 
 
 def build_probe():

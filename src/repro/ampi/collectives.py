@@ -16,7 +16,6 @@ empty-PE user-op error.
 from __future__ import annotations
 
 import copy
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -203,7 +202,6 @@ class CollectiveEngine:
         """Run the PE-tree reduction; returns (result, op applications)."""
         comm = state.comm
         op: Op = state.params["op"]
-        costs = self.job.costs
         contributions: dict[int, list[Any]] = {}
         # Deterministic: contributions in comm-rank order, grouped by the
         # *current* PE of each rank (this is where migration-created empty

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 from repro.ampi.api import MpiHandle
 from repro.ampi.collectives import CollectiveEngine
@@ -102,6 +102,9 @@ class JobResult:
     trace: "TraceRecorder | None" = None
     #: completed crash recoveries (fault-tolerance subsystem)
     recoveries: int = 0
+    #: sanitizer findings from this job, in deterministic order
+    #: (empty unless the job ran with ``sanitize=``)
+    sanitize_findings: list = field(default_factory=list)
 
     @property
     def app_ns(self) -> int:
@@ -167,6 +170,7 @@ class JobResult:
             "forwarded_messages": self.forwarded_messages,
             "collectives_completed": self.collectives_completed,
             "recoveries": self.recoveries,
+            "sanitize_findings": [f.to_dict() for f in self.sanitize_findings],
             "rank_cpu_ns": {str(vp): ns
                             for vp, ns in sorted(self.rank_cpu_ns.items())},
             "exit_values": {str(vp): _jsonable(v)
@@ -202,6 +206,7 @@ class AmpiJob:
         fault_plan: FaultPlan | None = None,
         ft: FtConfig | None = None,
         ult_backend: "str | Any | None" = None,
+        sanitize: "bool | Any | None" = None,
     ):
         if nvp < 1:
             raise ReproError("need at least one virtual rank")
@@ -261,6 +266,16 @@ class AmpiJob:
         self.network = Network(self.costs)
         self.locmgr = LocationManager()
         self.counters = CounterSet()
+        #: runtime race detection (repro.sanitize): off unless a detector
+        #: is attached — same zero-overhead-when-off rule as tracing.
+        #: ``True`` builds a fresh detector; an existing RaceDetector can
+        #: be shared across jobs to accumulate findings over a sweep.
+        if sanitize is True:
+            from repro.sanitize.runtime import RaceDetector
+            sanitize = RaceDetector(counters=self.counters, trace=self.trace)
+        elif sanitize is False:
+            sanitize = None
+        self.sanitizer: Any = sanitize
         self.scheduler: JobScheduler | None = None
         self.migration_engine: MigrationEngine | None = None
         self.collectives = CollectiveEngine(self)
@@ -304,6 +319,9 @@ class AmpiJob:
             raise ReproError("job already started")
         self.started = True
         arena = IsomallocArena(self.nvp, self.slot_size)
+        san = self.sanitizer
+        if san is not None:
+            san.attach_job(self.binary.name, arena)
         self.nodes, self.processes, self.pes = build_topology(
             self.layout, self.machine, arena
         )
@@ -380,10 +398,20 @@ class AmpiJob:
                 )
             for rank in ranks_here:
                 wiring = wirings[rank.vp]
-                view = GlobalsView(
-                    wiring.routes, self.costs, rank.ult.clock,
-                    counters=rank.counters, optimized=self.optimize >= 1,
-                )
+                if san is None:
+                    view = GlobalsView(
+                        wiring.routes, self.costs, rank.ult.clock,
+                        counters=rank.counters,
+                        optimized=self.optimize >= 1,
+                    )
+                else:
+                    from repro.sanitize.runtime import SanitizedGlobalsView
+                    view = SanitizedGlobalsView(
+                        wiring.routes, self.costs, rank.ult.clock,
+                        counters=rank.counters,
+                        optimized=self.optimize >= 1,
+                        probe=san.bind(rank.vp, rank.ult.clock),
+                    )
                 tracer = FetchTracer() if self.trace_fetches else None
                 rank.code = wiring.code
                 rank.tls_instance = wiring.tls_instance
@@ -417,6 +445,9 @@ class AmpiJob:
             trace=tr, trace_pid_base=self._pe_pid_base,
             trace_label=self.method.name,
         )
+        if san is not None:
+            self.scheduler.on_quantum = san.on_quantum
+            self.migration_engine.sanitizer = san
 
         # Fault tolerance: buddy checkpointing is on whenever an FtConfig
         # is given or the fault plan can kill a node (a crash without a
@@ -528,6 +559,8 @@ class AmpiJob:
             rank_cpu_ns={vp: r.total_cpu_ns for vp, r in self._ranks.items()},
             trace=self.trace,
             recoveries=self.recovery.recoveries if self.recovery else 0,
+            sanitize_findings=(self.sanitizer.sorted_findings()
+                               if self.sanitizer is not None else []),
         )
 
     # -- lookups ------------------------------------------------------------------------------

@@ -15,7 +15,7 @@ cannot be extracted) — either raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import IsomallocError, MigrationUnsupportedError
 from repro.net.network import Network
@@ -60,6 +60,9 @@ class MigrationEngine:
         self.trace = trace
         self.trace_pid_base = trace_pid_base
         self.records: list[MigrationRecord] = []
+        #: RaceDetector when the job sanitizes; ``None`` costs one
+        #: ``is not None`` test per cross-process migration
+        self.sanitizer: Any = None
 
     def migrate(self, rank: "VirtualRank", dest_pe: "Pe") -> MigrationRecord:
         """Move ``rank`` to ``dest_pe``; returns the cost record.
@@ -137,6 +140,8 @@ class MigrationEngine:
                       "dst_pe": dest_pe.index, "cross_process": cross},
             )
         self.records.append(rec)
+        if self.sanitizer is not None and cross:
+            self.sanitizer.on_migrate(rank, src_proc, dst_proc, rec)
         return rec
 
     def total_bytes(self) -> int:

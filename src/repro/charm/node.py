@@ -9,8 +9,8 @@ PIPglobals' namespace limit bites hardest (more ranks per process).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.machine import MachineModel

@@ -57,6 +57,9 @@ class JobScheduler:
         #: start time before it runs; returning True means a fault fired
         #: and rolled the job back — the popped quantum is stale
         self.fault_check: Callable[[int], bool] | None = None
+        #: sanitizer epoch hook, called once per scheduling quantum;
+        #: ``None`` (the default) keeps the hot loop untouched
+        self.on_quantum: Callable[[], None] | None = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -145,6 +148,7 @@ class JobScheduler:
         ranks_by_tid = self._ranks_by_tid
         incr_ctx = self.counters.incr
         fault_check = self.fault_check
+        on_quantum = self.on_quantum
         record_timeline = self.record_timeline
         timeline_append = self.timeline.append
         DONE = UltState.DONE
@@ -190,6 +194,8 @@ class JobScheduler:
 
                 if record_timeline:
                     timeline_append((pe.index, rank.vp, start))
+                if on_quantum is not None:
+                    on_quantum()
                 self.current = rank
                 state = ult.switch_in()
                 self.current = None

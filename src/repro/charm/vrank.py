@@ -8,7 +8,6 @@ the privatization method decided), and load-balancing instrumentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.mem.address_space import Mapping

@@ -88,7 +88,7 @@ def cmd_probe(args) -> int:
     print(f"portability : {row.portability}")
     print(f"SMP support : {row.smp_support}")
     print(f"migration   : {row.migration}")
-    print(f"privatizes  : "
+    print("privatizes  : "
           + ", ".join(k for k, v in row.privatizes.items() if v))
     print(f"runs on     : {', '.join(row.works_on) or '(nowhere probed)'}")
     return 0
@@ -113,12 +113,12 @@ def cmd_tables(_args) -> int:
 TRACEABLE_EXPERIMENTS = ("fig5", "fig6", "fig7", "fig8")
 
 
-def _run_experiment(name: str, args, trace=None):
+def _run_experiment(name: str, args, trace=None, sanitize=None):
     """Run one experiment driver; returns (rows, formatted table)."""
     from repro.harness import experiments as ex
 
     if name == "fig5":
-        rows = ex.startup_experiment(trace=trace)
+        rows = ex.startup_experiment(trace=trace, sanitize=sanitize)
         table = format_table(
             ["method", "startup (ms)", "overhead %"],
             [[r.method, r.startup_ns / 1e6, r.overhead_pct] for r in rows],
@@ -126,20 +126,20 @@ def _run_experiment(name: str, args, trace=None):
     elif name == "fig6":
         rows = ex.context_switch_experiment(
             yields_per_rank=getattr(args, "quick_n", None) or 20_000,
-            trace=trace)
+            trace=trace, sanitize=sanitize)
         table = format_table(
             ["method", "ns/switch", "delta vs baseline"],
             [[r.method, r.ns_per_switch, r.delta_vs_baseline_ns]
              for r in rows],
             title="Figure 6: ULT context-switch time")
     elif name == "fig7":
-        rows = ex.jacobi_access_experiment(trace=trace)
+        rows = ex.jacobi_access_experiment(trace=trace, sanitize=sanitize)
         table = format_table(
             ["method", "exec (ms)", "relative"],
             [[r.method, r.exec_ns / 1e6, r.rel_to_baseline] for r in rows],
             title="Figure 7: privatized-access overhead (-O2)")
     elif name == "fig8":
-        rows = ex.migration_experiment(trace=trace)
+        rows = ex.migration_experiment(trace=trace, sanitize=sanitize)
         table = format_table(
             ["method", "heap MB", "migrate (ms)", "moved MB"],
             [[r.method, r.heap_mb, r.migrate_ns / 1e6,
@@ -168,19 +168,46 @@ def _run_experiment(name: str, args, trace=None):
 
 
 def cmd_run(args) -> int:
+    detector = None
+    if getattr(args, "sanitize", False):
+        if args.experiment not in TRACEABLE_EXPERIMENTS:
+            print(f"--sanitize supports: {', '.join(TRACEABLE_EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        from repro.sanitize import RaceDetector
+
+        detector = RaceDetector()
     try:
-        rows, table = _run_experiment(args.experiment, args)
+        rows, table = _run_experiment(args.experiment, args,
+                                      sanitize=detector)
     except ValueError as e:
         print(str(e), file=sys.stderr)
         return 2
+    findings = detector.sorted_findings() if detector is not None else []
     if getattr(args, "json", False):
-        print(json.dumps(
-            {"experiment": args.experiment,
-             "rows": [dataclasses.asdict(r) for r in rows]},
-            sort_keys=True, indent=2))
+        payload = {"experiment": args.experiment,
+                   "rows": [dataclasses.asdict(r) for r in rows]}
+        if detector is not None:
+            payload["sanitize"] = {
+                "findings": [f.to_dict() for f in findings],
+                "counters": dict(sorted(
+                    detector.counters.snapshot().items())),
+                "dropped": detector.dropped,
+            }
+        print(json.dumps(payload, sort_keys=True, indent=2))
     else:
         print(table)
-    return 0
+        if detector is not None:
+            print()
+            if findings:
+                for f in findings:
+                    print(f.format())
+                print(f"\nsanitizer: {len(findings)} finding(s)")
+            else:
+                print("sanitizer: no findings")
+    from repro.sanitize.findings import has_errors
+
+    return 1 if has_errors(findings) else 0
 
 
 def cmd_trace(args) -> int:
@@ -288,6 +315,37 @@ def cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_check(args) -> int:
+    from repro.sanitize.check import check_examples, run_check
+
+    try:
+        if args.target == "examples":
+            reports = check_examples(args.method, nvp=args.nvp,
+                                     static_only=args.static_only)
+        else:
+            reports = [run_check(args.target, args.method, nvp=args.nvp,
+                                 static_only=args.static_only,
+                                 slot_size=args.slot_size)]
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         sort_keys=True, indent=2))
+    else:
+        for r in reports:
+            verdict = "clean" if r.ok else "FAILED"
+            ran = " (executed)" if r.executed else ""
+            print(f"== check {r.target} method={r.method} "
+                  f"nvp={r.nvp}{ran}: {verdict}")
+            for f in r.findings:
+                print(f.format())
+            if r.findings:
+                print(f"{len(r.findings)} finding(s)")
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_hello(args) -> int:
     from repro.ampi.runtime import AmpiJob
     from repro.charm.node import JobLayout
@@ -340,7 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fig6: yields per rank")
     run.add_argument("--json", action="store_true",
                      help="emit result rows as JSON instead of a table")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run with the shared-state race detector on; "
+                          "exits nonzero on error findings "
+                          "(fig5/fig6/fig7/fig8 only)")
     run.set_defaults(fn=cmd_run)
+
+    check = sub.add_parser(
+        "check",
+        help="static binary lint + privatization-compatibility matrix, "
+             "then (unless --static-only) a sanitized execution")
+    check.add_argument("target",
+                       help="hello, jacobi, probe, examples, or "
+                            "fixture:<name> (seeded violations)")
+    check.add_argument("--method", default="pieglobals")
+    check.add_argument("--nvp", type=int, default=8)
+    check.add_argument("--slot-size", type=int, default=1 << 26)
+    check.add_argument("--static-only", action="store_true",
+                       help="skip the sanitized execution phase")
+    check.add_argument("--json", action="store_true",
+                       help="emit the report(s) as JSON")
+    check.set_defaults(fn=cmd_check)
 
     trace = sub.add_parser(
         "trace",

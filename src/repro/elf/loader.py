@@ -338,11 +338,25 @@ class DynamicLoader:
             return
         ns = self._namespaces.get(lm.lmid, {})
         ns.pop(lm.image.name, None)
+        if not ns and lm.lmid != LM_ID_BASE:
+            # Return the namespace to the dlmopen budget.  Leaving the
+            # empty dict behind made every open/close cycle permanently
+            # consume one of the toolchain's ~12 namespaces, so a rank
+            # pool that cycled libraries eventually hit a spurious
+            # NamespaceLimitError.
+            self._namespaces.pop(lm.lmid, None)
         if lm in self._load_order:
             self._load_order.remove(lm)
         for m in lm.mappings:
             self.vm.unmap(m.start)
         lm.mappings.clear()
+        # Drop resolved state that pointed into the now-unmapped
+        # segments.  A stale handle (or another image's GOT resolved via
+        # dlsym into this one) must fail loudly at its next use instead
+        # of silently reading freed addresses — the sanitizer's
+        # got-dangling lint exists to catch the cross-image case.
+        lm.got.addresses = [0] * len(lm.got.addresses)
+        lm.ctor_allocations.clear()
 
     def dl_iterate_phdr(
         self, callback: Callable[[PhdrInfo], Any] | None = None

@@ -24,6 +24,12 @@ class RelocKind(enum.Enum):
     PC_REL = "pcrel"
     #: TLS offset relative to the thread pointer
     TPOFF = "tpoff"
+    #: copy relocation: a fixed-address executable gets its own copy of a
+    #: shared object's data symbol at load time.  Against a *writable*
+    #: symbol this silently forks the state the library keeps updating —
+    #: the same shared-mutable-state bug class privatization closes, so
+    #: the sanitizer flags it.
+    COPY = "copy"
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ paper's tables and tests assert on the shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.ampi.runtime import AmpiJob, JobResult
@@ -67,6 +67,7 @@ def startup_experiment(
     machine: MachineModel = BRIDGES2,
     code_bytes: int = 256 * 1024,
     trace: TraceRecorder | None = None,
+    sanitize: Any = None,
 ) -> list[StartupRow]:
     """Figure 5: AMPI init time with 8x virtualization, per method."""
     source = _startup_program(code_bytes)
@@ -76,7 +77,8 @@ def startup_experiment(
     baseline = None
     for method in methods:
         job = AmpiJob(source, nvp, method=method, machine=machine,
-                      layout=layout, slot_size=1 << 26, trace=trace)
+                      layout=layout, slot_size=1 << 26, trace=trace,
+                      sanitize=sanitize)
         result = job.run()
         if method == "none":
             baseline = result.startup_ns
@@ -118,6 +120,7 @@ def context_switch_experiment(
     yields_per_rank: int = 100_000,
     machine: MachineModel = BRIDGES2,
     trace: TraceRecorder | None = None,
+    sanitize: Any = None,
 ) -> list[SwitchRow]:
     """Figure 6: two ULTs on one PE yielding back and forth.
 
@@ -130,7 +133,7 @@ def context_switch_experiment(
     for method in methods:
         job = AmpiJob(source, nvp=2, method=method, machine=machine,
                       layout=JobLayout.single(1), slot_size=1 << 26,
-                      trace=trace)
+                      trace=trace, sanitize=sanitize)
         result = job.run()
         switches = result.counters[EV_CTX_SWITCH]
         ns = result.app_ns / max(1, switches)
@@ -163,6 +166,7 @@ def jacobi_access_experiment(
     machine: MachineModel = BRIDGES2,
     optimize: int = 2,
     trace: TraceRecorder | None = None,
+    sanitize: Any = None,
 ) -> list[AccessRow]:
     """Figure 7 at -O2 (no hidden per-access cost); run with
     ``optimize=0`` for the ablation where TLS indirection shows up.
@@ -180,7 +184,8 @@ def jacobi_access_experiment(
         )
         job = AmpiJob(source, nvp, method=method, machine=machine,
                       layout=JobLayout.single(min(nvp, 8)),
-                      optimize=optimize, slot_size=1 << 27, trace=trace)
+                      optimize=optimize, slot_size=1 << 27, trace=trace,
+                      sanitize=sanitize)
         result = job.run()
         if method == "none":
             baseline = result.app_ns
@@ -210,6 +215,7 @@ def migration_experiment(
     code_bytes: int = 14 * 1024 * 1024,
     machine: MachineModel = BRIDGES2,
     trace: TraceRecorder | None = None,
+    sanitize: Any = None,
 ) -> list[MigrationRow]:
     """Figure 8: migrate one rank across nodes as its heap grows.
 
@@ -225,7 +231,7 @@ def migration_experiment(
                 source, nvp=2, method=method, machine=machine,
                 layout=JobLayout(nodes=2, processes_per_node=1,
                                  pes_per_process=1),
-                slot_size=1 << 28, trace=trace,
+                slot_size=1 << 28, trace=trace, sanitize=sanitize,
             )
             result = job.run()
             cross = [m for m in result.migrations if m.cross_process]

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import bisect
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.errors import MapError, SegFault
 from repro.mem.layout import (

@@ -15,7 +15,7 @@ a rank's accesses are routed to them:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import SegFault

@@ -16,7 +16,7 @@ The defaults are calibrated to the paper's measured magnitudes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 

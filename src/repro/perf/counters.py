@@ -32,6 +32,8 @@ EV_RECOVERY_NS = "RECOVERY_NS"      #: simulated ns spent in crash recovery
 EV_MSG_FAULT_DROP = "MSG_FAULT_DROP"
 EV_MSG_FAULT_DUP = "MSG_FAULT_DUP"
 EV_MSG_FAULT_CORRUPT = "MSG_FAULT_CORRUPT"
+EV_SAN_CHECK = "SAN_CHECK"          #: shadow-state checks by the sanitizer
+EV_SAN_FINDING = "SAN_FINDING"      #: sanitizer findings emitted (pre-dedup cap)
 
 
 class CounterSet:

@@ -18,7 +18,7 @@ A method participates at three points in a job's life:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import MigrationUnsupportedError

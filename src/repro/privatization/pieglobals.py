@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import copy as _copy
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
 from repro.errors import (
     PrivatizationError,
@@ -50,7 +50,6 @@ from repro.errors import (
 )
 from repro.machine import MachineModel, Os
 from repro.mem.address_space import MapKind
-from repro.mem.layout import page_align_up
 from repro.privatization.base import (
     Capabilities,
     PrivatizationMethod,

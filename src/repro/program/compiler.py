@@ -22,9 +22,9 @@ Flags correspond to the paper's build-time requirements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-from repro.errors import CompileError, UnsupportedToolchain
+from repro.errors import UnsupportedToolchain
 from repro.elf.linker import CompileUnit, StaticLinker
 from repro.machine import Toolchain
 from repro.mem.segments import VarDef

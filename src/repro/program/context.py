@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import ReproError, SegFault
 from repro.mem.heap import RankHeap

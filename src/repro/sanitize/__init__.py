@@ -1,0 +1,50 @@
+"""Privatization sanitizer: static binary lint + runtime race detection.
+
+The paper's whole contribution is closing one bug class — virtualized
+ranks sharing mutable global/static state through writable segments, the
+GOT, and TLS.  ``repro.sanitize`` turns the simulator from a tool that
+can *demonstrate* that bug (privatization=none corrupts Jacobi) into one
+that can *diagnose* it:
+
+* :mod:`repro.sanitize.static` — a linter over :mod:`repro.elf` images
+  and live link maps, run *before* (or after) execution: unresolved and
+  dangling relocations, copy relocations against writable symbols,
+  duplicate strong definitions across images, text relocations in PIE
+  images, GOT entries pointing into torn-down ``dlmopen`` namespaces,
+  Isomalloc slot projections, and the privatization-compatibility
+  matrix (program features vs. the selected method).
+* :mod:`repro.sanitize.runtime` — a TSan-analog for the simulated
+  machine: shadow state records the last writer rank and access epoch
+  per (segment instance, variable); scheduler/AMPI hooks flag
+  cross-rank write→read on unprivatized globals, stale GOT/TLS after a
+  migration, use-after-migrate touches, and writes landing in another
+  rank's Isomalloc slot.
+
+Both layers follow ``repro.trace``'s zero-overhead-when-off design rule:
+with the sanitizer off, no hot-path code changes at all (the detector
+lives in a :class:`~repro.program.context.GlobalsView` subclass that is
+only constructed when sanitizing), so timelines stay byte-identical.
+"""
+
+from repro.sanitize.findings import Finding, Severity, sort_findings
+from repro.sanitize.runtime import RaceDetector, SanitizedGlobalsView
+from repro.sanitize.static import (
+    StaticLinter,
+    compat_findings,
+    predict_privatization,
+    program_features,
+    project_isomalloc,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "sort_findings",
+    "RaceDetector",
+    "SanitizedGlobalsView",
+    "StaticLinter",
+    "compat_findings",
+    "predict_privatization",
+    "program_features",
+    "project_isomalloc",
+]

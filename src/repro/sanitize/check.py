@@ -1,0 +1,175 @@
+"""Driver behind ``repro check``: lint a target, optionally execute it
+under the runtime sanitizer, and report structured findings.
+
+Kept out of ``repro.sanitize.__init__`` on purpose: this module reaches
+into the apps and harness layers (to build the bundled example
+programs), which the core sanitize package must not depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine import GENERIC_LINUX, MachineModel
+from repro.program.binary import Binary
+from repro.program.compiler import CompileOptions, Compiler
+from repro.program.source import Program, ProgramSource
+from repro.sanitize.findings import Finding, Severity, sort_findings
+from repro.sanitize.static import (
+    StaticLinter,
+    compat_findings,
+    program_features,
+    project_isomalloc,
+)
+
+#: targets `repro check` accepts besides ``fixture:<name>``
+EXAMPLE_TARGETS = ("hello", "jacobi", "probe")
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` invocation produced."""
+
+    target: str
+    method: str
+    nvp: int
+    findings: list[Finding]
+    #: feature flags of the checked program (empty for fixtures)
+    features: dict[str, Any] = field(default_factory=dict)
+    #: whether the target was also executed under the runtime detector
+    executed: bool = False
+    #: sanitizer counters from the run (SAN_CHECK / SAN_FINDING)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "method": self.method,
+            "nvp": self.nvp,
+            "ok": self.ok,
+            "executed": self.executed,
+            "features": self.features,
+            "counters": dict(sorted(self.counters.items())),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _hello_program() -> ProgramSource:
+    p = Program("hello_world")
+    p.add_global("my_rank", -1)
+
+    @p.function()
+    def main(ctx):
+        ctx.g.my_rank = ctx.mpi.rank()
+        ctx.mpi.barrier()
+        return f"rank: {ctx.g.my_rank}"
+
+    return p.build()
+
+
+def _target_source(target: str) -> ProgramSource:
+    if target == "hello":
+        return _hello_program()
+    if target == "jacobi":
+        from repro.apps import JacobiConfig, build_jacobi_program
+
+        # Small instance: the lint is layout-driven, not scale-driven.
+        return build_jacobi_program(JacobiConfig(n=12, iters=4))
+    if target == "probe":
+        from repro.harness.capabilities import correctness_program
+
+        return correctness_program()
+    raise ValueError(
+        f"unknown check target {target!r}; have "
+        f"{', '.join(EXAMPLE_TARGETS)} or fixture:<name>"
+    )
+
+
+def run_check(
+    target: str,
+    method: str = "pieglobals",
+    *,
+    nvp: int = 8,
+    static_only: bool = False,
+    slot_size: int = 1 << 26,
+    machine: MachineModel = GENERIC_LINUX,
+) -> CheckReport:
+    """Lint ``target`` (and run it under the detector unless
+    ``static_only``); returns the combined report."""
+    from repro.privatization.registry import get_method
+
+    if target.startswith("fixture:"):
+        from repro.sanitize.fixtures import run_fixture
+
+        name = target.partition(":")[2]
+        return CheckReport(
+            target=target, method=method, nvp=nvp,
+            findings=sort_findings(run_fixture(name)),
+        )
+
+    m = get_method(method)
+    source = _target_source(target)
+    opts = m.compile_options(CompileOptions(optimize=1), machine)
+    extra = []
+    if m.uses_funcptr_shim:
+        from repro.ampi.funcptr import shim_compile_unit
+
+        extra.append(shim_compile_unit())
+    binary: Binary = Compiler(machine.toolchain).compile(
+        source, opts, extra_units=extra
+    )
+
+    findings: list[Finding] = []
+    findings += StaticLinter().lint_images([binary.image])
+    findings += compat_findings(binary, m)
+    findings += project_isomalloc(binary, m, nvp, slot_size)
+
+    report = CheckReport(
+        target=target, method=method, nvp=nvp,
+        findings=[], features=program_features(binary),
+    )
+    if not static_only and not any(
+        f.severity is Severity.ERROR for f in findings
+    ):
+        findings += _execute(binary, m, nvp, slot_size, machine, report)
+    report.findings = sort_findings(findings)
+    return report
+
+
+def _execute(binary, method, nvp, slot_size, machine,
+             report: CheckReport) -> list[Finding]:
+    """Run the target with the race detector on, then lint the live
+    loaders for dangling GOT state the run left behind."""
+    from repro.ampi.runtime import AmpiJob
+    from repro.charm.node import JobLayout
+    from repro.sanitize.runtime import RaceDetector
+
+    det = RaceDetector()
+    # Two PEs in one process: enough concurrency for cross-rank
+    # interleaving, and shared segments are genuinely shared.
+    job = AmpiJob(binary, nvp, method=method, machine=machine,
+                  layout=JobLayout.single(2), slot_size=slot_size,
+                  sanitize=det)
+    result = job.run()
+    report.executed = True
+    report.counters = dict(det.counters.snapshot())
+    findings = list(result.sanitize_findings)
+    linter = StaticLinter()
+    for proc in job.processes:
+        findings += linter.lint_loader(proc.loader)
+    return findings
+
+
+def check_examples(
+    method: str = "pieglobals", *, nvp: int = 8, static_only: bool = False
+) -> list[CheckReport]:
+    """``repro check examples``: every bundled example program."""
+    return [
+        run_check(t, method, nvp=nvp, static_only=static_only)
+        for t in EXAMPLE_TARGETS
+    ]

@@ -1,0 +1,331 @@
+"""Runtime shared-state race detector — a TSan analog for the simulator.
+
+Shadow state is keyed by (segment instance, variable): each write
+records the last-writer rank and the scheduler epoch (quantum count) it
+happened in.  Hooks in the globals view, the scheduler, and the
+migration engine then flag the four runtime defect classes:
+
+``race-write-read`` / ``race-write-write``
+    A rank reads (or rewrites) a mutable variable last written by a
+    *different* rank through the *same* storage — exactly the
+    Figure 2/3 unprivatized-global bug, caught at the access instead of
+    in the output.
+``foreign-write``
+    A write lands inside another rank's Isomalloc slot (scribbling over
+    memory that will migrate with somebody else).
+``stale-got`` / ``stale-tls``
+    After a cross-process migration, the rank's private GOT or TLS
+    block points at memory not mapped in the destination process.
+``use-after-migrate``
+    The rank touches storage that stayed behind in the source process
+    after it migrated (shared segments under none/tlsglobals).
+
+Zero-overhead-when-off rule (same as ``repro.trace``): nothing here is
+consulted unless the job was built with ``sanitize=...``; the only
+integration points are a :class:`GlobalsView` *subclass* that is only
+constructed when sanitizing, and ``is not None`` guards hoisted out of
+the scheduler/migration hot paths.  The detector reads simulated clocks
+but never advances them, so sanitized timelines equal unsanitized ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.elf.got import GotInstance
+from repro.perf.counters import (
+    CounterSet,
+    EV_SAN_CHECK,
+    EV_SAN_FINDING,
+)
+from repro.program.context import AccessRoute, GlobalsView
+from repro.privatization._util import SHIM_PREFIX
+from repro.sanitize.findings import Finding, Severity, sort_findings
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.migration import MigrationRecord
+    from repro.charm.vrank import VirtualRank
+    from repro.mem.isomalloc import IsomallocArena
+    from repro.perf.clock import SimClock
+    from repro.trace.recorder import TraceRecorder
+
+
+class SanitizedGlobalsView(GlobalsView):
+    """A :class:`GlobalsView` that reports every access to the detector.
+
+    Constructed by the runtime *instead of* the plain view when
+    sanitizing; the plain view's hot path is untouched when off.
+    """
+
+    __slots__ = ("probe",)
+
+    def __init__(self, *args: Any, probe: "_RankProbe", **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.probe = probe
+
+    def read(self, name: str) -> Any:
+        value = super().read(name)
+        self.probe.on_access(name, self.routes[name], False)
+        return value
+
+    def write(self, name: str, value: Any) -> None:
+        super().write(name, value)
+        self.probe.on_access(name, self.routes[name], True)
+
+    def charge_bulk(self, name: str, count: int) -> int:
+        ns = super().charge_bulk(name, count)
+        # A modelled inner loop reads the variable `count` times; one
+        # observation is enough for the happens-before bookkeeping.
+        if count > 0:
+            self.probe.on_access(name, self.routes[name], False)
+        return ns
+
+
+class _RankProbe:
+    """Per-rank binding: (vp, clock) closed over the shared detector."""
+
+    __slots__ = ("vp", "clock", "detector")
+
+    def __init__(self, vp: int, clock: "SimClock", detector: "RaceDetector"):
+        self.vp = vp
+        self.clock = clock
+        self.detector = detector
+
+    def on_access(self, name: str, route: AccessRoute, is_write: bool) -> None:
+        self.detector.on_access(self.vp, name, route, is_write,
+                                self.clock.now)
+
+
+class RaceDetector:
+    """Job-wide shadow state + findings accumulator.
+
+    One detector can observe several jobs (``repro run --sanitize``
+    threads one through a whole experiment sweep); findings carry enough
+    context to stay meaningful across jobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        counters: CounterSet | None = None,
+        trace: "TraceRecorder | None" = None,
+        trace_pid: int = 0,
+        max_findings: int = 1024,
+    ):
+        self.counters = counters if counters is not None else CounterSet()
+        self.trace = trace
+        self.trace_pid = trace_pid
+        self.max_findings = max_findings
+        self.findings: list[Finding] = []
+        #: findings dropped after ``max_findings`` (still counted)
+        self.dropped = 0
+        #: scheduler quantum count — the "access epoch" shadow cells record
+        self.epoch = 0
+        self.job_name = ""
+        self._arena: "IsomallocArena | None" = None
+        #: (id(instance), var) -> (last writer vp, write epoch)
+        self._last_write: dict[tuple[int, str], tuple[int, int]] = {}
+        #: (id(instance), var) -> (is the variable unsafe, its address)
+        self._cell_info: dict[tuple[int, str], tuple[bool, int]] = {}
+        #: vp -> {id(instance): route name} of storage left behind by a
+        #: cross-process migration (touching it is use-after-migrate)
+        self._stale: dict[int, dict[int, str]] = {}
+        self._seen: set[tuple] = set()
+
+    # -- wiring (called by AmpiJob.start) -----------------------------------
+
+    def attach_job(self, job_name: str, arena: "IsomallocArena") -> None:
+        self.job_name = job_name
+        self._arena = arena
+
+    def bind(self, vp: int, clock: "SimClock") -> _RankProbe:
+        return _RankProbe(vp, clock, self)
+
+    def on_quantum(self) -> None:
+        """Scheduler hook: one call per scheduling quantum."""
+        self.epoch += 1
+
+    # -- access path --------------------------------------------------------
+
+    def _cell(self, key: tuple[int, str], route: AccessRoute,
+              name: str) -> tuple[bool, int]:
+        info = self._cell_info.get(key)
+        if info is None:
+            inst = route.instance
+            var = inst.image.vars.get(name)
+            unsafe = (var is not None and var.unsafe
+                      and not name.startswith(SHIM_PREFIX))
+            info = (unsafe, inst.addr_of(name))
+            self._cell_info[key] = info
+        return info
+
+    def on_access(self, vp: int, name: str, route: AccessRoute,
+                  is_write: bool, now: int) -> None:
+        self.counters.incr(EV_SAN_CHECK)
+        inst_id = id(route.instance)
+        key = (inst_id, name)
+        unsafe, addr = self._cell(key, route, name)
+
+        stale = self._stale.get(vp)
+        if stale is not None and inst_id in stale:
+            self._emit(Finding(
+                code="use-after-migrate",
+                severity=Severity.ERROR,
+                message=(
+                    f"vp {vp} touched {name!r} through storage left in "
+                    "its pre-migration process — it now reads another "
+                    "address space's copy"
+                ),
+                image=self.job_name or None,
+                symbol=name,
+                vp=vp,
+                address=addr,
+                epoch=self.epoch,
+                fix_hint="use a method whose state migrates with the "
+                         "rank (pieglobals, tlsglobals with tagging)",
+            ), dedup=("uam", vp, inst_id), now=now)
+
+        if not unsafe:
+            return
+        prev = self._last_write.get(key)
+        if is_write:
+            owner = (self._arena.rank_of_address(addr)
+                     if self._arena is not None else None)
+            if owner is not None and owner != vp:
+                self._emit(Finding(
+                    code="foreign-write",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"vp {vp} wrote {name!r} at {addr:#x}, inside "
+                        f"vp {owner}'s Isomalloc slot"
+                    ),
+                    image=self.job_name or None,
+                    symbol=name,
+                    vp=vp,
+                    address=addr,
+                    epoch=self.epoch,
+                    fix_hint="the store aliases another rank's private "
+                             "memory; fix the routing or the pointer "
+                             "arithmetic that produced it",
+                ), dedup=("fw", vp, key), now=now)
+            if prev is not None and prev[0] != vp:
+                self._emit(self._race_finding(
+                    "race-write-write", name, addr, writer=prev[0],
+                    toucher=vp, write_epoch=prev[1]),
+                    dedup=("ww", key, prev[0], vp), now=now)
+            self._last_write[key] = (vp, self.epoch)
+        elif prev is not None and prev[0] != vp:
+            self._emit(self._race_finding(
+                "race-write-read", name, addr, writer=prev[0],
+                toucher=vp, write_epoch=prev[1]),
+                dedup=("wr", key, prev[0], vp), now=now)
+
+    def _race_finding(self, code: str, name: str, addr: int, *,
+                      writer: int, toucher: int,
+                      write_epoch: int) -> Finding:
+        verb = "read" if code == "race-write-read" else "rewrote"
+        return Finding(
+            code=code,
+            severity=Severity.ERROR,
+            message=(
+                f"vp {toucher} {verb} shared mutable {name!r} last "
+                f"written by vp {writer} (epoch {write_epoch}) — the "
+                "ranks share one storage copy"
+            ),
+            image=self.job_name or None,
+            symbol=name,
+            vp=toucher,
+            address=addr,
+            epoch=self.epoch,
+            fix_hint="privatize it: any full-copy method, or "
+                     "thread_local tagging under tlsglobals",
+        )
+
+    # -- migration hook -----------------------------------------------------
+
+    def on_migrate(self, rank: "VirtualRank", src_proc: Any, dst_proc: Any,
+                   rec: "MigrationRecord") -> None:
+        """Post-migration audit (cross-process moves only).
+
+        Checks the rank's private GOT and TLS resolve inside the
+        destination address space, and marks any route whose storage
+        stayed behind in the source process so the *next touch* reports
+        use-after-migrate.
+        """
+        now = rank.clock.now
+        got = rank.method_data.get("got")
+        if isinstance(got, GotInstance):
+            for slot, addr in got.entries():
+                if addr and dst_proc.vm.find(addr) is None:
+                    self._emit(Finding(
+                        code="stale-got",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"after migrating to process "
+                            f"{dst_proc.index}, vp {rank.vp}'s GOT entry "
+                            f"for {slot.symbol!r} points at unmapped "
+                            f"{addr:#x}"
+                        ),
+                        image=self.job_name or None,
+                        symbol=slot.symbol,
+                        vp=rank.vp,
+                        address=addr,
+                        epoch=self.epoch,
+                        fix_hint="the GOT must be re-resolved (or live "
+                                 "in the Isomalloc slot) for migration",
+                    ), dedup=("sg", rank.vp, slot.symbol), now=now)
+        tls = rank.tls_instance
+        if tls is not None:
+            m_src = src_proc.vm.find(tls.base)
+            m_dst = dst_proc.vm.find(tls.base)
+            if m_src is not None and (m_dst is None or m_dst is not m_src):
+                self._emit(Finding(
+                    code="stale-tls",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"vp {rank.vp}'s TLS block at {tls.base:#x} did "
+                        "not move with it: the destination process maps "
+                        "different storage there"
+                    ),
+                    image=self.job_name or None,
+                    vp=rank.vp,
+                    address=tls.base,
+                    epoch=self.epoch,
+                    fix_hint="allocate the per-rank TLS copy from "
+                             "Isomalloc so it migrates with the rank",
+                ), dedup=("st", rank.vp), now=now)
+        stale = self._stale.setdefault(rank.vp, {})
+        for name, route in rank.ctx.view.routes.items():
+            if name.startswith(SHIM_PREFIX):
+                continue
+            var = route.instance.image.vars.get(name)
+            if var is None or not var.unsafe:
+                continue
+            base = route.instance.base
+            m_src = src_proc.vm.find(base)
+            if m_src is None:
+                continue  # moved with the rank (or never process-mapped)
+            m_dst = dst_proc.vm.find(base)
+            if m_dst is None or m_dst is not m_src:
+                stale[id(route.instance)] = name
+
+    # -- reporting ----------------------------------------------------------
+
+    def _emit(self, finding: Finding, dedup: tuple, now: int) -> None:
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        self.counters.incr(EV_SAN_FINDING)
+        if self.trace is not None:
+            self.trace.instant(
+                f"san:{finding.code}", "sanitize", now,
+                pid=self.trace_pid, tid=finding.vp or 0,
+                args={"symbol": finding.symbol, "epoch": finding.epoch},
+            )
+        if len(self.findings) >= self.max_findings:
+            self.dropped += 1
+            return
+        self.findings.append(finding)
+
+    def sorted_findings(self) -> list[Finding]:
+        return sort_findings(self.findings)

@@ -1,0 +1,415 @@
+"""Static binary linter over simulated ELF images and live link maps.
+
+Runs *before* execution (or over a live loader after teardown events)
+and emits :class:`~repro.sanitize.findings.Finding` records for the
+defect classes that break process virtualization:
+
+* ``reloc-unresolved`` — a relocation against a symbol no image defines;
+* ``reloc-dangling`` — a relocation whose target storage does not exist
+  (a GOT/PLT relocation with no GOT slot, an ABS64 patch slot missing
+  from the data segment);
+* ``copy-reloc-writable`` — a copy relocation against a writable symbol
+  (the executable forks state a shared object keeps mutating);
+* ``dup-strong-def`` — the same strong symbol defined by several images;
+* ``textrel-pie`` — a runtime relocation patching .text in a PIE image
+  (defeats page sharing and, for PIEglobals, per-rank copy hygiene);
+* ``got-dangling`` — a live GOT entry resolving into unmapped memory,
+  e.g. a torn-down ``dlmopen`` namespace;
+* ``iso-overlap`` / ``iso-exhaustion`` — Isomalloc arena projections;
+* ``compat-*`` — the privatization-compatibility matrix: program
+  features vs. what the selected method actually privatizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.elf.image import ElfImage
+from repro.elf.relocation import RelocKind
+from repro.elf.symbols import SymbolBinding
+from repro.errors import ReproError
+from repro.mem.layout import ISOMALLOC_BASE, ISOMALLOC_END
+from repro.privatization.registry import get_method
+from repro.privatization._util import SHIM_PREFIX
+from repro.sanitize.findings import Finding, Severity, sort_findings
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.elf.loader import DynamicLoader
+    from repro.program.binary import Binary
+
+
+_METHOD_HINT = (
+    "use a full-copy method (pieglobals, pipglobals, fsglobals) or "
+    "refactor the variable out of shared writable storage"
+)
+
+
+class StaticLinter:
+    """Content-level lint over one or more ELF images and link maps."""
+
+    def lint_images(self, images: Sequence[ElfImage]) -> list[Finding]:
+        """All image-level checks over ``images`` as one load set."""
+        findings: list[Finding] = []
+        findings.extend(self._dup_strong_defs(images))
+        defined = {
+            sym.name
+            for img in images
+            for sym in img.symbols.globals_()
+            if sym.defined
+        }
+        for img in images:
+            findings.extend(self._lint_one(img, images, defined))
+        return sort_findings(findings)
+
+    def lint_loader(self, loader: "DynamicLoader") -> list[Finding]:
+        """Live-link-map checks: GOT entries must point at mapped memory.
+
+        A GOT slot resolved (e.g. via ``dlsym``) into an image whose
+        ``dlmopen`` namespace was since torn down keeps its stale
+        address; dereferencing it is a use-after-unmap.
+        """
+        findings: list[Finding] = []
+        for lm in loader.link_maps():
+            for slot, addr in lm.got.entries():
+                if not addr:
+                    continue
+                if loader.vm.find(addr) is None:
+                    findings.append(Finding(
+                        code="got-dangling",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"GOT entry for {slot.symbol!r} points at "
+                            f"unmapped address {addr:#x} (torn-down "
+                            "namespace or unloaded image)"
+                        ),
+                        image=lm.image.name,
+                        symbol=slot.symbol,
+                        address=addr,
+                        fix_hint=(
+                            "re-resolve the symbol after dlclose, or keep "
+                            "a dlopen reference alive while the address "
+                            "is in use"
+                        ),
+                    ))
+        return sort_findings(findings)
+
+    # -- per-image checks ---------------------------------------------------
+
+    def _dup_strong_defs(
+        self, images: Sequence[ElfImage]
+    ) -> Iterable[Finding]:
+        strong: dict[str, list[str]] = {}
+        for img in images:
+            for sym in img.symbols.globals_():
+                if sym.defined and sym.binding is SymbolBinding.GLOBAL:
+                    strong.setdefault(sym.name, []).append(img.name)
+        for name, owners in sorted(strong.items()):
+            if len(owners) < 2 or name.startswith(SHIM_PREFIX):
+                continue
+            yield Finding(
+                code="dup-strong-def",
+                severity=Severity.ERROR,
+                message=(
+                    f"strong symbol {name!r} defined by "
+                    f"{len(owners)} images: {', '.join(sorted(owners))} — "
+                    "interposition order decides which copy every image "
+                    "sees, and per-rank loads may disagree"
+                ),
+                image=sorted(owners)[0],
+                symbol=name,
+                fix_hint=(
+                    "make all but one definition weak, or rename the "
+                    "colliding symbols"
+                ),
+            )
+
+    def _lint_one(
+        self,
+        img: ElfImage,
+        images: Sequence[ElfImage],
+        defined: set[str],
+    ) -> Iterable[Finding]:
+        for reloc in img.relocations:
+            if reloc.symbol.startswith(SHIM_PREFIX):
+                continue
+            sym = img.symbols.lookup(reloc.symbol)
+            if sym is None:
+                yield Finding(
+                    code="reloc-unresolved",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{reloc.kind.value} relocation references "
+                        f"{reloc.symbol!r}, which is absent from the "
+                        "symbol table"
+                    ),
+                    image=img.name,
+                    symbol=reloc.symbol,
+                    fix_hint="link the object that defines the symbol",
+                )
+                continue
+            if not sym.defined and reloc.symbol not in defined:
+                yield Finding(
+                    code="reloc-unresolved",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{reloc.kind.value} relocation references "
+                        f"{reloc.symbol!r}, undefined here and provided "
+                        "by no loaded image"
+                    ),
+                    image=img.name,
+                    symbol=reloc.symbol,
+                    fix_hint=(
+                        "add the providing library to DT_NEEDED or link "
+                        "it statically"
+                    ),
+                )
+                continue
+            if (reloc.kind in (RelocKind.GOT_ENTRY, RelocKind.PLT_CALL)
+                    and reloc.symbol not in img.got):
+                yield Finding(
+                    code="reloc-dangling",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{reloc.kind.value} relocation for "
+                        f"{reloc.symbol!r} has no GOT slot to land in"
+                    ),
+                    image=img.name,
+                    symbol=reloc.symbol,
+                    fix_hint="re-link; the GOT and relocation tables "
+                             "disagree (corrupt or hand-edited image)",
+                )
+            elif reloc.kind is RelocKind.ABS64:
+                _, _, slot = reloc.where.partition(":")
+                if (reloc.where.startswith("data:")
+                        and slot not in img.data):
+                    yield Finding(
+                        code="reloc-dangling",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"abs64 relocation patches data slot "
+                            f"{slot!r}, which the data segment does not "
+                            "contain"
+                        ),
+                        image=img.name,
+                        symbol=reloc.symbol,
+                        fix_hint="re-link; the patch target was dropped "
+                                 "from the layout",
+                    )
+            elif reloc.kind is RelocKind.COPY:
+                yield from self._check_copy_reloc(img, images, reloc)
+            if (img.is_pie and reloc.needs_runtime_work
+                    and reloc.where.startswith("text")):
+                yield Finding(
+                    code="textrel-pie",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{reloc.kind.value} relocation patches .text "
+                        f"({reloc.where}) in PIE image — the loader must "
+                        "make code pages writable, and per-rank code "
+                        "copies diverge from the file"
+                    ),
+                    image=img.name,
+                    symbol=reloc.symbol,
+                    fix_hint="compile with -fPIC so the access goes "
+                             "through the GOT instead of patched text",
+                )
+
+    def _check_copy_reloc(self, img, images, reloc) -> Iterable[Finding]:
+        # Writable iff some image lays the symbol out in its (mutable)
+        # data segment; const variables live in rodata.
+        for other in images:
+            if other is img:
+                continue
+            var = other.data.vars.get(reloc.symbol)
+            if var is not None and not var.const:
+                yield Finding(
+                    code="copy-reloc-writable",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"copy relocation duplicates writable symbol "
+                        f"{reloc.symbol!r} from {other.name!r} into the "
+                        "executable; the two copies update "
+                        "independently"
+                    ),
+                    image=img.name,
+                    symbol=reloc.symbol,
+                    fix_hint="build the executable as PIE (copy "
+                             "relocations only exist for ET_EXEC) or "
+                             "export an accessor instead of the object",
+                )
+                return
+
+
+# ---------------------------------------------------------------------------
+# Isomalloc projections
+# ---------------------------------------------------------------------------
+
+def project_isomalloc(
+    binary: "Binary",
+    method: Any,
+    nvp: int,
+    slot_size: int,
+    stack_bytes: int = 64 * 1024,
+) -> list[Finding]:
+    """Predict whether ``nvp`` ranks fit the Isomalloc arena *before*
+    paying for a failed startup.
+
+    ``iso-overlap``: the arena itself spills past the reserved VA range
+    (globally-unique slots would collide with the system mmap area).
+    ``iso-exhaustion``: one rank's projected private footprint (stack +
+    privatized variables + per-rank segment copies) exceeds its slot.
+    """
+    from repro.privatization.pieglobals import PieGlobals
+
+    method = get_method(method)
+    findings: list[Finding] = []
+    arena_end = ISOMALLOC_BASE + nvp * slot_size
+    if arena_end > ISOMALLOC_END:
+        findings.append(Finding(
+            code="iso-overlap",
+            severity=Severity.ERROR,
+            message=(
+                f"Isomalloc arena for {nvp} ranks x {slot_size} B ends at "
+                f"{arena_end:#x}, past the reserved area end "
+                f"{ISOMALLOC_END:#x} — slots would overlap the system "
+                "mmap region and lose global uniqueness"
+            ),
+            fix_hint="shrink slot_size or nvp so the arena fits the "
+                     "reserved VA range",
+        ))
+    image = binary.image
+    priv_bytes = sum(
+        v.size
+        for seg in (image.data, image.tls)
+        for v in seg.vars.values()
+        if method.privatizes_var(v)
+    )
+    projected = stack_bytes + priv_bytes
+    if isinstance(method, PieGlobals):
+        projected += image.load_size
+    if projected > slot_size:
+        findings.append(Finding(
+            code="iso-exhaustion",
+            severity=Severity.ERROR,
+            message=(
+                f"projected per-rank footprint {projected} B (stack "
+                f"{stack_bytes} + privatized {priv_bytes}"
+                + (f" + segments {image.load_size}"
+                   if isinstance(method, PieGlobals) else "")
+                + f") exceeds the {slot_size} B Isomalloc slot"
+            ),
+            image=image.name,
+            fix_hint="raise slot_size (virtual reservation, not RSS) or "
+                     "lower the per-rank footprint",
+        ))
+    return sort_findings(findings)
+
+
+# ---------------------------------------------------------------------------
+# Privatization-compatibility matrix
+# ---------------------------------------------------------------------------
+
+def program_features(binary: "Binary") -> dict[str, Any]:
+    """Feature flags of a program the compatibility matrix weighs."""
+    image = binary.image
+    unsafe_globals, unsafe_statics, tls_vars = [], [], []
+    for seg in (image.data, image.tls):
+        for var in seg.vars.values():
+            if var.name.startswith(SHIM_PREFIX) or not var.unsafe:
+                continue
+            if var.tls:
+                tls_vars.append(var.name)
+            elif var.static:
+                unsafe_statics.append(var.name)
+            else:
+                unsafe_globals.append(var.name)
+    funcptrs = sorted(
+        var for var, target in image.addr_inits.items()
+        if (sym := image.symbols.lookup(target)) is not None
+        and sym.section == "text"
+    )
+    return {
+        "unsafe_globals": sorted(unsafe_globals),
+        "unsafe_statics": sorted(unsafe_statics),
+        "tls_vars": sorted(tls_vars),
+        "function_pointers": funcptrs,
+        "dynamic_libs": sorted(image.needed),
+        "static_ctors": list(image.static_ctors),
+        "pie": image.is_pie,
+        "language": binary.source.language,
+    }
+
+
+def predict_privatization(method: Any, binary: "Binary") -> dict[str, bool]:
+    """Per-variable prediction: does ``method`` preserve per-rank
+    semantics for each variable of ``binary``?
+
+    Safe (const / write-once-same) variables are always fine; unsafe
+    ones are fine exactly when the method privatizes them.  This is the
+    static mirror of :func:`repro.harness.capabilities.probe_correctness`
+    — the executed probe and this prediction must agree, which the test
+    suite asserts method x feature.
+    """
+    method = get_method(method)
+    out: dict[str, bool] = {}
+    for seg in (binary.image.data, binary.image.rodata, binary.image.tls):
+        for var in seg.vars.values():
+            if var.name.startswith(SHIM_PREFIX):
+                continue
+            out[var.name] = (not var.unsafe) or method.privatizes_var(var)
+    return out
+
+
+def compat_findings(binary: "Binary", method: Any) -> list[Finding]:
+    """Compatibility-matrix check: one finding per variable the selected
+    method leaves shared-and-mutable, plus any structural incompatibility
+    the method itself declares (``validate_binary``)."""
+    method = get_method(method)
+    findings: list[Finding] = []
+    try:
+        method.validate_binary(binary)
+    except ReproError as e:
+        findings.append(Finding(
+            code="compat-binary",
+            severity=Severity.ERROR,
+            message=f"{method.name} rejects this binary: {e}",
+            image=binary.image.name,
+            fix_hint="pick a method whose requirements the build meets "
+                     "(see `repro list-methods`)",
+        ))
+    prediction = predict_privatization(method, binary)
+    for seg in (binary.image.data, binary.image.tls):
+        for var in seg.vars.values():
+            if var.name.startswith(SHIM_PREFIX) or not var.unsafe:
+                continue
+            if prediction[var.name]:
+                continue
+            if var.tls:
+                code, hint = "compat-shared-tls", (
+                    "this method does not switch TLS per rank; use "
+                    "tlsglobals/mpc or a full-copy method"
+                )
+            elif var.static:
+                code, hint = "compat-unprivatized-static", (
+                    "static-linkage variables are invisible to "
+                    "GOT-based methods; " + _METHOD_HINT
+                )
+            else:
+                code, hint = "compat-unprivatized-global", (
+                    "tag it thread_local for tlsglobals, or "
+                    + _METHOD_HINT
+                )
+            findings.append(Finding(
+                code=code,
+                severity=Severity.ERROR,
+                message=(
+                    f"mutable {'TLS ' if var.tls else ''}"
+                    f"{'static ' if var.static else ''}variable "
+                    f"{var.name!r} stays shared under "
+                    f"{method.name}: concurrent ranks will race on it"
+                ),
+                image=binary.image.name,
+                symbol=var.name,
+                fix_hint=hint,
+            ))
+    return sort_findings(findings)

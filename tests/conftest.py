@@ -10,7 +10,6 @@ from __future__ import annotations
 import pytest
 
 from repro.ampi.runtime import AmpiJob
-from repro.charm.node import JobLayout
 from repro.machine import (
     LEGACY_LINUX_OLD_LD,
     STAMPEDE2_ICX,

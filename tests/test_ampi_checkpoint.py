@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ampi.checkpoint import Checkpoint
 from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout
 from repro.errors import CheckpointError

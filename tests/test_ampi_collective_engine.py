@@ -78,7 +78,6 @@ class TestSequencing:
         job = started_job(2, JobLayout.single(2))
         try:
             rank = job.rank_of(0)
-            state_key_comm = job.world
 
             class _Fake:
                 pass

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ampi.ops import MAX, MIN, PROD, SUM
-from repro.charm.node import JobLayout
 from repro.errors import MpiError
 from repro.program.source import Program
 

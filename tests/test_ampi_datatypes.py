@@ -1,10 +1,9 @@
 """Tests for payload sizing and datatypes."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
-from repro.ampi.datatypes import BYTE, DOUBLE, INT, Datatype, payload_nbytes
+from repro.ampi.datatypes import BYTE, DOUBLE, INT, payload_nbytes
 
 
 class TestDatatypes:

@@ -1,13 +1,11 @@
 """Point-to-point MPI semantics, exercised through real jobs."""
 
 import numpy as np
-import pytest
 
 from repro.ampi.comm import ANY_SOURCE, ANY_TAG
 from repro.ampi.requests import Status
 from repro.charm.node import JobLayout
 from repro.errors import MpiError
-from repro.machine import TEST_MACHINE
 from repro.program.source import Program
 
 from conftest import run_job
@@ -269,7 +267,7 @@ class TestTiming:
             if me == 0:
                 ctx.mpi.send("x", dest=1)
                 return ctx.clock.now
-            payload = ctx.mpi.recv(source=0)
+            ctx.mpi.recv(source=0)
             return ctx.clock.now
 
         r = run_job(program(main), 2, layout=JobLayout(1, 2, 1))

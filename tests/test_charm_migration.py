@@ -55,7 +55,6 @@ class TestCrossProcessMigration:
         """The Isomalloc guarantee: same virtual addresses after moving."""
         job = run_job(migrating_program())
         job.run()
-        rank0 = job.rank_of(0)
         slot = job.processes[1].isomalloc.arena.slot(0)
         for m in job.processes[1].vm.mappings_of_rank(0):
             assert slot.start <= m.start and m.end <= slot.end
@@ -117,7 +116,6 @@ class TestCrossProcessMigration:
         small = run_job(migrating_program()).run()
         ns_small = next(m for m in small.migrations if m.cross_process).ns
 
-        p_big = migrating_program()
         # Build a variant with a much bigger heap:
         pb = Program("mig_big")
         pb.add_global("x", 0)

@@ -63,7 +63,6 @@ class TestBasicRun:
         assert ranks[1].clock.now >= 2 * CS
 
     def test_parallel_pes_run_concurrently_in_simtime(self):
-        bodies = []
         sched, ranks, pes = make_ranks(2, JobLayout(1, 1, 2))
 
         def make_body(rank):
@@ -192,7 +191,6 @@ class TestFailureModes:
         assert ranks[0].total_cpu_ns == 777
 
     def test_ctx_switch_extra_charged(self):
-        sched_extra = None
         arena = IsomallocArena(1, 1 << 20)
         _, _, pes = build_topology(JobLayout(1, 1, 1), TEST_MACHINE, arena)
         sched = JobScheduler(TEST_COSTS, ctx_switch_extra_ns=7)

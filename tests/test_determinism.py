@@ -2,7 +2,6 @@
 identical inputs must give bit-identical simulated outcomes — the
 property that makes every benchmark reproducible."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ampi.runtime import AmpiJob

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LinkError
-from repro.elf.got import GotInstance, GotTemplate
+from repro.elf.got import GotTemplate
 
 
 def template(*names):

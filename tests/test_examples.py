@@ -3,9 +3,7 @@ rot."""
 
 import pathlib
 import runpy
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -1,8 +1,6 @@
 """Tests for the experiment harness: tables, capability probes, drivers."""
 
-import pytest
 
-from repro.apps.jacobi3d import JacobiConfig
 from repro.apps.memhog import MemhogConfig, build_memhog_program
 from repro.harness.capabilities import (
     correctness_program,

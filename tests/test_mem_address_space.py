@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import MapError, SegFault
 from repro.mem.address_space import MapKind, Mapping, VirtualMemory
-from repro.mem.layout import PAGE_SIZE, SYSTEM_MMAP_BASE, page_align_up
+from repro.mem.layout import PAGE_SIZE, SYSTEM_MMAP_BASE
 
 
 class TestMapAt:

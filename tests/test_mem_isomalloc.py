@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import IsomallocError
 from repro.mem.address_space import MapKind, VirtualMemory
 from repro.mem.isomalloc import Isomalloc, IsomallocArena
-from repro.mem.layout import ISOMALLOC_BASE, PAGE_SIZE
+from repro.mem.layout import PAGE_SIZE
 
 
 def make(max_ranks=4, slot=1 << 20):

@@ -1,6 +1,5 @@
 """White-box checks of per-method runtime structures."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ampi.checkpoint import Checkpoint

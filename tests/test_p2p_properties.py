@@ -2,7 +2,6 @@
 are delivered exactly once, unmodified, to the right receiver."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.charm.node import JobLayout

@@ -2,7 +2,6 @@
 "mapping the code segments into virtual memory from a single file
 descriptor using mmap" to reduce memory usage)."""
 
-import pytest
 
 from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout
@@ -10,7 +9,6 @@ from repro.machine import TEST_MACHINE
 from repro.privatization.pieglobals import PieGlobals
 from repro.program.source import Program
 
-from conftest import make_hello
 
 
 def big_code_hello():

@@ -5,7 +5,7 @@ import pytest
 
 from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout
-from repro.errors import SmpUnsupportedError, UnsupportedToolchain
+from repro.errors import UnsupportedToolchain
 from repro.machine import ARM_CLUSTER, BRIDGES2, POWER9, get_machine
 
 from conftest import make_hello

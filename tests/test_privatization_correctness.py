@@ -20,7 +20,6 @@ pieglobals      private   private   private
 
 import pytest
 
-from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout
 from repro.machine import TEST_MACHINE
 from repro.program.source import Program

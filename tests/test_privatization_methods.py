@@ -19,7 +19,6 @@ from repro.perf.counters import EV_DLMOPEN, EV_DLOPEN
 from repro.privatization import get_method, method_names
 from repro.privatization.manual import ManualRefactoring
 from repro.privatization.registry import register
-from repro.program.source import Program
 
 from conftest import make_hello, run_job
 

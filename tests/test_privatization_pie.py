@@ -10,7 +10,6 @@ from repro.errors import (
     UnsupportedToolchain,
 )
 from repro.machine import MACOS_ARM, TEST_MACHINE
-from repro.mem.layout import ISOMALLOC_BASE
 from repro.perf.counters import EV_DLOPEN
 from repro.privatization.pieglobals import PieGlobals
 from repro.program.source import Program
@@ -211,8 +210,6 @@ class TestUserOpOffsets:
             job.run()
 
     def test_builtin_ops_unaffected_by_empty_pes(self):
-        from repro.ampi.ops import SUM
-
         p = Program("emptyok")
         p.add_global("x", 0)
 

@@ -1,6 +1,5 @@
 """Remaining runtime behaviours: argv, fetch tracing, comm plumbing."""
 
-import pytest
 
 from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout

@@ -1,7 +1,6 @@
 """Moderate-scale smoke tests: many ranks, many PEs, many messages —
 catching bookkeeping that only breaks past toy sizes."""
 
-import pytest
 
 from repro.ampi.runtime import AmpiJob
 from repro.charm.node import JobLayout

@@ -5,10 +5,8 @@ import json
 import pytest
 
 from repro.charm.node import JobLayout
-from repro.machine import TEST_MACHINE
 from repro.program.source import Program
 from repro.trace import (
-    PE_TID,
     TraceRecorder,
     chrome_trace,
     dumps_chrome_trace,
@@ -231,8 +229,7 @@ class TestJobTracing:
 class TestTimeline:
     def test_render_and_utilization(self):
         rec = TraceRecorder()
-        res = run_job(make_hello(), 4, layout=JobLayout.single(2),
-                      trace=rec)
+        run_job(make_hello(), 4, layout=JobLayout.single(2), trace=rec)
         text = render_timeline(rec)
         assert "timeline" in text and "utilization" in text
         assert "pe0" in text and "pe1" in text
