@@ -26,6 +26,7 @@ from repro.errors import MpiError
 from repro.ampi.comm import Communicator
 from repro.ampi.datatypes import payload_nbytes
 from repro.ampi.ops import Op
+from repro.perf.counters import EV_REPLAYED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ampi.runtime import AmpiJob
@@ -72,6 +73,21 @@ class CollectiveEngine:
         self._states.clear()
         self._seq.clear()
 
+    def purge_ranks(self, vps: set[int]) -> None:
+        """Retract dead ranks from in-flight rendezvous (local recovery).
+
+        Survivors' partial states stay live — the recovering ranks
+        re-arrive during replay and complete them; only the lost
+        timeline's arrivals must go.
+        """
+        for state in self._states.values():
+            comm = state.comm
+            for vp in vps:
+                if vp in comm.group:
+                    r = comm.rank_of_vp(vp)
+                    state.arrivals.pop(r, None)
+                    state.blocked.discard(r)
+
     # -- entry point -------------------------------------------------------------
 
     def enter(self, rank: "VirtualRank", comm: Communicator, kind: str,
@@ -81,6 +97,22 @@ class CollectiveEngine:
         key = (rank.vp, comm.cid)
         seq = self._seq.get(key, 0)
         self._seq[key] = seq + 1
+
+        ml = self.job.msglog
+        if ml is not None and ml.is_replaying(rank.vp):
+            # A recovering rank re-enters a collective that completed in
+            # the lost timeline.  Survivors will never re-enter it, so a
+            # fresh rendezvous could not complete — replay the logged
+            # result at its recorded release time instead.
+            hit = ml.replay_collective(rank.vp, comm.cid, seq)
+            if hit is not None:
+                release, result = hit
+                t_arrive = rank.clock.now
+                rank.clock.advance_to(release)
+                self.job.counters.incr(EV_REPLAYED)
+                self._trace_phase(rank, comm, kind, seq, t_arrive,
+                                  rank.clock.now)
+                return result
 
         skey = (comm.cid, seq)
         state = self._states.get(skey)
@@ -123,6 +155,13 @@ class CollectiveEngine:
         state.done = True
         self.completed += 1
         del self._states[skey]
+        if ml is not None:
+            # Log at completion for *every* participant: logging on each
+            # rank's own release would miss ranks that die while blocked,
+            # and exactly those need the result during replay.
+            for r, (rel, res) in state.releases.items():
+                ml.log_collective(comm.vp_of_rank(r), comm.cid, seq,
+                                  rel, res)
         for r in state.blocked:
             vp = comm.vp_of_rank(r)
             release, _ = state.releases[r]

@@ -37,9 +37,11 @@ from repro.mem.heap import RankHeap
 from repro.mem.isomalloc import IsomallocArena
 from repro.mem.layout import DEFAULT_SLOT_SIZE
 from repro.ft.buddy import BuddyCheckpointer, FtConfig
+from repro.ft.msglog import MessageLogger
 from repro.ft.plan import FaultInjector, FaultPlan
-from repro.ft.recovery import RecoveryManager
+from repro.ft.recovery import LocalRecoveryManager, RecoveryManager
 from repro.net.network import Network
+from repro.net.reliable import ReliableTransport
 from repro.perf.counters import (
     CounterSet,
     EV_FAULT,
@@ -48,6 +50,7 @@ from repro.perf.counters import (
     EV_MSG_FAULT_DROP,
     EV_MSG_FAULT_DUP,
     EV_MSG_SENT,
+    EV_REPLAYED,
 )
 from repro.privatization import get_method
 from repro.privatization.base import SetupEnv
@@ -102,6 +105,12 @@ class JobResult:
     trace: "TraceRecorder | None" = None
     #: completed crash recoveries (fault-tolerance subsystem)
     recoveries: int = 0
+    #: which transport delivered point-to-point messages
+    transport: str = "priced"
+    #: rollback protocol armed for this job ("global" or "local")
+    recovery: str = "global"
+    #: per-vp count of times that rank was rolled back by recovery
+    rollbacks: dict[int, int] = field(default_factory=dict)
     #: sanitizer findings from this job, in deterministic order
     #: (empty unless the job ran with ``sanitize=``)
     sanitize_findings: list = field(default_factory=list)
@@ -170,6 +179,10 @@ class JobResult:
             "forwarded_messages": self.forwarded_messages,
             "collectives_completed": self.collectives_completed,
             "recoveries": self.recoveries,
+            "transport": self.transport,
+            "recovery": self.recovery,
+            "rollbacks": {str(vp): n
+                          for vp, n in sorted(self.rollbacks.items())},
             "sanitize_findings": [f.to_dict() for f in self.sanitize_findings],
             "rank_cpu_ns": {str(vp): ns
                             for vp, ns in sorted(self.rank_cpu_ns.items())},
@@ -205,6 +218,8 @@ class AmpiJob:
         restore_from: "Any | None" = None,
         fault_plan: FaultPlan | None = None,
         ft: FtConfig | None = None,
+        transport: str = "priced",
+        recovery: str = "global",
         ult_backend: "str | Any | None" = None,
         sanitize: "bool | Any | None" = None,
     ):
@@ -248,6 +263,23 @@ class AmpiJob:
                                if fault_plan is not None else None)
         self.buddy_ckpt: BuddyCheckpointer | None = None
         self.recovery: RecoveryManager | None = None
+        #: message delivery discipline: "priced" charges faults as a flat
+        #: latency lump; "reliable" runs the real seq/ack/retransmit
+        #: protocol (repro.net.reliable)
+        if transport not in ("priced", "reliable"):
+            raise ReproError(f"unknown transport {transport!r}")
+        if recovery not in ("global", "local"):
+            raise ReproError(f"unknown recovery mode {recovery!r}")
+        if recovery == "local" and transport != "reliable":
+            raise ReproError(
+                'recovery="local" requires transport="reliable": message '
+                "logging and replay suppression key off the reliable "
+                "transport's channel sequence numbers"
+            )
+        self.transport = transport
+        self.recovery_mode = recovery
+        self.reliable: ReliableTransport | None = None
+        self.msglog: MessageLogger | None = None
 
         self.method.check_supported(machine, self.layout)
         self.binary = (source if isinstance(source, Binary)
@@ -449,6 +481,16 @@ class AmpiJob:
             self.scheduler.on_quantum = san.on_quantum
             self.migration_engine.sanitizer = san
 
+        if self.transport == "reliable":
+            mf = (self.fault_plan.message_faults
+                  if self.fault_plan is not None else None)
+            self.reliable = ReliableTransport(
+                self.scheduler, self.counters,
+                injector=self.fault_injector,
+                rto_ns=mf.retry_timeout_ns if mf is not None else 50_000,
+                trace=tr,
+            )
+
         # Fault tolerance: buddy checkpointing is on whenever an FtConfig
         # is given or the fault plan can kill a node (a crash without a
         # checkpoint would be unrecoverable by construction).
@@ -461,7 +503,13 @@ class AmpiJob:
                 self.counters, trace=tr, trace_pid_base=self._pe_pid_base,
             )
         if self.fault_plan is not None and self.fault_plan.node_crashes:
-            self.recovery = RecoveryManager(self, self.fault_injector)
+            if self.recovery_mode == "local":
+                # Sender-based message logging must exist before the
+                # baseline checkpoint below snapshots its cursors.
+                self.msglog = MessageLogger(self.counters)
+                self.recovery = LocalRecoveryManager(self, self.fault_injector)
+            else:
+                self.recovery = RecoveryManager(self, self.fault_injector)
             self.scheduler.fault_check = self.recovery.poll
         if self.buddy_ckpt is not None:
             # Baseline checkpoint at startup: a crash before the first
@@ -559,6 +607,10 @@ class AmpiJob:
             rank_cpu_ns={vp: r.total_cpu_ns for vp, r in self._ranks.items()},
             trace=self.trace,
             recoveries=self.recovery.recoveries if self.recovery else 0,
+            transport=self.transport,
+            recovery=self.recovery_mode,
+            rollbacks=(dict(self.recovery.rollback_counts)
+                       if self.recovery else {}),
             sanitize_findings=(self.sanitizer.sorted_findings()
                                if self.sanitizer is not None else []),
         )
@@ -623,8 +675,8 @@ class AmpiJob:
     # -- point-to-point -------------------------------------------------------------
 
     def _transfer_plan(self, rank: VirtualRank, dst_vp: int,
-                       nbytes: int) -> int:
-        """Transfer duration from ``rank`` to ``dst_vp``'s current PE."""
+                       nbytes: int) -> tuple[int, Any]:
+        """Transfer duration and destination PE for a send to ``dst_vp``."""
         dest_pe, forwarded = self.locmgr.lookup_for_send(rank.vp, dst_vp)
         ns = self.network.transfer_ns(
             nbytes, rank.pe.endpoint, dest_pe.endpoint
@@ -632,7 +684,7 @@ class AmpiJob:
         if forwarded:
             # Stale location cache: one extra forwarding hop.
             ns += self.costs.msg_overhead_ns + self.costs.net_latency_intra_ns
-        return ns
+        return ns, dest_pe
 
     def _do_send(self, rank: VirtualRank, payload: Any, dest: int, tag: int,
                  comm: Communicator | None) -> None:
@@ -641,13 +693,14 @@ class AmpiJob:
         dst_vp = comm.vp_of_rank(dest)
         nbytes = payload_nbytes(payload)
         now = rank.clock.now
-        ns = self._transfer_plan(rank, dst_vp, nbytes)
-        if self.fault_injector is not None:
+        ns, dest_pe = self._transfer_plan(rank, dst_vp, nbytes)
+        if self.reliable is None and self.fault_injector is not None:
+            # Priced transport: the protocol is not modelled, so a fault
+            # is charged as a flat latency lump on the one-and-only
+            # delivery.  The reliable path never takes this branch — it
+            # pays for faults through actual retransmissions instead.
             fault = self.fault_injector.next_message_fault()
             if fault is not None:
-                # The transport detects and repairs the fault (retransmit
-                # or discard), so the payload arrives intact — only
-                # latency is lost.  Numerics stay replay-identical.
                 ns += self.fault_injector.message_penalty_ns(
                     fault, ns, self.costs.msg_overhead_ns
                 )
@@ -667,6 +720,7 @@ class AmpiJob:
         msg = Message(
             src=src_cr, dst=dest, tag=tag, comm_id=comm.cid,
             payload=payload, nbytes=nbytes, sent_at=now, arrival=now + ns,
+            src_vp=rank.vp, dst_vp=dst_vp,
         )
         rank.clock.advance(self.costs.msg_overhead_ns)
         if nbytes > self.costs.eager_threshold_bytes:
@@ -680,7 +734,27 @@ class AmpiJob:
                 args={"dst_vp": dst_vp, "tag": tag, "nbytes": nbytes,
                       "arrival": now + ns},
             )
-        self._deliver(dst_vp, msg)
+        if self.reliable is not None:
+            msg.dest_endpoint = dest_pe.endpoint
+            delivered = self.reliable.send(
+                msg, ns, self._deliver_frame,
+                trace_pid=self.trace_pid_of(rank.pe),
+            )
+            if delivered and self.msglog is not None:
+                self.msglog.log_send(msg)
+        else:
+            self._deliver(dst_vp, msg)
+
+    def _deliver_frame(self, msg: Message) -> None:
+        """Reliable-transport delivery hook: the final, checksum-clean
+        attempt of a frame (possibly fired from a retransmission timer,
+        long after the send)."""
+        dst_rank = self._ranks[msg.dst_vp]
+        san = self.sanitizer
+        if (san is not None and msg.dest_endpoint is not None
+                and dst_rank.pe.endpoint != msg.dest_endpoint):
+            san.on_stale_delivery(dst_rank, msg)
+        self._deliver(msg.dst_vp, msg)
 
     def _deliver(self, dst_vp: int, msg: Message) -> None:
         dst_rank = self._ranks[dst_vp]
@@ -692,6 +766,8 @@ class AmpiJob:
                     when=msg.arrival, payload=msg.payload,
                     source=msg.src, tag=msg.tag, nbytes=msg.nbytes,
                 )
+                if self.msglog is not None:
+                    self.msglog.on_consume(dst_vp, msg.src_vp, msg.chan_seq)
                 if self.trace is not None:
                     self.trace.instant(
                         "recv-match", "msg", msg.arrival,
@@ -728,10 +804,41 @@ class AmpiJob:
         comm = self._resolve_comm(comm)
         req = Request(kind=RequestKind.RECV, vp=rank.vp, comm_id=comm.cid,
                       src=source, tag=tag)
+        ml = self.msglog
+        if ml is not None and ml.is_replaying(rank.vp):
+            # A recovering rank re-executes: serve its receives from the
+            # message log first.  Anything in the mailbox is a *fresh*
+            # post-crash delivery with a higher channel seq — consuming
+            # it before the logged history would break non-overtaking.
+            src_vp = (None if source == ANY_SOURCE
+                      else comm.vp_of_rank(source))
+            entry = ml.replay_match(rank.vp, src_vp, tag, comm.cid)
+            if entry is not None:
+                sender = self._ranks[entry.src_vp]
+                fetch_ns = self.network.transfer_ns(
+                    entry.nbytes, sender.pe.endpoint, rank.pe.endpoint
+                )
+                entry.sent_at = rank.clock.now
+                entry.arrival = rank.clock.now + fetch_ns
+                req.complete(when=entry.arrival, payload=entry.payload,
+                             source=entry.src, tag=entry.tag,
+                             nbytes=entry.nbytes)
+                ml.on_consume(rank.vp, entry.src_vp, entry.chan_seq)
+                self.counters.incr(EV_REPLAYED)
+                if self.trace is not None:
+                    self.trace.instant(
+                        "replay:msg", "ft", rank.clock.now,
+                        pid=self.trace_pid_of(rank.pe), tid=rank.vp,
+                        args={"src_vp": entry.src_vp,
+                              "chan_seq": entry.chan_seq},
+                    )
+                return req
         msg = self._mailboxes[rank.vp].match(source, tag, comm.cid)
         if msg is not None:
             req.complete(when=msg.arrival, payload=msg.payload,
                          source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+            if ml is not None:
+                ml.on_consume(rank.vp, msg.src_vp, msg.chan_seq)
         else:
             self._posted[rank.vp].append(_PostedRecv(req))
         return req

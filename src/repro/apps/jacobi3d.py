@@ -251,7 +251,10 @@ def run_jacobi(
     trace: Any = None,
     fault_plan: Any = None,
     ft: Any = None,
+    transport: str = "priced",
+    recovery: str = "global",
     ult_backend: Any = None,
+    sanitize: Any = None,
 ) -> JobResult:
     """Build + run Jacobi-3D; returns the job result (exit value of each
     rank is the final global residual)."""
@@ -260,6 +263,7 @@ def run_jacobi(
         source, nvp, method=method, machine=machine, layout=layout,
         optimize=optimize, lb_strategy=lb_strategy,
         trace_fetches=trace_fetches, trace=trace,
-        fault_plan=fault_plan, ft=ft, ult_backend=ult_backend,
+        fault_plan=fault_plan, ft=ft, transport=transport,
+        recovery=recovery, ult_backend=ult_backend, sanitize=sanitize,
     )
     return job.run()

@@ -25,6 +25,17 @@ class Message:
     sent_at: int          #: sender's simulated send time
     arrival: int          #: earliest time the receiver can consume it
     seq: int = field(default_factory=lambda: next(_msg_seq))
+    #: sender/receiver virtual ranks — stable across migration, used by
+    #: the reliable transport's per-channel state and the message log
+    src_vp: int = -1
+    dst_vp: int = -1
+    #: per-(src_vp, dst_vp) channel sequence number assigned by the
+    #: reliable transport (-1 under the priced transport)
+    chan_seq: int = -1
+    #: destination endpoint resolved at send time (reliable transport
+    #: only) — lets the sanitizer flag frames that land on a PE the
+    #: receiver migrated away from before arrival
+    dest_endpoint: Any = None
 
     def matches(self, src: int, tag: int, comm_id: int) -> bool:
         return (

@@ -13,6 +13,8 @@ the active privatization method's surcharge (TLS pointer swap, GOT swap)
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DeadlockError, ReproError
@@ -60,6 +62,12 @@ class JobScheduler:
         #: sanitizer epoch hook, called once per scheduling quantum;
         #: ``None`` (the default) keeps the hot loop untouched
         self.on_quantum: Callable[[], None] | None = None
+        #: simulated-time timer heap ``(at_ns, seq, callback)`` — used by
+        #: the reliable transport for retransmission timeouts and by the
+        #: message log for replay wakeups.  Empty (and therefore free in
+        #: the hot loop) unless a subsystem schedules one.
+        self._timers: list[tuple[int, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
 
     # -- setup ------------------------------------------------------------------
 
@@ -91,8 +99,26 @@ class JobScheduler:
         self.runq.push(rank.ult, start_time)
 
     def flush(self) -> None:
-        """Drop every queued quantum (fault rollback)."""
+        """Drop every queued quantum and pending timer (fault rollback)."""
         self.runq.drain()
+        self._timers.clear()
+
+    # -- simulated-time timers ------------------------------------------------------
+
+    def add_timer(self, at_ns: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at simulated time ``at_ns``.
+
+        Timers fire *between* scheduling quanta: before any quantum whose
+        effective start is at or after ``at_ns``, and whenever the run
+        queue is empty.  Ties are broken by insertion order, so timer
+        firing is deterministic.  ``flush()`` (global rollback) discards
+        pending timers along with the timeline they belong to.
+        """
+        heapq.heappush(self._timers, (int(at_ns), next(self._timer_seq), fn))
+
+    @property
+    def pending_timers(self) -> int:
+        return len(self._timers)
 
     def _pe_busy_of(self, ult: UserLevelThread) -> int:
         return self._ranks_by_tid[ult.tid].pe.busy_until
@@ -151,24 +177,56 @@ class JobScheduler:
         on_quantum = self.on_quantum
         record_timeline = self.record_timeline
         timeline_append = self.timeline.append
+        timers = self._timers
+        heappop = heapq.heappop
         DONE = UltState.DONE
         ERROR = UltState.ERROR
         try:
             while True:
                 item = runq_pop()
                 if item is None:
+                    if timers:
+                        # Nothing runnable but a timeout is pending (e.g.
+                        # a retransmission whose receiver blocks on it).
+                        at, _, fn = heappop(timers)
+                        if fault_check is None or not fault_check(at):
+                            fn()
+                        continue
                     if all(r.finished for r in self._all_ranks):
                         return
                     self._report_deadlock()
                 ult, ready_time = item
-                rank = ranks_by_tid[ult.tid]
+                rank = ranks_by_tid.get(ult.tid)
+                if rank is None:
+                    # Stale quantum of a rolled-back ULT generation
+                    # (local recovery does not flush survivors' queues).
+                    continue
                 pe = rank.pe
                 busy_until = pe.busy_until
+                eff_start = ready_time if ready_time > busy_until \
+                    else busy_until
 
-                if fault_check is not None and \
-                        fault_check(max(ready_time, busy_until)):
-                    # A fault fired and the job rolled back: the popped
-                    # quantum belongs to a killed ULT generation.
+                if timers and timers[0][0] <= eff_start:
+                    # Timers due before this quantum may deliver messages
+                    # (or fire a crash) that change who should run next:
+                    # fire them, requeue the popped quantum, re-pop.
+                    while timers and timers[0][0] <= eff_start:
+                        at = timers[0][0]
+                        if fault_check is not None and fault_check(at):
+                            continue  # rollback may have cleared timers
+                        at, _, fn = heappop(timers)
+                        fn()
+                    if ranks_by_tid.get(ult.tid) is rank:
+                        self.runq.push(ult, ready_time)
+                    continue
+
+                if fault_check is not None and fault_check(eff_start):
+                    # A fault fired and the job rolled back.  Under
+                    # global recovery the popped quantum belongs to a
+                    # killed ULT generation; under local recovery a
+                    # survivor's quantum stays valid and is requeued.
+                    if ranks_by_tid.get(ult.tid) is rank:
+                        self.runq.push(ult, ready_time)
                     continue
 
                 if ready_time > busy_until:

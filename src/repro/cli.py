@@ -249,13 +249,22 @@ def cmd_trace(args) -> int:
 
 
 def cmd_faults(args) -> int:
+    from repro.ft import MessageFaults
     from repro.harness.experiments import fault_overhead_experiment
 
+    mf = None
+    if args.drop or args.duplicate or args.corrupt:
+        mf = MessageFaults(drop=args.drop, duplicate=args.duplicate,
+                           corrupt=args.corrupt)
     rows = fault_overhead_experiment(
         kmax=args.kmax, seed=args.seed, nvp=args.nvp, nodes=args.nodes,
         method=args.method, ckpt_interval_ns=args.interval_ns,
+        transport=args.transport, recovery=args.recovery,
+        message_faults=mf,
     )
     if args.json:
+        # Each row embeds its seed, transport, recovery and full fault
+        # plan, so any row can be re-run from the JSON alone.
         print(json.dumps(
             {"experiment": "faults", "app": args.app,
              "rows": [dataclasses.asdict(r) for r in rows]},
@@ -263,11 +272,14 @@ def cmd_faults(args) -> int:
     else:
         print(format_table(
             ["k", "status", "makespan (ms)", "overhead %", "recovery (ms)",
-             "ckpts", "migrations"],
+             "ckpts", "retrans", "replayed", "migrations"],
             [[r.k, r.status, r.makespan_ns / 1e6, r.overhead_pct,
-              r.recovery_ns / 1e6, r.checkpoints, r.migrations]
+              r.recovery_ns / 1e6, r.checkpoints, r.retransmissions,
+              r.replayed, r.migrations]
              for r in rows],
-            title=f"Fault-tolerance overhead ({args.app}, seed={args.seed})",
+            title=f"Fault-tolerance overhead ({args.app}, "
+                  f"seed={args.seed}, transport={args.transport}, "
+                  f"recovery={args.recovery})",
         ))
     return 0 if all(r.status == "ok" for r in rows) else 1
 
@@ -452,6 +464,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--interval-ns", type=int, default=0,
                         help="minimum ns between accepted checkpoints "
                              "(0 = accept every request)")
+    faults.add_argument("--transport", choices=["priced", "reliable"],
+                        default="priced",
+                        help="point-to-point transport: flat-penalty "
+                             "pricing or the real ack/retransmit protocol")
+    faults.add_argument("--recovery", choices=["global", "local"],
+                        default="global",
+                        help="rollback scheme after a crash (local needs "
+                             "--transport reliable)")
+    faults.add_argument("--drop", type=float, default=0.0,
+                        help="per-message drop probability")
+    faults.add_argument("--duplicate", type=float, default=0.0,
+                        help="per-message duplication probability")
+    faults.add_argument("--corrupt", type=float, default=0.0,
+                        help="per-message corruption probability")
     faults.add_argument("--json", action="store_true",
                         help="emit result rows as JSON instead of a table")
     faults.set_defaults(fn=cmd_faults)

@@ -18,13 +18,19 @@ on surviving PEs.  This package adds exactly that to the simulator:
 * :mod:`repro.ft.recovery` — :class:`RecoveryManager`, which detects
   node death, rolls every rank back to the last consistent checkpoint,
   re-maps dead-node ranks onto surviving PEs via the migration engine,
-  and replays.
+  and replays; :class:`LocalRecoveryManager` rolls back *only* the dead
+  ranks and replays them from the message log while survivors keep
+  running;
+* :mod:`repro.ft.msglog` — :class:`MessageLogger`, the sender-based
+  message/determinant/collective-result log behind
+  ``recovery="local"`` (requires ``transport="reliable"``).
 """
 
 from repro.ft.buddy import BuddyCheckpointer, FtConfig
+from repro.ft.msglog import MessageLogger
 from repro.ft.plan import FaultInjector, FaultPlan, MessageFaults, NodeCrash
 from repro.ft.prng import CounterRng
-from repro.ft.recovery import RecoveryManager
+from repro.ft.recovery import LocalRecoveryManager, RecoveryManager
 
 __all__ = [
     "BuddyCheckpointer",
@@ -32,7 +38,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FtConfig",
+    "LocalRecoveryManager",
     "MessageFaults",
+    "MessageLogger",
     "NodeCrash",
     "RecoveryManager",
 ]

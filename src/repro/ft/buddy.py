@@ -133,6 +133,11 @@ class BuddyCheckpointer:
         self.holders = holders
         self.last_at_ns = at_ns
         self.taken += 1
+        if getattr(job, "msglog", None) is not None:
+            # Local recovery never rewinds below this checkpoint: the
+            # message log snapshots its cursors and drops entries the
+            # checkpoint made unreachable.
+            job.msglog.on_checkpoint(job)
         self.counters.incr(EV_CKPT)
         self.counters.incr(EV_CKPT_BYTES, ckpt.nbytes)
         if self.trace is not None:

@@ -38,21 +38,41 @@ class NodeCrash:
         if self.node < 0:
             raise ReproError(f"node index must be >= 0, got {self.node}")
 
+    def to_dict(self) -> dict:
+        return {"at_ns": self.at_ns, "node": self.node}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NodeCrash":
+        return cls(at_ns=d["at_ns"], node=d["node"])
+
 
 @dataclass(frozen=True)
 class MessageFaults:
     """Per-message fault probabilities for point-to-point traffic.
 
-    Faults are *detected and repaired* by the modelled transport (drops
-    and corruptions are retransmitted after a timeout; duplicates are
-    discarded by sequence number), so they cost latency but never change
-    application data — numerics stay identical to a fault-free run.
+    How a fault is paid for depends on the job's transport:
+
+    * ``transport="priced"`` does not model the repair protocol — each
+      faulted send is charged a flat latency lump
+      (:meth:`FaultInjector.message_penalty_ns`: ``retry_timeout_ns``
+      plus a retransmission for drop/corrupt, one overhead for a
+      discarded duplicate) on its one-and-only delivery;
+    * ``transport="reliable"`` runs the real protocol
+      (:mod:`repro.net.reliable`): one fault draw per transmission
+      *attempt*, checksum rejection, dedup windows, and retransmission
+      timers with ``retry_timeout_ns`` as the base RTO (exponential
+      backoff) — no flat penalty is ever added on top.
+
+    Either way the payload arrives intact exactly once, so faults cost
+    latency but never change application data — numerics stay identical
+    to a fault-free run.
     """
 
     drop: float = 0.0
     duplicate: float = 0.0
     corrupt: float = 0.0
-    #: detection + retransmission delay charged per lost/corrupt message
+    #: priced transport: detection + retransmission lump per lost or
+    #: corrupt message; reliable transport: base retransmission timeout
     retry_timeout_ns: int = 50_000
 
     def __post_init__(self) -> None:
@@ -69,6 +89,18 @@ class MessageFaults:
     @property
     def any(self) -> bool:
         return (self.drop + self.duplicate + self.corrupt) > 0.0
+
+    def to_dict(self) -> dict:
+        return {"drop": self.drop, "duplicate": self.duplicate,
+                "corrupt": self.corrupt,
+                "retry_timeout_ns": self.retry_timeout_ns}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MessageFaults":
+        return cls(drop=d.get("drop", 0.0),
+                   duplicate=d.get("duplicate", 0.0),
+                   corrupt=d.get("corrupt", 0.0),
+                   retry_timeout_ns=d.get("retry_timeout_ns", 50_000))
 
 
 @dataclass(frozen=True)
@@ -116,6 +148,27 @@ class FaultPlan:
             crashes.append(NodeCrash(at_ns=at, node=node))
         return cls(seed=seed, node_crashes=tuple(crashes),
                    message_faults=message_faults)
+
+    def to_dict(self) -> dict:
+        """JSON-able encoding; :meth:`from_dict` round-trips it, so any
+        result row that embeds its plan is reproducible by itself."""
+        return {
+            "seed": self.seed,
+            "node_crashes": [c.to_dict() for c in self.node_crashes],
+            "message_faults": (self.message_faults.to_dict()
+                               if self.message_faults is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        mf = d.get("message_faults")
+        return cls(
+            seed=d.get("seed", 0),
+            node_crashes=tuple(NodeCrash.from_dict(c)
+                               for c in d.get("node_crashes", ())),
+            message_faults=(MessageFaults.from_dict(mf)
+                            if mf is not None else None),
+        )
 
 
 #: message fault kinds in draw order (drop | duplicate | corrupt)

@@ -30,8 +30,10 @@ scheduler loop instead of hanging.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import TYPE_CHECKING
 
+from repro.charm.messages import Mailbox
 from repro.charm.reduction import tree_depth
 from repro.errors import FaultUnrecoverableError, ReproError
 from repro.ft.plan import FaultInjector, NodeCrash
@@ -51,6 +53,9 @@ class RecoveryManager:
         self.dead_procs: set[int] = set()
         self.recoveries = 0
         self.recovery_ns_total = 0
+        #: vp -> number of times recovery rolled that rank back; global
+        #: rollback counts every rank, local rollback only the dead ones
+        self.rollback_counts: Counter[int] = Counter()
         for crash in injector.plan.node_crashes:
             if crash.node >= len(job.nodes):
                 raise ReproError(
@@ -163,6 +168,7 @@ class RecoveryManager:
             rank.finished = False
             rank.exit_value = None
             ckpt.restore_rank(rank, reset_heap=True)
+            self.rollback_counts[rank.vp] += 1
 
         # 4. Price the restart: a job-wide barrier, unpacking the
         #    checkpoint state, and the slowest snapshot retrieval/move.
@@ -176,6 +182,98 @@ class RecoveryManager:
         for rank in job.ranks():
             # A rank can never run before its process finished AMPI
             # startup, even when the crash struck mid-initialization.
+            job.scheduler.reregister(
+                rank,
+                max(resume_at, rank.pe.process.startup_clock.now),
+            )
+        return recovery_ns
+
+
+class LocalRecoveryManager(RecoveryManager):
+    """Message-logging local recovery: only dead-node ranks roll back.
+
+    Requires the job's :class:`~repro.ft.msglog.MessageLogger` (armed by
+    ``recovery="local"``).  Where the global protocol flushes the whole
+    scheduler and rewinds every rank, this one retracts exactly the lost
+    timeline — the dead ranks' queued quanta, mailboxes, collective
+    arrivals and transport channels — restores only those ranks from the
+    buddy checkpoint, and lets them catch up by replaying logged
+    messages and collective results while survivors keep running.  The
+    recovery cost therefore scales with the *recovering* set (its
+    restart barrier, its snapshot bytes, its slowest move), not with the
+    job: deterministically cheaper than a global rollback of the same
+    crash.
+    """
+
+    def _rollback(self, crash: NodeCrash, survivors: list) -> int:
+        job = self.job
+        bc = job.buddy_ckpt
+        ckpt = bc.checkpoint
+        recovering = sorted((r for r in job.ranks() if r.pe.failed),
+                            key=lambda r: r.vp)
+        if not recovering:
+            return 0
+        vps = {r.vp for r in recovering}
+
+        # 1. Retract exactly the lost timeline.  Survivors' run-queue
+        #    entries, mailboxes and half-built collectives stay live.
+        for rank in recovering:
+            job.scheduler.runq.discard(rank.ult)
+            job._mailboxes[rank.vp] = Mailbox()
+            job._posted[rank.vp] = []
+            job._waiting.pop(rank.vp, None)
+            job._waiting_any.pop(rank.vp, None)
+            job._probing.pop(rank.vp, None)
+            # The rank re-executes from MPI_Init; its lifecycle markers
+            # belong to the timeline that just died.
+            job._initialized.discard(rank.vp)
+            job._finalized.discard(rank.vp)
+        job.collectives.purge_ranks(vps)
+        job.msglog.rollback(vps, job)
+
+        # 2. Dead ranks move to the least-loaded surviving PE, in vp
+        #    order — the same deterministic tie-break the LB uses.
+        move_ns = 0
+        for rank in recovering:
+            target = min(survivors,
+                         key=lambda pe: (len(pe.resident), pe.index))
+            rec = job.migration_engine.migrate(rank, target)
+            move_ns = max(move_ns, rec.ns)
+
+        # 3. Only the recovering ranks restart from their snapshots, on
+        #    fresh ULTs keeping the old SimClock objects.
+        restored_bytes = 0
+        for rank in recovering:
+            old = rank.ult
+            clock = old.clock
+            if not old.finished:
+                old.kill()
+            old.join_thread()
+            ult = UserLevelThread(
+                f"vp{rank.vp}", job._rank_entry, (rank,),
+                stack_bytes=job.stack_bytes,
+                backend=job.ult_backend,
+            )
+            ult.clock = clock
+            rank.ult = ult
+            rank.finished = False
+            rank.exit_value = None
+            ckpt.restore_rank(rank, reset_heap=True)
+            snap = ckpt.snapshots.get(rank.vp)
+            if snap is not None:
+                restored_bytes += snap.nbytes
+            self.rollback_counts[rank.vp] += 1
+
+        # 4. Price the restart over the recovering set only: its restart
+        #    barrier, its snapshot bytes, its slowest retrieval/move.
+        costs = job.costs
+        recovery_ns = (
+            tree_depth(len(recovering)) * costs.collective_step_ns
+            + costs.memcpy_ns(restored_bytes)
+            + move_ns
+        )
+        resume_at = crash.at_ns + recovery_ns
+        for rank in recovering:
             job.scheduler.reregister(
                 rank,
                 max(resume_at, rank.pe.process.startup_clock.now),

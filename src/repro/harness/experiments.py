@@ -459,6 +459,16 @@ class FaultRow:
     ckpt_bytes: int           #: EV_CKPT_BYTES
     migrations: int           #: cross-PE moves (recovery re-mapping)
     residual: float | None    #: final Jacobi residual (None if failed)
+    transport: str = "priced"
+    recovery: str = "global"
+    retransmissions: int = 0  #: EV_RETRANS (reliable transport only)
+    replayed: int = 0         #: EV_REPLAYED (local recovery only)
+    rollbacks: int = 0        #: ranks rolled back across all recoveries
+    #: :meth:`FaultPlan.to_dict` of the plan this row ran under (None for
+    #: the failure-free baseline) — embedding it makes each row
+    #: self-reproducible: ``FaultPlan.from_dict(row.plan)`` + the row's
+    #: seed/transport/recovery rebuilds the exact run.
+    plan: dict | None = None
 
 
 def fault_overhead_experiment(
@@ -472,6 +482,9 @@ def fault_overhead_experiment(
     cfg: JacobiConfig | None = None,
     ckpt_interval_ns: int = 0,
     trace: TraceRecorder | None = None,
+    transport: str = "priced",
+    recovery: str = "global",
+    message_faults: Any = None,
 ) -> list[FaultRow]:
     """Runtime overhead of surviving ``k`` node crashes, k = 0..kmax.
 
@@ -482,6 +495,13 @@ def fault_overhead_experiment(
     rerunning the sweep reproduces it bit-for-bit.  A run whose crashes
     destroy both snapshot copies reports ``status="unrecoverable: ..."``
     instead of raising.
+
+    ``transport``/``recovery`` select the point-to-point transport and
+    the rollback scheme (see :class:`repro.ampi.runtime.AmpiJob`);
+    ``message_faults`` (a :class:`repro.ft.MessageFaults`) adds
+    drop/duplicate/corrupt probabilities to every plan in the sweep,
+    including the failure-free baseline, so overhead is measured against
+    the same wire conditions.
     """
     from repro.apps.jacobi3d import run_jacobi
     from repro.errors import FaultUnrecoverableError
@@ -492,6 +512,8 @@ def fault_overhead_experiment(
         EV_CKPT_BYTES,
         EV_FAULT,
         EV_RECOVERY_NS,
+        EV_REPLAYED,
+        EV_RETRANS,
     )
 
     if kmax < 0:
@@ -511,9 +533,13 @@ def fault_overhead_experiment(
     def one(plan) -> JobResult:
         return run_jacobi(cfg, nvp, method=method, machine=machine,
                           layout=layout, fault_plan=plan, ft=ft,
-                          trace=trace)
+                          trace=trace, transport=transport,
+                          recovery=recovery)
 
-    base = one(None)
+    mf = message_faults
+    base_plan = (FaultPlan(seed=seed, message_faults=mf)
+                 if mf is not None and mf.any else None)
+    base = one(base_plan)
     base_span = base.makespan_ns
     # Crash window: the middle of the application phase.
     lo = base.startup_ns + base.app_ns // 10
@@ -521,12 +547,15 @@ def fault_overhead_experiment(
     if hi <= lo:
         hi = lo + 1
 
-    def row(k: int, result: JobResult | None, status: str) -> FaultRow:
+    def row(k: int, result: JobResult | None, status: str,
+            plan=None) -> FaultRow:
+        plan_dict = plan.to_dict() if plan is not None else None
         if result is None:
             return FaultRow(k=k, seed=seed, status=status, makespan_ns=0,
                             overhead_pct=0.0, recovery_ns=0, faults=k,
                             checkpoints=0, ckpt_bytes=0, migrations=0,
-                            residual=None)
+                            residual=None, transport=transport,
+                            recovery=recovery, plan=plan_dict)
         c = result.counters
         return FaultRow(
             k=k, seed=seed, status=status,
@@ -540,13 +569,103 @@ def fault_overhead_experiment(
             migrations=sum(1 for m in result.migrations
                            if m.src_pe != m.dst_pe),
             residual=result.exit_values.get(0),
+            transport=transport,
+            recovery=recovery,
+            retransmissions=c[EV_RETRANS],
+            replayed=c[EV_REPLAYED],
+            rollbacks=sum(result.rollbacks.values()),
+            plan=plan_dict,
         )
 
-    rows = [row(0, base, "ok")]
+    rows = [row(0, base, "ok", base_plan)]
     for k in range(1, kmax + 1):
-        plan = FaultPlan.random_crashes(seed, k, nodes, (lo, hi))
+        plan = FaultPlan.random_crashes(seed, k, nodes, (lo, hi),
+                                        message_faults=mf)
         try:
-            rows.append(row(k, one(plan), "ok"))
+            rows.append(row(k, one(plan), "ok", plan))
         except FaultUnrecoverableError as e:
-            rows.append(row(k, None, f"unrecoverable: {e}"))
+            rows.append(row(k, None, f"unrecoverable: {e}", plan))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Recovery-scheme comparison: global rollback vs. message-logging local
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    mode: str                 #: "none" (failure-free) | "global" | "local"
+    makespan_ns: int
+    recovery_ns: int          #: EV_RECOVERY_NS
+    rollbacks: int            #: ranks rolled back (all recoveries summed)
+    survivor_rollbacks: int   #: rollbacks of ranks that never died
+    replayed: int             #: EV_REPLAYED (messages + collectives)
+    residual: float | None    #: final Jacobi residual
+
+
+def recovery_comparison_experiment(
+    *,
+    seed: int = 3,
+    nvp: int = 8,
+    nodes: int = 4,
+    method: str = "pieglobals",
+    machine: MachineModel = None,
+    cfg: JacobiConfig | None = None,
+) -> list[RecoveryRow]:
+    """Cost of surviving one node crash: global rollback vs. local.
+
+    The same crash plan runs under ``recovery="global"`` (every rank
+    rolls back to the last buddy checkpoint) and ``recovery="local"``
+    (only the dead node's ranks roll back; survivors keep running and
+    the recovering ranks re-execute from the sender-based message log).
+    Both runs use ``transport="reliable"`` so the only variable is the
+    rollback scheme.  The failure-free run rides along as the baseline;
+    all three produce identical numerics.
+    """
+    from repro.apps.jacobi3d import run_jacobi
+    from repro.ft import FaultPlan, NodeCrash
+    from repro.machine import GENERIC_LINUX
+    from repro.perf.counters import EV_RECOVERY_NS, EV_REPLAYED
+
+    machine = machine or GENERIC_LINUX
+    cfg = cfg or JacobiConfig(n=12, iters=8, reduce_every=2,
+                              ckpt_period=2, compute_ns_per_cell=2000.0)
+    if not cfg.ckpt_period:
+        raise ValueError("recovery comparison needs a checkpointing app "
+                         "(cfg.ckpt_period > 0)")
+    per_node = max(1, min(machine.cores_per_node,
+                          (nvp + nodes - 1) // nodes))
+    layout = JobLayout(nodes=nodes, processes_per_node=1,
+                       pes_per_process=per_node)
+
+    def one(plan, recovery) -> JobResult:
+        return run_jacobi(cfg, nvp, method=method, machine=machine,
+                          layout=layout, fault_plan=plan,
+                          transport="reliable", recovery=recovery)
+
+    base = one(None, "global")
+    crash_at = base.startup_ns + base.app_ns // 2
+    plan = FaultPlan(seed=seed, node_crashes=(
+        NodeCrash(at_ns=crash_at, node=nodes // 2),))
+
+    runs = [("none", base)]
+    for mode in ("global", "local"):
+        runs.append((mode, one(plan, mode)))
+
+    # Under local recovery exactly the dead ranks roll back, so its
+    # rollback keys identify the crash casualties for every row.
+    dead = set(dict(runs[2][1].rollbacks))
+
+    rows = []
+    for mode, res in runs:
+        rows.append(RecoveryRow(
+            mode=mode,
+            makespan_ns=res.makespan_ns,
+            recovery_ns=res.counters[EV_RECOVERY_NS],
+            rollbacks=sum(res.rollbacks.values()),
+            survivor_rollbacks=sum(n for vp, n in res.rollbacks.items()
+                                   if vp not in dead),
+            replayed=res.counters[EV_REPLAYED],
+            residual=res.exit_values.get(0),
+        ))
     return rows

@@ -1,5 +1,7 @@
-"""Interconnect model."""
+"""Interconnect model: cost oracle + reliable delivery protocol."""
 
 from repro.net.network import Network, Endpoint
+from repro.net.reliable import ChannelState, Frame, ReliableTransport
 
-__all__ = ["Network", "Endpoint"]
+__all__ = ["Network", "Endpoint", "ChannelState", "Frame",
+           "ReliableTransport"]

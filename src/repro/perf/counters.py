@@ -32,6 +32,12 @@ EV_RECOVERY_NS = "RECOVERY_NS"      #: simulated ns spent in crash recovery
 EV_MSG_FAULT_DROP = "MSG_FAULT_DROP"
 EV_MSG_FAULT_DUP = "MSG_FAULT_DUP"
 EV_MSG_FAULT_CORRUPT = "MSG_FAULT_CORRUPT"
+EV_RETRANS = "RETRANS"              #: frames retransmitted after an RTO
+EV_ACK = "ACKS"                     #: frames acknowledged by a receiver
+EV_DEDUP_DROP = "DEDUP_DROPS"       #: duplicate frames dropped by seq window
+EV_CKSUM_FAIL = "CHECKSUM_FAIL"     #: frames discarded on checksum mismatch
+EV_LOG_BYTES = "LOG_BYTES"          #: payload bytes retained by the msg log
+EV_REPLAYED = "REPLAYED_MSGS"       #: messages re-delivered from the msg log
 EV_SAN_CHECK = "SAN_CHECK"          #: shadow-state checks by the sanitizer
 EV_SAN_FINDING = "SAN_FINDING"      #: sanitizer findings emitted (pre-dedup cap)
 

@@ -316,6 +316,48 @@ def _fx_stale_tls() -> list[Finding]:
     return [f for f in findings if f.code == "stale-tls"]
 
 
+@_fixture("stale-endpoint-delivery", {"stale-endpoint-delivery"})
+def _fx_stale_endpoint() -> list[Finding]:
+    from repro.ampi.runtime import AmpiJob
+    from repro.charm.node import JobLayout
+    from repro.ft.plan import FaultPlan, MessageFaults
+    from repro.ft.prng import CounterRng
+
+    p = Program("staleend")
+    p.add_global("pad", 0)
+
+    @p.function()
+    def main(ctx):
+        mpi = ctx.mpi
+        mpi.init()
+        if mpi.rank() == 0:
+            mpi.send(1.25, dest=1, tag=7)
+        else:
+            # Move cross-process while the dropped frame sits in its
+            # retransmission backoff (10 us << the 50 us base RTO), so
+            # the retry lands on the PE this rank just left.
+            ctx.compute(10_000)
+            mpi.migrate_to(0)
+            mpi.recv(source=0, tag=7)
+        mpi.finalize()
+        return mpi.rank()
+
+    # Pick a plan seed whose first fault draw drops the job's first (and
+    # only) point-to-point frame and whose second lets the retry through.
+    drop = 0.5
+    seed = next(s for s in range(1 << 16)
+                if CounterRng(s, "msg").uniform(0) < drop
+                and CounterRng(s, "msg").uniform(1) >= drop)
+    plan = FaultPlan(seed=seed, message_faults=MessageFaults(drop=drop))
+    job = AmpiJob(p.build(), 2, method="none", layout=JobLayout(1, 2, 1),
+                  slot_size=1 << 26, sanitize=True,
+                  fault_plan=plan, transport="reliable")
+    findings = job.run().sanitize_findings
+    # Running unprivatized also surfaces shared-global noise on some
+    # platforms; only the transport diagnosis is this fixture's subject.
+    return [f for f in findings if f.code == "stale-endpoint-delivery"]
+
+
 @_fixture("foreign-write", {"foreign-write"})
 def _fx_foreign_write() -> list[Finding]:
     from repro.program.context import AccessRoute

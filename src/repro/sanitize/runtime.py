@@ -309,6 +309,35 @@ class RaceDetector:
             if m_dst is None or m_dst is not m_src:
                 stale[id(route.instance)] = name
 
+    # -- transport hook -----------------------------------------------------
+
+    def on_stale_delivery(self, rank: "VirtualRank", msg: Any) -> None:
+        """A reliable-transport frame landed on a PE its receiver left.
+
+        The frame's destination endpoint was resolved at send time; if
+        the receiving rank migrated while the frame was in flight (e.g.
+        during a retransmission backoff), delivery arrives at the old
+        PE and the runtime must forward it — a window where a buggy
+        location cache or an un-quiesced migration protocol loses or
+        misroutes messages on real machines.
+        """
+        self._emit(Finding(
+            code="stale-endpoint-delivery",
+            severity=Severity.ERROR,
+            message=(
+                f"frame {msg.src_vp}->vp {msg.dst_vp} (channel seq "
+                f"{msg.chan_seq}) was addressed to a PE that vp "
+                f"{msg.dst_vp} migrated away from while the frame was in "
+                f"flight; it now resides on PE {rank.pe.index}"
+            ),
+            image=self.job_name or None,
+            vp=msg.dst_vp,
+            epoch=self.epoch,
+            fix_hint="re-resolve the destination endpoint on each "
+                     "retransmission, or quiesce sends around migration",
+        ), dedup=("sed", msg.src_vp, msg.dst_vp, msg.chan_seq),
+            now=msg.arrival)
+
     # -- reporting ----------------------------------------------------------
 
     def _emit(self, finding: Finding, dedup: tuple, now: int) -> None:

@@ -179,6 +179,17 @@ class RunQueue:
             return eff
         return None
 
+    def discard(self, ult: UserLevelThread) -> None:
+        """Forget ``ult`` if queued (no-op otherwise).
+
+        Heap entries are left behind and dropped lazily at pop time, the
+        same way superseded wake times are.  Local fault recovery uses
+        this to retract exactly the dead ranks' quanta while survivors'
+        queues stay intact.
+        """
+        self._ready_time.pop(ult.tid, None)
+        self._ults.pop(ult.tid, None)
+
     def drain(self) -> Iterable[UserLevelThread]:
         """Remove and yield everything (shutdown / fault rollback)."""
         out = list(self._ults.values())

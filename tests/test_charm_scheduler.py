@@ -293,3 +293,48 @@ class TestShutdownLeakSurfacing:
         sched.run()
         assert sched.orphaned == 0
         assert consume_orphan_count() == 0
+
+
+class TestTimers:
+    """Simulated-time timers (the reliable transport's RTO mechanism)."""
+
+    def test_fire_in_time_order_with_insertion_ties(self):
+        sched, (r,), _ = make_ranks(1)
+        fired = []
+        sched.add_timer(300, lambda: fired.append("late"))
+        sched.add_timer(100, lambda: fired.append("a"))
+        sched.add_timer(100, lambda: fired.append("b"))
+        assert sched.pending_timers == 3
+        sched.register(r, 0)
+        sched.run()
+        assert fired == ["a", "b", "late"]
+        assert sched.pending_timers == 0
+
+    def test_timers_fire_when_runq_is_empty(self):
+        """A timer past every rank's finish still fires (a blocked
+        receiver waiting on a retransmission depends on this)."""
+        sched, (r,), _ = make_ranks(1)
+        fired = []
+        sched.register(r, 0)
+        sched.add_timer(10**9, lambda: fired.append("rto"))
+        sched.run()
+        assert r.finished and fired == ["rto"]
+
+    def test_timer_can_chain_another_timer(self):
+        sched, (r,), _ = make_ranks(1)
+        fired = []
+
+        def first():
+            fired.append(1)
+            sched.add_timer(2_000, lambda: fired.append(2))
+
+        sched.add_timer(1_000, first)
+        sched.register(r, 0)
+        sched.run()
+        assert fired == [1, 2]
+
+    def test_flush_discards_pending_timers(self):
+        sched, (r,), _ = make_ranks(1)
+        sched.add_timer(100, lambda: None)
+        sched.flush()
+        assert sched.pending_timers == 0

@@ -109,6 +109,54 @@ class TestFaultsCommand:
         assert rows[1]["recovery_ns"] > 0
         assert rows[1]["overhead_pct"] > 0
 
+    def test_faults_json_rows_are_self_reproducible(self, capsys):
+        """Every row embeds seed + plan + transport + recovery, enough
+        to rebuild and re-run it from the JSON alone."""
+        import json
+
+        from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+        from repro.charm.node import JobLayout
+        from repro.ft import FaultPlan
+
+        assert main(["faults", "jacobi", "--kmax", "1", "--nvp", "8",
+                     "--nodes", "4", "--transport", "reliable",
+                     "--recovery", "local", "--drop", "0.02",
+                     "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        row = obj["rows"][1]
+        assert row["transport"] == "reliable"
+        assert row["recovery"] == "local"
+        assert row["seed"] == 20220822
+        assert row["plan"]["message_faults"]["drop"] == 0.02
+        assert len(row["plan"]["node_crashes"]) == 1
+        # Re-run the row from nothing but its own JSON.
+        plan = FaultPlan.from_dict(row["plan"])
+        cfg = JacobiConfig(n=16, iters=16, reduce_every=4, ckpt_period=2,
+                           compute_ns_per_cell=2000.0)
+        redo = run_jacobi(
+            cfg, 8,
+            layout=JobLayout(nodes=4, processes_per_node=1,
+                             pes_per_process=2),
+            fault_plan=plan, transport=row["transport"],
+            recovery=row["recovery"])
+        assert redo.makespan_ns == row["makespan_ns"]
+        assert redo.exit_values[0] == row["residual"]
+        assert sum(redo.rollbacks.values()) == row["rollbacks"]
+
+    def test_faults_local_recovery_flags(self, capsys):
+        assert main(["faults", "jacobi", "--kmax", "1",
+                     "--transport", "reliable",
+                     "--recovery", "local"]) == 0
+        out = capsys.readouterr().out
+        assert "transport=reliable" in out
+        assert "recovery=local" in out
+        assert "replayed" in out
+
+    def test_faults_local_recovery_rejects_priced_transport(self, capsys):
+        assert main(["faults", "jacobi", "--kmax", "0",
+                     "--recovery", "local"]) != 0
+        assert "reliable" in capsys.readouterr().err
+
     def test_faults_unrecoverable_exits_nonzero(self, capsys):
         # One node: a crash takes out every PE, so the sweep's k=1 row
         # fails and the command must report it via the exit status.

@@ -130,3 +130,45 @@ class TestFaultInjector:
         assert inj.message_penalty_ns("duplicate", 300, 50) == 50
         with pytest.raises(ReproError):
             inj.message_penalty_ns("frobnicate", 1, 1)
+
+
+class TestPlanSerialization:
+    """to_dict/from_dict round-trips — the contract behind embedding a
+    plan in every ``repro faults --json`` row."""
+
+    def test_full_plan_round_trips(self):
+        plan = FaultPlan(
+            seed=42,
+            node_crashes=(NodeCrash(at_ns=500, node=1),
+                          NodeCrash(at_ns=100, node=0)),
+            message_faults=MessageFaults(drop=0.1, duplicate=0.05,
+                                         corrupt=0.01,
+                                         retry_timeout_ns=9_000),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        plan = FaultPlan.random_crashes(
+            7, 2, 4, (1_000, 2_000),
+            message_faults=MessageFaults(drop=0.2))
+        wire = json.dumps(plan.to_dict(), sort_keys=True)
+        back = FaultPlan.from_dict(json.loads(wire))
+        assert back == plan
+        # The reconstructed plan injects the identical fault sequence.
+        seq_a = [FaultInjector(plan).next_message_fault()
+                 for _ in range(50)]
+        seq_b = [FaultInjector(back).next_message_fault()
+                 for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_empty_plan_round_trips(self):
+        plan = FaultPlan(seed=0)
+        d = plan.to_dict()
+        assert d == {"seed": 0, "node_crashes": [],
+                     "message_faults": None}
+        assert FaultPlan.from_dict(d) == plan
+
+    def test_from_dict_tolerates_missing_keys(self):
+        assert FaultPlan.from_dict({}) == FaultPlan(seed=0)

@@ -35,6 +35,20 @@ class TestRegimes:
         with pytest.raises(ValueError):
             NET.transfer_ns(-1, A, B)
 
+    def test_src_equals_dst_is_intraprocess(self):
+        # A rank sending to a co-resident rank (or itself) never touches
+        # the wire, whatever the payload size.
+        assert NET.regime(C, C) == "intraprocess"
+        assert NET.transfer_ns(1 << 20, C, C) == NET.transfer_ns(0, C, C)
+
+    def test_zero_bytes_still_pays_per_message_overhead(self):
+        # An empty payload is a real message: latency is charged, and the
+        # regime ordering holds even at zero bytes.
+        assert 0 < NET.transfer_ns(0, A, A) < NET.transfer_ns(0, A, B) \
+            < NET.transfer_ns(0, A, C)
+        # Payload cost is additive on top of that floor.
+        assert NET.transfer_ns(4096, A, C) > NET.transfer_ns(0, A, C)
+
 
 class TestMigration:
     def test_negative_bytes_rejected(self):
@@ -44,6 +58,13 @@ class TestMigration:
     def test_same_pe_is_pack_only(self):
         assert NET.migration_ns(1 << 20, A, A) == \
             TEST_COSTS.migration_pack_ns
+
+    def test_zero_bytes_is_pack_only_even_cross_node(self):
+        # Migrating an empty rank pays only the fixed (un)pack handshake
+        # plus the zero-byte wire floor — no payload term.
+        assert NET.migration_ns(0, A, A) == TEST_COSTS.migration_pack_ns
+        assert NET.migration_ns(0, A, C) \
+            == TEST_COSTS.migration_pack_ns + NET.transfer_ns(0, A, C)
 
     def test_cross_node_includes_transfer(self):
         n = 1 << 20

@@ -1,0 +1,302 @@
+"""Tests for the reliable transport protocol (repro.net.reliable)."""
+
+import heapq
+
+import pytest
+
+from repro.charm.messages import Message
+from repro.charm.node import JobLayout
+from repro.errors import FaultUnrecoverableError
+from repro.ft.plan import FaultInjector, FaultPlan, MessageFaults
+from repro.ft.prng import CounterRng
+from repro.net.reliable import (
+    BACKOFF_CAP,
+    MAX_ATTEMPTS,
+    Frame,
+    ReliableTransport,
+    SeqWindow,
+    header_checksum,
+)
+from repro.perf.counters import (
+    EV_ACK,
+    EV_CKSUM_FAIL,
+    EV_DEDUP_DROP,
+    EV_RETRANS,
+    CounterSet,
+)
+from repro.program.source import Program
+
+from conftest import run_job
+
+RTO = 50_000
+
+
+class FakeTimers:
+    """Scheduler stand-in: collects add_timer calls, fires on demand."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def add_timer(self, at_ns, fn):
+        heapq.heappush(self._heap, (at_ns, self._seq, fn))
+        self._seq += 1
+
+    def fire_all(self):
+        while self._heap:
+            _, _, fn = heapq.heappop(self._heap)
+            fn()
+
+    def __len__(self):
+        return len(self._heap)
+
+
+def make_msg(src_vp=0, dst_vp=1, tag=3, nbytes=64, sent_at=1_000):
+    return Message(src=src_vp, dst=dst_vp, tag=tag, comm_id=0,
+                   payload=None, nbytes=nbytes, sent_at=sent_at,
+                   arrival=0, src_vp=src_vp, dst_vp=dst_vp)
+
+
+def make_transport(mf=None, seed=0):
+    sched = FakeTimers()
+    counters = CounterSet()
+    inj = (FaultInjector(FaultPlan(seed=seed, message_faults=mf))
+           if mf is not None else None)
+    return ReliableTransport(sched, counters, injector=inj,
+                             rto_ns=RTO), sched, counters
+
+
+def seed_where(p, pattern):
+    """Plan seed whose i-th fault draw comes out faulted ('f') or clean
+    ('.') per ``pattern``, for a single-kind plan with probability p."""
+    def ok(s):
+        rng = CounterRng(s, "msg")
+        for i, want in enumerate(pattern):
+            faulted = rng.uniform(i) < p
+            if faulted != (want == "f"):
+                return False
+        return True
+    return next(s for s in range(1 << 16) if ok(s))
+
+
+class TestChecksum:
+    def test_deterministic_and_field_sensitive(self):
+        base = header_checksum(0, 1, 2, 3, 4)
+        assert base == header_checksum(0, 1, 2, 3, 4)
+        assert base != header_checksum(9, 1, 2, 3, 4)
+        assert base != header_checksum(0, 1, 2, 3, 5)
+
+    def test_frame_checksum_ok(self):
+        good = header_checksum(0, 1, 0, 7, 64)
+        f = Frame(src_vp=0, dst_vp=1, seq=0, tag=7, nbytes=64,
+                  checksum=good, attempt=0, sent_at=0)
+        assert f.checksum_ok()
+        f.checksum ^= 0xFFFFFFFF
+        assert not f.checksum_ok()
+
+
+class TestSeqWindow:
+    def test_in_order_compresses_to_watermark(self):
+        w = SeqWindow()
+        for s in range(5):
+            w.add(s)
+        assert w.low == 5 and not w.seen
+        assert 3 in w and 5 not in w
+
+    def test_out_of_order_gap(self):
+        w = SeqWindow()
+        w.add(0)
+        w.add(2)
+        assert 2 in w and 1 not in w
+        w.add(1)  # fills the gap; watermark jumps over both
+        assert w.low == 3 and not w.seen
+
+    def test_reset(self):
+        w = SeqWindow()
+        w.add(0)
+        w.add(5)
+        w.reset()
+        assert 0 not in w and 5 not in w and w.low == 0
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        t, _, _ = make_transport()
+        assert t.rto(0) == RTO
+        assert t.rto(1) == 2 * RTO
+        assert t.rto(BACKOFF_CAP) == RTO * 2 ** BACKOFF_CAP
+        assert t.rto(BACKOFF_CAP + 7) == RTO * 2 ** BACKOFF_CAP
+
+
+class TestProtocol:
+    def test_clean_delivery(self):
+        t, sched, c = make_transport()
+        got = []
+        msg = make_msg()
+        assert t.send(msg, 200, got.append) is True
+        assert got == [msg]
+        assert msg.chan_seq == 0
+        assert msg.arrival == msg.sent_at + 200
+        assert c[EV_ACK] == 1 and len(sched) == 0
+
+    def test_sequence_numbers_are_per_channel(self):
+        t, _, _ = make_transport()
+        got = []
+        a = make_msg(dst_vp=1)
+        b = make_msg(dst_vp=1)
+        other = make_msg(dst_vp=2)
+        for m in (a, b, other):
+            t.send(m, 100, got.append)
+        assert (a.chan_seq, b.chan_seq, other.chan_seq) == (0, 1, 0)
+
+    def test_drop_then_retransmit(self):
+        seed = seed_where(0.5, "f.")
+        t, sched, c = make_transport(MessageFaults(drop=0.5), seed)
+        got = []
+        msg = make_msg()
+        t.send(msg, 200, got.append)
+        assert not got and len(sched) == 1  # waiting on the RTO
+        sched.fire_all()
+        assert got == [msg]
+        assert msg.arrival == msg.sent_at + t.rto(0) + 200
+        assert c[EV_RETRANS] == 1 and c[EV_ACK] == 1
+
+    def test_double_drop_backs_off(self):
+        seed = seed_where(0.5, "ff.")
+        t, sched, c = make_transport(MessageFaults(drop=0.5), seed)
+        got = []
+        msg = make_msg()
+        t.send(msg, 200, got.append)
+        sched.fire_all()
+        assert msg.arrival == msg.sent_at + t.rto(0) + t.rto(1) + 200
+        assert c[EV_RETRANS] == 2
+
+    def test_corrupt_frame_fails_checksum_and_retries(self):
+        seed = seed_where(0.5, "f.")
+        t, sched, c = make_transport(MessageFaults(corrupt=0.5), seed)
+        got = []
+        t.send(make_msg(), 200, got.append)
+        sched.fire_all()
+        assert len(got) == 1
+        assert c[EV_CKSUM_FAIL] == 1 and c[EV_RETRANS] == 1
+
+    def test_duplicate_delivered_once(self):
+        t, sched, c = make_transport(MessageFaults(duplicate=1.0))
+        got = []
+        t.send(make_msg(), 200, got.append)
+        assert len(got) == 1
+        assert c[EV_DEDUP_DROP] == 1 and c[EV_ACK] == 1
+        assert len(sched) == 0
+
+    def test_gives_up_after_max_attempts(self):
+        t, sched, _ = make_transport(MessageFaults(drop=1.0))
+        t.send(make_msg(), 200, lambda m: None)
+        with pytest.raises(FaultUnrecoverableError, match="gave up"):
+            sched.fire_all()
+        # Sanity: the failure really took MAX_ATTEMPTS transmissions.
+        assert t.counters[EV_RETRANS] == MAX_ATTEMPTS
+
+    def test_replayed_resend_is_suppressed(self):
+        t, _, c = make_transport()
+        got = []
+        t.send(make_msg(), 100, got.append)
+        # Local rollback: the sender's channel rewinds to seq 0 but the
+        # survivor's dedup window keeps the delivery.
+        t.rewind({0}, {(0, 1): 0})
+        assert t.send(make_msg(), 100, got.append) is False
+        assert len(got) == 1 and c[EV_DEDUP_DROP] == 1
+
+    def test_rewind_epoch_squashes_pending_retransmits(self):
+        seed = seed_where(0.5, "f.")
+        t, sched, c = make_transport(MessageFaults(drop=0.5), seed)
+        got = []
+        t.send(make_msg(), 200, got.append)
+        t.rewind({0}, {(0, 1): 0})  # crash before the RTO fires
+        sched.fire_all()
+        assert not got and c[EV_RETRANS] == 0
+
+    def test_seq_snapshot(self):
+        t, _, _ = make_transport()
+        t.send(make_msg(dst_vp=1), 100, lambda m: None)
+        t.send(make_msg(dst_vp=1), 100, lambda m: None)
+        t.send(make_msg(dst_vp=2), 100, lambda m: None)
+        assert t.seq_snapshot() == {(0, 1): 2, (0, 2): 1}
+
+
+# ---------------------------------------------------------------------------
+# Whole-job behaviour
+# ---------------------------------------------------------------------------
+
+def _single_send_program():
+    p = Program("onesend")
+    p.add_global("pad", 0)
+
+    @p.function()
+    def main(ctx):
+        if ctx.mpi.rank() == 0:
+            ctx.mpi.send(1.0, dest=1, tag=1)
+            return 0.0
+        return ctx.mpi.recv(source=0, tag=1)
+
+    return p.build()
+
+
+class TestReliableJob:
+    def _jacobi(self, plan, transport="reliable"):
+        from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+        cfg = JacobiConfig(n=8, iters=4, reduce_every=2,
+                           compute_ns_per_cell=100.0)
+        return run_jacobi(cfg, 4, layout=JobLayout(2, 1, 2),
+                          fault_plan=plan, transport=transport)
+
+    def test_faults_cost_latency_but_not_numerics(self):
+        mf = MessageFaults(drop=0.15, duplicate=0.1, corrupt=0.05)
+        plan = FaultPlan(seed=7, message_faults=mf)
+        free = self._jacobi(None)
+        faulty = self._jacobi(plan)
+        assert faulty.exit_values == free.exit_values
+        assert faulty.makespan_ns > free.makespan_ns
+        assert faulty.counters[EV_RETRANS] > 0
+        assert faulty.counters[EV_DEDUP_DROP] > 0
+        assert faulty.transport == "reliable"
+
+    def test_deterministic_under_faults(self):
+        mf = MessageFaults(drop=0.15, duplicate=0.1, corrupt=0.05)
+        plan = FaultPlan(seed=7, message_faults=mf)
+        a = self._jacobi(plan)
+        b = self._jacobi(plan)
+        assert a.makespan_ns == b.makespan_ns
+        assert a.exit_values == b.exit_values
+        assert a.counters.snapshot() == b.counters.snapshot()
+
+    def test_no_flat_penalty_on_top_of_protocol(self):
+        """Regression: the priced path's flat retransmit lump must not be
+        charged on top of the real protocol's RTO + retransmission."""
+        src = _single_send_program()
+        drop = 0.5
+        seed = seed_where(drop, "f.")
+        plan = FaultPlan(seed=seed, message_faults=MessageFaults(
+            drop=drop, retry_timeout_ns=RTO))
+        layout = JobLayout(1, 2, 1)
+        free = run_job(src, 2, layout=layout)
+        rel = run_job(src, 2, layout=layout, fault_plan=plan,
+                      transport="reliable")
+        delta = rel.makespan_ns - free.makespan_ns
+        # One dropped frame costs one RTO wait plus the retransmission;
+        # double-billing would push the delta past 2 RTOs.
+        assert RTO <= delta < 2 * RTO
+        assert rel.exit_values == free.exit_values
+
+    def test_priced_path_unchanged(self):
+        """transport="priced" still charges the flat lump (back-compat)."""
+        src = _single_send_program()
+        drop = 0.5
+        seed = seed_where(drop, "f")
+        plan = FaultPlan(seed=seed, message_faults=MessageFaults(
+            drop=drop, retry_timeout_ns=RTO))
+        layout = JobLayout(1, 2, 1)
+        free = run_job(src, 2, layout=layout)
+        priced = run_job(src, 2, layout=layout, fault_plan=plan)
+        assert priced.transport == "priced"
+        assert priced.makespan_ns > free.makespan_ns
+        assert priced.exit_values == free.exit_values

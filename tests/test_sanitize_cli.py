@@ -37,6 +37,18 @@ class TestCheck:
         assert codes == EXPECTED["dup-strong-def"]
         assert payload["executed"] is False
 
+    def test_stale_endpoint_fixture_target(self, capsys):
+        """The transport/migration race fixture runs through ``repro
+        check`` and reports exactly its code, at ERROR severity."""
+        assert main(["check", "fixture:stale-endpoint-delivery",
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["stale-endpoint-delivery"]
+        finding = payload["findings"][0]
+        assert finding["severity"] == "error"
+        assert "endpoint" in finding["fix_hint"]
+
     def test_unknown_target_exits_two(self, capsys):
         assert main(["check", "no-such-app"]) == 2
         assert "no-such-app" in capsys.readouterr().err

@@ -144,3 +144,22 @@ def test_result_to_dict_exports_findings():
     d = result.to_dict()
     assert d["sanitize_findings"]
     assert d["sanitize_findings"][0]["code"].startswith("race-")
+
+
+def test_stale_endpoint_delivery_dedups_per_frame():
+    """Retransmitted copies of one frame produce one finding; a
+    different channel sequence number is a new finding."""
+    from types import SimpleNamespace
+
+    det = RaceDetector()
+    rank = SimpleNamespace(pe=SimpleNamespace(index=3))
+    frame = SimpleNamespace(src_vp=0, dst_vp=1, chan_seq=5, arrival=100)
+    det.on_stale_delivery(rank, frame)
+    det.on_stale_delivery(rank, frame)  # the duplicate copy
+    assert len(det.findings) == 1
+    det.on_stale_delivery(rank, SimpleNamespace(
+        src_vp=0, dst_vp=1, chan_seq=6, arrival=200))
+    assert len(det.findings) == 2
+    f = det.findings[0]
+    assert f.code == "stale-endpoint-delivery"
+    assert f.vp == 1
