@@ -257,7 +257,34 @@ def run_jacobi(
     sanitize: Any = None,
 ) -> JobResult:
     """Build + run Jacobi-3D; returns the job result (exit value of each
-    rank is the final global residual)."""
+    rank is the final global residual).
+
+    Runs through the canonical :class:`repro.harness.jobspec.JobSpec`
+    whenever the arguments are spec-able (preset machine, named method
+    and LB strategy), so ``--provenance`` records these runs too; a
+    custom machine model or method/strategy *instance* falls back to
+    direct :class:`AmpiJob` construction and is not recordable.
+    """
+    # Lazy import: jobspec's app registry imports this module.
+    from repro.harness import jobspec as _js
+
+    preset = _js.machine_preset_name(machine)
+    if preset is not None and isinstance(method, str) \
+            and isinstance(lb_strategy, str):
+        lay = layout or JobLayout.single(min(nvp, machine.cores_per_node))
+        spec = _js.JobSpec(
+            app="jacobi3d", nvp=nvp, app_config=dict(cfg.__dict__),
+            method=method, machine=preset,
+            layout=(lay.nodes, lay.processes_per_node, lay.pes_per_process),
+            lb_strategy=lb_strategy, optimize=optimize,
+            fault_plan=fault_plan.to_dict() if fault_plan is not None
+            else None,
+            ft_interval_ns=ft.ckpt_interval_ns if ft is not None else None,
+            transport=transport, recovery=recovery,
+        )
+        return _js.run_spec(spec, trace=trace, sanitize=sanitize,
+                            ult_backend=ult_backend,
+                            trace_fetches=trace_fetches)
     source = build_jacobi_program(cfg)
     job = AmpiJob(
         source, nvp, method=method, machine=machine, layout=layout,

@@ -26,6 +26,27 @@ Commands
     figure-6-style context-switch sweep.  Writes ``BENCH_scale.json``.
 ``hello [--method M] [--vp N]``
     The Figure 2/3 hello world under a chosen method.
+``runs [--store DIR]``
+    List the provenance store's run records.
+``replay <id> [--store DIR]``
+    Re-execute a stored run under the current sources and verify the
+    timeline is byte-identical (plus counters/makespan/rollbacks).
+``diff <id> <id> [--store DIR]``
+    Timeline forensics between two stored runs: spec diff, first
+    divergent event (index, PE, kind), counter and metric deltas.
+``stats <id> [--compare ID] [--store DIR]``
+    Projections-style per-PE utilization and traffic report from a
+    stored record; ``--compare`` renders a delta table of two runs.
+``pin {run,update,list,add,rm} [...]``
+    The pinned-scenario regression corpus (committed manifest of spec ->
+    expected timeline SHA-256 + counter totals); ``pin run`` is the CI
+    drift gate.
+``gc [--keep-pinned] [--max-age-days D] [--max-bytes B]``
+    Collect old/oversized store records; pinned specs always survive.
+
+``run``, ``faults``, ``bench`` and ``hello`` accept ``--provenance
+[DIR]`` (or the ``REPRO_PROVENANCE`` environment variable) to record
+every run they execute into the store (default ``.repro/store``).
 
 Every command exits nonzero when the simulated job fails (e.g. an
 unrecoverable fault or an unsupported method/toolchain combination), so
@@ -263,10 +284,14 @@ def cmd_faults(args) -> int:
         message_faults=mf,
     )
     if args.json:
-        # Each row embeds its seed, transport, recovery and full fault
-        # plan, so any row can be re-run from the JSON alone.
+        from repro.harness.jobspec import code_version
+
+        # Each row embeds its seed, transport, recovery, full fault plan
+        # and the code version, so any row can be re-run from the JSON
+        # alone — and a mismatch attributed to changed sources.
         print(json.dumps(
             {"experiment": "faults", "app": args.app,
+             "code_version": code_version(),
              "rows": [dataclasses.asdict(r) for r in rows]},
             sort_keys=True, indent=2))
     else:
@@ -359,31 +384,237 @@ def cmd_check(args) -> int:
 
 
 def cmd_hello(args) -> int:
-    from repro.ampi.runtime import AmpiJob
-    from repro.charm.node import JobLayout
-    from repro.machine import GENERIC_LINUX
-    from repro.program.source import Program
+    from repro.harness.jobspec import JobSpec, run_spec
 
-    p = Program("hello_world")
-    p.add_global("my_rank", -1)
-
-    @p.function()
-    def main(ctx):
-        ctx.g.my_rank = ctx.mpi.rank()
-        ctx.mpi.barrier()
-        return f"rank: {ctx.g.my_rank}"
-
-    job = AmpiJob(p.build(), nvp=args.vp, method=args.method,
-                  machine=GENERIC_LINUX,
-                  layout=JobLayout.single(1), slot_size=1 << 24)
-    result = job.run()
+    spec = JobSpec(app="hello", nvp=args.vp, method=args.method,
+                   machine="generic-linux", layout=(1, 1, 1),
+                   slot_size=1 << 24)
+    result = run_spec(spec)
     print(f"$ ./hello_world +vp {args.vp}    (method={args.method})")
     for vp in range(args.vp):
         print(result.exit_values[vp])
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Provenance commands
+# ---------------------------------------------------------------------------
+
+def _open_store(args):
+    from repro.provenance import ProvenanceStore
+
+    return ProvenanceStore(getattr(args, "store", None) or None)
+
+
+def cmd_runs(args) -> int:
+    store = _open_store(args)
+    records = sorted(store.records(), key=lambda r: r.created_at)
+    if args.json:
+        print(json.dumps(
+            [{"run_id": r.run_id, "app": r.spec.app, "nvp": r.spec.nvp,
+              "method": r.spec.method, "transport": r.spec.transport,
+              "recovery": r.spec.recovery, "events": r.events,
+              "makespan_ns": r.makespan_ns,
+              "timeline_sha256": r.timeline_sha256,
+              "created_at": r.created_at}
+             for r in records],
+            sort_keys=True, indent=2))
+        return 0
+    if not records:
+        print(f"no records in {store.root}")
+        return 0
+    rows = [[r.run_id[:12], r.spec.app, r.spec.nvp, r.spec.method,
+             r.spec.transport, r.spec.recovery, r.events,
+             round(r.makespan_ns / 1e6, 3), r.timeline_sha256[:12]]
+            for r in records]
+    print(format_table(
+        ["id", "app", "nvp", "method", "transport", "recovery", "events",
+         "makespan (ms)", "timeline sha"],
+        rows, title=f"Provenance store {store.root} ({len(rows)} records)"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.provenance import replay_record
+
+    store = _open_store(args)
+    record = store.get(args.id)
+    report = replay_record(record, store=store)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        return 0 if report.ok else 1
+    s = record.spec
+    verdict = "byte-identical" if report.ok else "DIVERGED"
+    print(f"replay {record.run_id[:12]} ({s.app}, nvp={s.nvp}, {s.method}, "
+          f"{s.transport}/{s.recovery}): {verdict}")
+    print(f"  recorded sha256 : {report.expected_sha}")
+    print(f"  replayed sha256 : {report.actual_sha}")
+    print(f"  events          : {report.expected_events} -> "
+          f"{report.actual_events}")
+    print(f"  makespan match  : {report.makespan_match}")
+    print(f"  counters match  : {report.counters_match}")
+    print(f"  rollbacks match : {report.rollbacks_match}")
+    for name, (rec, rep) in sorted(report.counter_drift.items()):
+        print(f"    {name}: {rec} -> {rep}")
+    if report.code_version_changed:
+        print("  note: sources changed since this record was written")
+    return 0 if report.ok else 1
+
+
+def cmd_diff(args) -> int:
+    from repro.provenance import diff_records
+
+    store = _open_store(args)
+    a, b = store.get(args.a), store.get(args.b)
+    report = diff_records(a, b, store.load_timeline(a),
+                          store.load_timeline(b))
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.format())
+    return 0 if report.identical else 1
+
+
+def cmd_stats(args) -> int:
+    from repro.provenance import RunMetrics, compare_metrics
+
+    store = _open_store(args)
+    m = RunMetrics.from_record(store.get(args.id))
+    if args.compare:
+        m2 = RunMetrics.from_record(store.get(args.compare))
+        if args.json:
+            print(json.dumps({"a": m.to_dict(), "b": m2.to_dict()},
+                             sort_keys=True, indent=2))
+        else:
+            print(compare_metrics(m, m2))
+    elif args.json:
+        print(json.dumps(m.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(m.format())
+    return 0
+
+
+def cmd_pin(args) -> int:
+    from repro.provenance import (
+        PinEntry,
+        load_manifest,
+        repin,
+        save_manifest,
+        verify_manifest,
+    )
+
+    manifest = args.manifest
+    entries = load_manifest(manifest)
+
+    if args.action == "list":
+        if not entries:
+            print(f"no pinned scenarios in {manifest}")
+            return 0
+        rows = [[name, e.spec.app, e.spec.nvp, e.spec.method,
+                 e.spec.transport, e.spec.recovery,
+                 e.timeline_sha256[:12], e.events]
+                for name, e in sorted(entries.items())]
+        print(format_table(
+            ["scenario", "app", "nvp", "method", "transport", "recovery",
+             "timeline sha", "events"],
+            rows, title=f"Pinned scenarios ({manifest})"))
+        return 0
+
+    if args.action == "rm":
+        if not args.names:
+            print("pin rm: need at least one scenario name", file=sys.stderr)
+            return 2
+        missing = [n for n in args.names if n not in entries]
+        if missing:
+            print(f"pin rm: not pinned: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        for n in args.names:
+            del entries[n]
+        save_manifest(manifest, entries)
+        print(f"removed {len(args.names)} scenario(s); "
+              f"{len(entries)} remain in {manifest}")
+        return 0
+
+    if args.action == "add":
+        if len(args.names) != 2:
+            print("pin add: usage: pin add <name> <record-id>",
+                  file=sys.stderr)
+            return 2
+        name, rec_id = args.names
+        record = _open_store(args).get(rec_id)
+        entries[name] = PinEntry.from_record(name, record)
+        save_manifest(manifest, entries)
+        print(f"pinned {name}: {record.spec.app} nvp={record.spec.nvp} "
+              f"timeline {record.timeline_sha256[:12]}")
+        return 0
+
+    # run / update: re-execute and compare.
+    results = verify_manifest(entries, args.names or None)
+    if not results:
+        print(f"no pinned scenarios in {manifest}", file=sys.stderr)
+        return 2
+    drifted = [r for r in results if not r.ok]
+    if args.json:
+        print(json.dumps({"manifest": manifest, "ok": not drifted,
+                          "results": [r.to_dict() for r in results]},
+                         sort_keys=True, indent=2))
+    else:
+        for r in results:
+            print(r.format())
+    if args.action == "update":
+        save_manifest(manifest, repin(entries, results))
+        if not args.json:
+            print(f"re-pinned {len(results)} scenario(s) in {manifest}")
+        return 0
+    if drifted and not args.json:
+        print(f"\n{len(drifted)}/{len(results)} pinned scenario(s) "
+              f"drifted — investigate with `repro diff`, or re-pin "
+              f"intentional changes with `repro pin update`")
+    return 1 if drifted else 0
+
+
+def cmd_gc(args) -> int:
+    store = _open_store(args)
+    keep: frozenset[str] = frozenset()
+    if args.keep_pinned:
+        from repro.provenance import load_manifest, pinned_spec_digests
+
+        keep = pinned_spec_digests(load_manifest(args.manifest))
+    report = store.gc(
+        keep=keep,
+        max_age_s=(args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None),
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        verb = "would delete" if report.dry_run else "deleted"
+        print(f"gc {store.root}: scanned {report.scanned}, {verb} "
+              f"{report.deleted} ({report.freed_bytes} bytes), protected "
+              f"{report.protected} pinned, {report.remaining} remain")
+    return 0
+
+
+def _add_provenance_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--provenance", nargs="?", const="", default=None, metavar="DIR",
+        help="record every run into the provenance store at DIR "
+             "(default .repro/store, or $REPRO_PROVENANCE)")
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="provenance store directory (default .repro/store, or "
+             "$REPRO_PROVENANCE)")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.provenance import DEFAULT_MANIFEST
+
     ap = argparse.ArgumentParser(
         prog="repro",
         description="Process-virtualization reproduction toolkit",
@@ -414,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run with the shared-state race detector on; "
                           "exits nonzero on error findings "
                           "(fig5/fig6/fig7/fig8 only)")
+    _add_provenance_flag(run)
     run.set_defaults(fn=cmd_run)
 
     check = sub.add_parser(
@@ -480,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-message corruption probability")
     faults.add_argument("--json", action="store_true",
                         help="emit result rows as JSON instead of a table")
+    _add_provenance_flag(faults)
     faults.set_defaults(fn=cmd_faults)
 
     bench = sub.add_parser(
@@ -499,19 +732,106 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="output path (default BENCH_scale.json; "
                             "'' to skip writing)")
+    _add_provenance_flag(bench)
     bench.set_defaults(fn=cmd_bench)
 
     hello = sub.add_parser("hello")
     hello.add_argument("--method", default="none")
     hello.add_argument("--vp", type=int, default=2)
+    _add_provenance_flag(hello)
     hello.set_defaults(fn=cmd_hello)
+
+    runs = sub.add_parser(
+        "runs", help="list the provenance store's run records")
+    _add_store_flag(runs)
+    runs.add_argument("--json", action="store_true")
+    runs.set_defaults(fn=cmd_runs)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a stored run and verify the timeline is "
+             "byte-identical under the current sources")
+    replay.add_argument("id", help="record id (or unique prefix)")
+    _add_store_flag(replay)
+    replay.add_argument("--json", action="store_true")
+    replay.set_defaults(fn=cmd_replay)
+
+    diff = sub.add_parser(
+        "diff",
+        help="timeline forensics between two stored runs: spec diff, "
+             "first divergent event, counter/metric deltas")
+    diff.add_argument("a", help="record id (or unique prefix)")
+    diff.add_argument("b", help="record id (or unique prefix)")
+    _add_store_flag(diff)
+    diff.add_argument("--json", action="store_true")
+    diff.set_defaults(fn=cmd_diff)
+
+    stats = sub.add_parser(
+        "stats",
+        help="Projections-style per-PE utilization / traffic report "
+             "from a stored record")
+    stats.add_argument("id", help="record id (or unique prefix)")
+    stats.add_argument("--compare", metavar="ID", default=None,
+                       help="second record: render a delta table instead")
+    _add_store_flag(stats)
+    stats.add_argument("--json", action="store_true")
+    stats.set_defaults(fn=cmd_stats)
+
+    pin = sub.add_parser(
+        "pin",
+        help="pinned-scenario regression gate: verify committed "
+             "timeline/counter expectations against the current sources")
+    pin.add_argument("action",
+                     choices=["run", "update", "list", "add", "rm"])
+    pin.add_argument("names", nargs="*",
+                     help="scenario names (run/update/rm), or "
+                          "<name> <record-id> for add")
+    pin.add_argument("--manifest", default=DEFAULT_MANIFEST,
+                     help=f"manifest path (default {DEFAULT_MANIFEST})")
+    _add_store_flag(pin)
+    pin.add_argument("--json", action="store_true")
+    pin.set_defaults(fn=cmd_pin)
+
+    gc = sub.add_parser(
+        "gc", help="collect old/oversized provenance records "
+                   "(pinned specs always survive)")
+    _add_store_flag(gc)
+    gc.add_argument("--keep-pinned", action="store_true",
+                    help="never collect records whose spec is pinned "
+                         "in the manifest")
+    gc.add_argument("--manifest", default=DEFAULT_MANIFEST,
+                    help="pin manifest for --keep-pinned")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="collect records older than this many days")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="evict oldest records until the store fits")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be deleted without deleting")
+    gc.add_argument("--json", action="store_true")
+    gc.set_defaults(fn=cmd_gc)
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    # --provenance [DIR] (or $REPRO_PROVENANCE) turns on automatic
+    # recording: every spec-built run the command executes lands in the
+    # store, including each point of an experiment sweep.
+    store_dir = getattr(args, "provenance", None)
+    if store_dir is None:
+        store_dir = os.environ.get("REPRO_PROVENANCE")
+    disable = None
+    if store_dir is not None:
+        from repro.provenance import ProvenanceStore, enable_auto_record
+
+        disable = enable_auto_record(
+            ProvenanceStore(store_dir or None),
+            notify=lambda line: print(line, file=sys.stderr),
+        )
     try:
         return args.fn(args)
     except ReproError as e:
@@ -520,6 +840,9 @@ def main(argv: list[str] | None = None) -> int:
         # and CI can detect it.
         print(f"error: {type(e).__name__}: {e}", file=sys.stderr)
         return 1
+    finally:
+        if disable is not None:
+            disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,6 +4,18 @@ experiment drivers."""
 
 from repro.harness.tables import format_table, format_markdown_table
 from repro.harness.capabilities import CapabilityRow, probe_method, capability_table
+from repro.harness.jobspec import (
+    JobSpec,
+    add_result_hook,
+    app_names,
+    build_app_source,
+    build_job,
+    code_version,
+    register_app,
+    remove_result_hook,
+    run_spec,
+    run_spec_job,
+)
 from repro.harness.experiments import (
     FaultRow,
     adcirc_scaling_experiment,
@@ -18,6 +30,16 @@ from repro.harness.experiments import (
 __all__ = [
     "format_table",
     "format_markdown_table",
+    "JobSpec",
+    "add_result_hook",
+    "app_names",
+    "build_app_source",
+    "build_job",
+    "code_version",
+    "register_app",
+    "remove_result_hook",
+    "run_spec",
+    "run_spec_job",
     "CapabilityRow",
     "probe_method",
     "capability_table",

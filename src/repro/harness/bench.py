@@ -35,19 +35,16 @@ so numbers reflect steady state, not first-touch costs.
 from __future__ import annotations
 
 import gc
-import hashlib
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.ampi.runtime import AmpiJob
-from repro.apps.jacobi3d import JacobiConfig, build_jacobi_program
-from repro.charm.node import JobLayout
-from repro.machine import GENERIC_LINUX
+from repro.apps.jacobi3d import JacobiConfig
+from repro.harness.jobspec import JobSpec, build_job, code_version, run_spec_job
 from repro.perf.counters import EV_CTX_SWITCH
-from repro.program.source import Program, ProgramSource
 from repro.threads import UserLevelThread, get_backend
+from repro.trace.stream import timeline_sha
 
 #: the two execution backends every stage compares
 BACKENDS = ("thread", "pooled")
@@ -169,20 +166,16 @@ def bench_ult_churn(
 # Stage 2: Jacobi scale smoke + determinism contract
 # ---------------------------------------------------------------------------
 
-def _timeline_sha(job: AmpiJob) -> str:
-    """Digest of the scheduler's (pe, vp, start_ns) execution timeline."""
-    return hashlib.sha256(repr(job.scheduler.timeline).encode()).hexdigest()
+def _run_jacobi_job(spec: JobSpec, backend: str) -> tuple[int, int, str]:
+    """One Jacobi job; returns (ctx_switches, makespan_ns, timeline sha).
 
-
-def _run_jacobi_job(
-    source: ProgramSource, nvp: int, layout: JobLayout, backend: str
-) -> tuple[int, int, str]:
-    """One Jacobi job; returns (ctx_switches, makespan_ns, timeline sha)."""
-    job = AmpiJob(source, nvp, method="pieglobals", machine=GENERIC_LINUX,
-                  layout=layout, ult_backend=backend)
-    result = job.run()
+    The backend is a runtime option (zero-overhead-when-off contract),
+    so one spec covers both backends — which is exactly the determinism
+    claim this stage verifies.
+    """
+    job, result = run_spec_job(spec, ult_backend=backend)
     return (result.counters[EV_CTX_SWITCH], result.makespan_ns,
-            _timeline_sha(job))
+            timeline_sha(job.scheduler.timeline))
 
 
 def bench_jacobi(
@@ -195,8 +188,9 @@ def bench_jacobi(
     timelines and makespans across backends.
     """
     cfg = JacobiConfig(n=n, iters=iters, reduce_every=max(1, iters))
-    source = build_jacobi_program(cfg)
-    layout = JobLayout(nodes=2, processes_per_node=2, pes_per_process=4)
+    spec = JobSpec(app="jacobi3d", nvp=nvp, app_config=dict(cfg.__dict__),
+                   method="pieglobals", machine="generic-linux",
+                   layout=(2, 2, 4))
 
     samples: dict[str, BackendSample] = {}
     shas: dict[str, list[str]] = {b: [] for b in BACKENDS}
@@ -204,11 +198,10 @@ def bench_jacobi(
         if backend == "pooled":
             get_backend("pooled").prewarm(nvp)
         s = samples[backend] = BackendSample()
-        _run_jacobi_job(source, nvp, layout, backend)  # untimed warmup
+        _run_jacobi_job(spec, backend)  # untimed warmup
 
         def one_job(backend: str = backend, s: BackendSample = s) -> int:
-            switches, makespan, sha = _run_jacobi_job(
-                source, nvp, layout, backend)
+            switches, makespan, sha = _run_jacobi_job(spec, backend)
             s.makespan_ns = makespan
             s.timeline_sha = sha
             shas[backend].append(sha)
@@ -239,19 +232,6 @@ def bench_jacobi(
 # Stage 3: figure-6-style context-switch sweep
 # ---------------------------------------------------------------------------
 
-def _yield_program(yields_per_rank: int) -> ProgramSource:
-    p = Program("bench_ctxswitch")
-    p.add_global("dummy", 0)
-
-    @p.function()
-    def main(ctx):
-        for _ in range(yields_per_rank):
-            ctx.mpi.yield_()
-        return ctx.mpi.rank()
-
-    return p.build()
-
-
 def bench_ctx_sweep(
     vps: Sequence[int] = (2, 64, 256),
     yields_per_rank: int = 200,
@@ -263,14 +243,16 @@ def bench_ctx_sweep(
     the figure 6 microbenchmark measured in host time instead of
     simulated time.
     """
-    source = _yield_program(yields_per_rank)
     if backend == "pooled":
         get_backend("pooled").prewarm(max(vps))
     rows = []
     for nvp in vps:
-        job = AmpiJob(source, nvp, method="none", machine=GENERIC_LINUX,
-                      layout=JobLayout.single(1), slot_size=1 << 26,
-                      ult_backend=backend)
+        spec = JobSpec(app="pingpong", nvp=nvp,
+                       app_config={"yields_per_rank": yields_per_rank,
+                                   "name": "bench_ctxswitch"},
+                       method="none", machine="generic-linux",
+                       layout=(1, 1, 1), slot_size=1 << 26)
+        job = build_job(spec, ult_backend=backend)
         gc.collect()
         gc_was_on = gc.isenabled()
         gc.disable()
@@ -325,5 +307,6 @@ def run_bench(quick: bool = False, *, nvp: int | None = None,
         "bench": "scale_smoke",
         "quick": quick,
         "python": sys.version.split()[0],
+        "code_version": code_version(),
         "stages": stages,
     }

@@ -17,20 +17,68 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.ampi.runtime import AmpiJob, JobResult
-from repro.apps.adcirc import AdcircConfig, build_adcirc_program
-from repro.apps.jacobi3d import JacobiConfig, build_jacobi_program
-from repro.apps.memhog import MemhogConfig, build_memhog_program
+from repro.apps.adcirc import AdcircConfig
+from repro.apps.jacobi3d import JacobiConfig
+from repro.apps.memhog import MemhogConfig
 from repro.charm.node import JobLayout
+from repro.harness.jobspec import (
+    JobSpec,
+    build_app_source,
+    machine_preset_name,
+    run_spec_job,
+)
 from repro.machine import BRIDGES2, STAMPEDE2_ICX, MachineModel
+from repro.mem.layout import DEFAULT_SLOT_SIZE
 from repro.perf.counters import EV_CTX_SWITCH
 from repro.perf.icache import SetAssociativeCache
-from repro.program.source import Program, ProgramSource
 from repro.trace.recorder import TraceRecorder
 
 #: methods compared in Figures 5-7 (Swapglobals "we were unable to get
 #: working on this system", exactly as on Bridges-2)
 FIGURE_METHODS = ("none", "tlsglobals", "pipglobals", "fsglobals",
                   "pieglobals")
+
+
+def _spec_run(
+    app: str,
+    app_config: dict,
+    nvp: int,
+    *,
+    machine: MachineModel,
+    layout: JobLayout,
+    method: str | Any = "pieglobals",
+    lb_strategy: str | Any = "greedyrefine",
+    optimize: int = 2,
+    slot_size: int = DEFAULT_SLOT_SIZE,
+    trace: TraceRecorder | None = None,
+    sanitize: Any = None,
+    trace_fetches: bool = False,
+) -> tuple[AmpiJob, JobResult]:
+    """Run one experiment data point through the canonical spec.
+
+    Every driver funnels through here so that ``--provenance`` records
+    each point of a sweep.  A non-preset machine model or a method /
+    strategy passed as an instance is not spec-able; those fall back to
+    direct :class:`AmpiJob` construction (same timeline, no record).
+    """
+    preset = machine_preset_name(machine)
+    if preset is not None and isinstance(method, str) \
+            and isinstance(lb_strategy, str):
+        spec = JobSpec(
+            app=app, nvp=nvp, app_config=app_config, method=method,
+            machine=preset,
+            layout=(layout.nodes, layout.processes_per_node,
+                    layout.pes_per_process),
+            lb_strategy=lb_strategy, optimize=optimize,
+            slot_size=slot_size,
+        )
+        return run_spec_job(spec, trace=trace, sanitize=sanitize,
+                            trace_fetches=trace_fetches)
+    job = AmpiJob(build_app_source(app, app_config), nvp, method=method,
+                  machine=machine, layout=layout, lb_strategy=lb_strategy,
+                  optimize=optimize, slot_size=slot_size, trace=trace,
+                  sanitize=sanitize, trace_fetches=trace_fetches)
+    return job, job.run()
 
 
 # ---------------------------------------------------------------------------
@@ -46,19 +94,6 @@ class StartupRow:
     overhead_pct: float      #: vs. the no-privatization baseline
 
 
-def _startup_program(code_bytes: int) -> ProgramSource:
-    p = Program("startup_probe", code_bytes=code_bytes)
-    p.add_global("x", 0)
-
-    @p.function()
-    def main(ctx):
-        ctx.g.x = ctx.mpi.rank()
-        ctx.mpi.barrier()
-        return ctx.g.x
-
-    return p.build()
-
-
 def startup_experiment(
     methods: Sequence[str] = FIGURE_METHODS,
     *,
@@ -70,16 +105,15 @@ def startup_experiment(
     sanitize: Any = None,
 ) -> list[StartupRow]:
     """Figure 5: AMPI init time with 8x virtualization, per method."""
-    source = _startup_program(code_bytes)
     layout = JobLayout(nodes=nodes, processes_per_node=1, pes_per_process=1)
     nvp = ranks_per_process * layout.total_processes
     rows: list[StartupRow] = []
     baseline = None
     for method in methods:
-        job = AmpiJob(source, nvp, method=method, machine=machine,
-                      layout=layout, slot_size=1 << 26, trace=trace,
-                      sanitize=sanitize)
-        result = job.run()
+        _, result = _spec_run(
+            "startup", {"code_bytes": code_bytes}, nvp, method=method,
+            machine=machine, layout=layout, slot_size=1 << 26,
+            trace=trace, sanitize=sanitize)
         if method == "none":
             baseline = result.startup_ns
         pct = (100.0 * (result.startup_ns - baseline) / baseline
@@ -101,19 +135,6 @@ class SwitchRow:
     delta_vs_baseline_ns: float
 
 
-def _pingpong_program(yields_per_rank: int) -> ProgramSource:
-    p = Program("ctxswitch_probe")
-    p.add_global("dummy", 0)
-
-    @p.function()
-    def main(ctx):
-        for _ in range(yields_per_rank):
-            ctx.mpi.yield_()
-        return ctx.mpi.rank()
-
-    return p.build()
-
-
 def context_switch_experiment(
     methods: Sequence[str] = FIGURE_METHODS,
     *,
@@ -127,14 +148,13 @@ def context_switch_experiment(
     ``ns_per_switch`` is app time divided by measured context switches —
     the same averaging over 100 000 switches the paper uses.
     """
-    source = _pingpong_program(yields_per_rank)
     rows: list[SwitchRow] = []
     baseline = None
     for method in methods:
-        job = AmpiJob(source, nvp=2, method=method, machine=machine,
-                      layout=JobLayout.single(1), slot_size=1 << 26,
-                      trace=trace, sanitize=sanitize)
-        result = job.run()
+        _, result = _spec_run(
+            "pingpong", {"yields_per_rank": yields_per_rank}, 2,
+            method=method, machine=machine, layout=JobLayout.single(1),
+            slot_size=1 << 26, trace=trace, sanitize=sanitize)
         switches = result.counters[EV_CTX_SWITCH]
         ns = result.app_ns / max(1, switches)
         if method == "none":
@@ -179,14 +199,11 @@ def jacobi_access_experiment(
     baseline = None
     for method in methods:
         tagged = method in ("tlsglobals",)
-        source = build_jacobi_program(
-            JacobiConfig(**{**cfg.__dict__, "tag_tls": tagged})
-        )
-        job = AmpiJob(source, nvp, method=method, machine=machine,
-                      layout=JobLayout.single(min(nvp, 8)),
-                      optimize=optimize, slot_size=1 << 27, trace=trace,
-                      sanitize=sanitize)
-        result = job.run()
+        _, result = _spec_run(
+            "jacobi3d", {**cfg.__dict__, "tag_tls": tagged}, nvp,
+            method=method, machine=machine,
+            layout=JobLayout.single(min(nvp, 8)), optimize=optimize,
+            slot_size=1 << 27, trace=trace, sanitize=sanitize)
         if method == "none":
             baseline = result.app_ns
         rows.append(AccessRow(
@@ -225,15 +242,14 @@ def migration_experiment(
     rows: list[MigrationRow] = []
     for heap_mb in heap_mbs:
         cfg = MemhogConfig(heap_mb=heap_mb, code_bytes=code_bytes)
-        source = build_memhog_program(cfg)
         for method in methods:
-            job = AmpiJob(
-                source, nvp=2, method=method, machine=machine,
+            _, result = _spec_run(
+                "memhog", dict(cfg.__dict__), 2, method=method,
+                machine=machine,
                 layout=JobLayout(nodes=2, processes_per_node=1,
                                  pes_per_process=1),
                 slot_size=1 << 28, trace=trace, sanitize=sanitize,
             )
-            result = job.run()
             cross = [m for m in result.migrations if m.cross_process]
             rows.append(MigrationRow(
                 method, heap_mb,
@@ -315,11 +331,10 @@ def icache_experiment(
     rows: list[IcacheRow] = []
     for machine in machines:
         for method in methods:
-            source = build_jacobi_program(cfg)
-            job = AmpiJob(source, nvp, method=method, machine=machine,
-                          layout=JobLayout.single(1), trace_fetches=True,
-                          slot_size=1 << 27)
-            job.run()
+            job, _ = _spec_run(
+                "jacobi3d", dict(cfg.__dict__), nvp, method=method,
+                machine=machine, layout=JobLayout.single(1),
+                slot_size=1 << 27, trace_fetches=True)
             trace = _build_fetch_trace(
                 job, machine, tls_build=(method == "tlsglobals")
             )
@@ -414,12 +429,11 @@ def _adcirc_scaling_experiment(
                 "lb_period": (cfg.lb_period or 5) if lb else 0,
                 "l2_bytes": machine.l2_per_core_bytes,
             })
-            source = build_adcirc_program(run_cfg)
             layout = _square_layout(cores, machine)
-            job = AmpiJob(source, nvp, method=method, machine=machine,
-                          layout=layout, lb_strategy=lb_strategy,
-                          slot_size=1 << 26)
-            result = job.run()
+            _, result = _spec_run(
+                "adcirc", dict(run_cfg.__dict__), nvp, method=method,
+                machine=machine, layout=layout, lb_strategy=lb_strategy,
+                slot_size=1 << 26)
             rows.append(AdcircRow(cores, ratio, lb, result.app_ns))
             per_core[ratio] = result.app_ns
         if 1 in per_core:
@@ -469,6 +483,10 @@ class FaultRow:
     #: self-reproducible: ``FaultPlan.from_dict(row.plan)`` + the row's
     #: seed/transport/recovery rebuilds the exact run.
     plan: dict | None = None
+    #: digest of the sources that produced this row (see
+    #: :func:`repro.harness.jobspec.code_version`) — a replayed plan is
+    #: only expected to be bit-identical under the same code version.
+    code_version: str = ""
 
 
 def fault_overhead_experiment(
@@ -547,6 +565,10 @@ def fault_overhead_experiment(
     if hi <= lo:
         hi = lo + 1
 
+    from repro.harness.jobspec import code_version
+
+    code_ver = code_version()
+
     def row(k: int, result: JobResult | None, status: str,
             plan=None) -> FaultRow:
         plan_dict = plan.to_dict() if plan is not None else None
@@ -555,7 +577,8 @@ def fault_overhead_experiment(
                             overhead_pct=0.0, recovery_ns=0, faults=k,
                             checkpoints=0, ckpt_bytes=0, migrations=0,
                             residual=None, transport=transport,
-                            recovery=recovery, plan=plan_dict)
+                            recovery=recovery, plan=plan_dict,
+                            code_version=code_ver)
         c = result.counters
         return FaultRow(
             k=k, seed=seed, status=status,
@@ -575,6 +598,7 @@ def fault_overhead_experiment(
             replayed=c[EV_REPLAYED],
             rollbacks=sum(result.rollbacks.values()),
             plan=plan_dict,
+            code_version=code_ver,
         )
 
     rows = [row(0, base, "ok", base_plan)]

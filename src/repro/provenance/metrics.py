@@ -1,0 +1,173 @@
+"""The run-metrics layer: Projections-style per-PE reports from records.
+
+A :class:`RunRecord` already carries everything a Projections usage
+profile needs — per-PE busy/idle time, context-switch counts, the
+counter totals — so ``repro stats`` renders utilization and traffic
+breakdowns *from the store*, without re-running anything.  The same
+derivations back ``repro stats --compare`` (delta view between two
+records, e.g. before/after a scheduler change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.perf.counters import (
+    EV_ACK,
+    EV_CKPT,
+    EV_CKPT_BYTES,
+    EV_CTX_SWITCH,
+    EV_DEDUP_DROP,
+    EV_MIGRATION_BYTES,
+    EV_MIGRATIONS,
+    EV_MSG_BYTES,
+    EV_MSG_SENT,
+    EV_RECOVERY_NS,
+    EV_REPLAYED,
+    EV_RETRANS,
+)
+from repro.provenance.record import RunRecord
+
+
+@dataclass(frozen=True)
+class PeMetrics:
+    """One PE's utilization profile over the whole run."""
+
+    pe: int
+    busy_ns: int
+    idle_ns: int
+    overhead_ns: int      #: makespan - busy - idle (scheduling/runtime)
+    busy_frac: float
+    idle_frac: float
+    overhead_frac: float
+    ctx_switches: int
+    final_ranks: tuple[int, ...]
+    rollbacks: int        #: rollbacks of ranks finishing on this PE
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pe": self.pe, "busy_ns": self.busy_ns, "idle_ns": self.idle_ns,
+            "overhead_ns": self.overhead_ns,
+            "busy_frac": round(self.busy_frac, 6),
+            "idle_frac": round(self.idle_frac, 6),
+            "overhead_frac": round(self.overhead_frac, 6),
+            "ctx_switches": self.ctx_switches,
+            "final_ranks": list(self.final_ranks),
+            "rollbacks": self.rollbacks,
+        }
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Job-level traffic/FT metrics plus the per-PE profiles."""
+
+    run_id: str
+    makespan_ns: int
+    startup_ns: int
+    app_ns: int
+    events: int
+    ult_switches: int
+    messages: int
+    message_bytes: int
+    retransmissions: int
+    acks: int
+    dedup_drops: int
+    replayed: int
+    checkpoints: int
+    checkpoint_bytes: int
+    migrations: int
+    migration_bytes: int
+    recovery_ns: int
+    rollbacks: int
+    per_pe: tuple[PeMetrics, ...]
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "RunMetrics":
+        c = record.counters
+        span = max(1, record.makespan_ns)
+        rollback_of_vp = record.rollbacks
+        per_pe = []
+        for p in record.pe_stats:
+            busy, idle = p["busy_ns"], p["idle_ns"]
+            overhead = max(0, record.makespan_ns - busy - idle)
+            per_pe.append(PeMetrics(
+                pe=p["pe"], busy_ns=busy, idle_ns=idle,
+                overhead_ns=overhead,
+                busy_frac=busy / span, idle_frac=idle / span,
+                overhead_frac=overhead / span,
+                ctx_switches=p["ctx_switches"],
+                final_ranks=tuple(p["final_ranks"]),
+                rollbacks=sum(rollback_of_vp.get(vp, 0)
+                              for vp in p["final_ranks"]),
+            ))
+        return cls(
+            run_id=record.run_id,
+            makespan_ns=record.makespan_ns,
+            startup_ns=record.startup_ns,
+            app_ns=record.app_ns,
+            events=record.events,
+            ult_switches=c.get(EV_CTX_SWITCH, 0),
+            messages=c.get(EV_MSG_SENT, 0),
+            message_bytes=c.get(EV_MSG_BYTES, 0),
+            retransmissions=c.get(EV_RETRANS, 0),
+            acks=c.get(EV_ACK, 0),
+            dedup_drops=c.get(EV_DEDUP_DROP, 0),
+            replayed=c.get(EV_REPLAYED, 0),
+            checkpoints=c.get(EV_CKPT, 0),
+            checkpoint_bytes=c.get(EV_CKPT_BYTES, 0),
+            migrations=c.get(EV_MIGRATIONS, 0),
+            migration_bytes=c.get(EV_MIGRATION_BYTES, 0),
+            recovery_ns=c.get(EV_RECOVERY_NS, 0),
+            rollbacks=sum(record.rollbacks.values()),
+            per_pe=tuple(per_pe),
+        )
+
+    #: the job-level scalar metrics, in display order
+    SCALAR_FIELDS = (
+        "makespan_ns", "startup_ns", "app_ns", "events", "ult_switches",
+        "messages", "message_bytes", "retransmissions", "acks",
+        "dedup_drops", "replayed", "checkpoints", "checkpoint_bytes",
+        "migrations", "migration_bytes", "recovery_ns", "rollbacks",
+    )
+
+    def scalars(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.SCALAR_FIELDS}
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"run_id": self.run_id}
+        d.update(self.scalars())
+        d["per_pe"] = [p.to_dict() for p in self.per_pe]
+        return d
+
+    def format(self) -> str:
+        from repro.harness.tables import format_table
+
+        rows = [
+            [p.pe, f"{100 * p.busy_frac:.1f}%", f"{100 * p.idle_frac:.1f}%",
+             f"{100 * p.overhead_frac:.1f}%", p.ctx_switches, p.rollbacks,
+             ",".join(map(str, p.final_ranks)) or "-"]
+            for p in self.per_pe
+        ]
+        table = format_table(
+            ["pe", "busy", "idle", "overhead", "switches", "rollbacks",
+             "final ranks"],
+            rows, title=f"Per-PE utilization ({self.run_id[:12]})")
+        scalar_lines = [f"{name:>18}: {value}"
+                        for name, value in self.scalars().items()]
+        return table + "\n\n" + "\n".join(scalar_lines)
+
+
+def compare_metrics(a: RunMetrics, b: RunMetrics) -> str:
+    """Delta table between two runs' job-level metrics."""
+    from repro.harness.tables import format_table
+
+    rows = []
+    for name in RunMetrics.SCALAR_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        pct = (f"{100.0 * (vb - va) / va:+.2f}%" if va else "-")
+        rows.append([name, va, vb, vb - va, pct])
+    return format_table(
+        ["metric", f"A ({a.run_id[:10]})", f"B ({b.run_id[:10]})",
+         "delta", "delta %"],
+        rows, title="Run metrics comparison (B - A)")

@@ -1,0 +1,222 @@
+"""The pinned-scenario corpus: a committed timeline-regression gate.
+
+A pin manifest is a JSON file (committed to the repo, default
+``benchmarks/pinned_scenarios.json``) mapping scenario names to a full
+:class:`~repro.harness.jobspec.JobSpec` plus the expected observables —
+timeline SHA-256, event count, makespan, and every counter total.
+``repro pin run`` re-executes each spec under the current sources and
+fails on *any* drift, so a PR that silently changes the timeline of a
+pinned scenario turns CI red instead of shipping a behaviour change
+nobody asked for.  Intentional changes are re-pinned explicitly with
+``repro pin update`` and reviewed as a manifest diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.harness.jobspec import JobSpec, code_version, run_spec_job
+from repro.provenance.record import RunRecord
+from repro.trace.stream import timeline_sha
+
+#: default manifest location (committed; CI runs it)
+DEFAULT_MANIFEST = "benchmarks/pinned_scenarios.json"
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class PinEntry:
+    """One pinned scenario: spec + expected observables."""
+
+    name: str
+    spec: JobSpec
+    timeline_sha256: str
+    events: int
+    makespan_ns: int
+    counters: dict[str, int]
+    #: sources that produced the pinned values (informational)
+    code_version: str = ""
+
+    @classmethod
+    def from_record(cls, name: str, record: RunRecord) -> "PinEntry":
+        return cls(
+            name=name,
+            spec=record.spec,
+            timeline_sha256=record.timeline_sha256,
+            events=record.events,
+            makespan_ns=record.makespan_ns,
+            counters=dict(sorted(record.counters.items())),
+            code_version=record.code_version,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "timeline_sha256": self.timeline_sha256,
+            "events": self.events,
+            "makespan_ns": self.makespan_ns,
+            "counters": dict(sorted(self.counters.items())),
+            "code_version": self.code_version,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, d: dict[str, Any]) -> "PinEntry":
+        return cls(
+            name=name,
+            spec=JobSpec.from_dict(d["spec"]),
+            timeline_sha256=d["timeline_sha256"],
+            events=d["events"],
+            makespan_ns=d["makespan_ns"],
+            counters=dict(d.get("counters", {})),
+            code_version=d.get("code_version", ""),
+        )
+
+
+@dataclass
+class PinResult:
+    """Verification outcome for one pinned scenario."""
+
+    name: str
+    sha_ok: bool
+    counters_ok: bool
+    makespan_ok: bool
+    expected_sha: str
+    actual_sha: str
+    expected_makespan: int
+    actual_makespan: int
+    #: name -> (pinned, measured) for drifted counters
+    counter_drift: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: the fresh record, for re-pinning on intentional change
+    record: RunRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.sha_ok and self.counters_ok and self.makespan_ok
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "sha_ok": self.sha_ok,
+            "counters_ok": self.counters_ok,
+            "makespan_ok": self.makespan_ok,
+            "expected_sha256": self.expected_sha,
+            "actual_sha256": self.actual_sha,
+            "expected_makespan_ns": self.expected_makespan,
+            "actual_makespan_ns": self.actual_makespan,
+            "counter_drift": {k: list(v) for k, v in
+                              sorted(self.counter_drift.items())},
+        }
+
+    def format(self) -> str:
+        if self.ok:
+            return (f"ok   {self.name}: timeline {self.actual_sha[:12]} "
+                    f"({self.actual_makespan} ns)")
+        parts = []
+        if not self.sha_ok:
+            parts.append(f"timeline {self.expected_sha[:12]} -> "
+                         f"{self.actual_sha[:12]}")
+        if not self.makespan_ok:
+            parts.append(f"makespan {self.expected_makespan} -> "
+                         f"{self.actual_makespan} ns")
+        if self.counter_drift:
+            drift = ", ".join(
+                f"{k} {a}->{b}"
+                for k, (a, b) in sorted(self.counter_drift.items())[:6])
+            parts.append(f"counters: {drift}")
+        return f"DRIFT {self.name}: " + "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Manifest I/O
+# ---------------------------------------------------------------------------
+
+def load_manifest(path: str | Path) -> dict[str, PinEntry]:
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    version = data.get("version")
+    if version != MANIFEST_VERSION:
+        raise ReproError(
+            f"unsupported pin manifest version {version!r} in {path}")
+    return {
+        name: PinEntry.from_dict(name, entry)
+        for name, entry in sorted(data.get("scenarios", {}).items())
+    }
+
+
+def save_manifest(path: str | Path, entries: dict[str, PinEntry]) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": MANIFEST_VERSION,
+        "scenarios": {name: e.to_dict()
+                      for name, e in sorted(entries.items())},
+    }
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+
+
+def pinned_spec_digests(entries: dict[str, PinEntry]) -> frozenset[str]:
+    """Spec digests the GC must never collect."""
+    return frozenset(e.spec.digest() for e in entries.values())
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+def verify_pin(entry: PinEntry) -> PinResult:
+    """Re-execute one pinned scenario and compare observables."""
+    job, result = run_spec_job(entry.spec)
+    record = RunRecord.from_run(entry.spec, job, result)
+    actual_sha = timeline_sha(job.scheduler.timeline)
+    measured = record.counters
+    drift = {
+        name: (entry.counters.get(name, 0), measured.get(name, 0))
+        for name in set(entry.counters) | set(measured)
+        if entry.counters.get(name, 0) != measured.get(name, 0)
+    }
+    return PinResult(
+        name=entry.name,
+        sha_ok=actual_sha == entry.timeline_sha256,
+        counters_ok=not drift,
+        makespan_ok=result.makespan_ns == entry.makespan_ns,
+        expected_sha=entry.timeline_sha256,
+        actual_sha=actual_sha,
+        expected_makespan=entry.makespan_ns,
+        actual_makespan=result.makespan_ns,
+        counter_drift=drift,
+        record=record,
+    )
+
+
+def verify_manifest(entries: dict[str, PinEntry],
+                    names: list[str] | None = None) -> list[PinResult]:
+    """Verify all (or the named) scenarios, sorted by name."""
+    if names:
+        unknown = [n for n in names if n not in entries]
+        if unknown:
+            raise ReproError(
+                f"unknown pinned scenario(s): {', '.join(unknown)}; "
+                f"manifest has: {', '.join(sorted(entries)) or '(none)'}")
+        selected = {n: entries[n] for n in names}
+    else:
+        selected = entries
+    return [verify_pin(e) for _, e in sorted(selected.items())]
+
+
+def repin(entries: dict[str, PinEntry],
+          results: list[PinResult]) -> dict[str, PinEntry]:
+    """Fold fresh measurements back into the manifest (``pin update``)."""
+    out = dict(entries)
+    for r in results:
+        if r.record is not None:
+            out[r.name] = PinEntry.from_record(r.name, r.record)
+            out[r.name].code_version = code_version()
+    return out

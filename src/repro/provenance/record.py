@@ -1,0 +1,149 @@
+"""Run records: the durable provenance of one simulated run.
+
+A :class:`RunRecord` is the PROBE-style answer to "what exactly ran?":
+the full :class:`~repro.harness.jobspec.JobSpec` (inputs), the code
+digest (which sources produced it), and the observed outputs — timeline
+SHA, counter totals, per-PE utilization, rollback counts, makespan.
+Records are plain JSON; the (compressed) scheduler event stream rides
+alongside in the store so ``repro diff`` can bisect without re-running.
+
+Identity: ``record_id = sha256(spec_canonical + "\\n" + code_version)``.
+Two runs of the same spec under the same sources are the *same* record
+(the store surfaces that as a cache hit); the same spec under changed
+sources is a new record, so history stays attributable per commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ampi.runtime import AmpiJob, JobResult
+from repro.harness.jobspec import JobSpec, code_version
+from repro.trace.stream import timeline_sha
+
+
+def run_id_for(spec: JobSpec, code_ver: str) -> str:
+    """The content address of a (spec, code version) pair."""
+    data = spec.canonical() + "\n" + code_ver
+    return hashlib.sha256(data.encode()).hexdigest()
+
+
+@dataclass
+class RunRecord:
+    """One run's provenance (JSON-able; event stream stored separately)."""
+
+    spec: JobSpec
+    run_id: str
+    spec_digest: str
+    code_version: str
+    timeline_sha256: str
+    events: int                   #: scheduler quanta in the event stream
+    makespan_ns: int
+    startup_ns: int
+    counters: dict[str, int]
+    pe_stats: list[dict[str, Any]]
+    rollbacks: dict[int, int]
+    recoveries: int
+    migrations: int
+    lb_moves: int
+    exit_values: dict[int, Any]
+    #: wall-clock creation time (epoch seconds) — used only by ``repro
+    #: gc --max-age``; never part of any digest
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def app_ns(self) -> int:
+        return max(0, self.makespan_ns - self.startup_ns)
+
+    @classmethod
+    def from_run(cls, spec: JobSpec, job: AmpiJob,
+                 result: JobResult) -> "RunRecord":
+        """Capture a finished run.  The job's scheduler timeline must
+        still be live (it always is right after ``run()``)."""
+
+        def _jsonable(v: Any) -> Any:
+            if isinstance(v, (int, float, str, bool)) or v is None:
+                return v
+            return repr(v)
+
+        code_ver = code_version()
+        return cls(
+            spec=spec,
+            run_id=run_id_for(spec, code_ver),
+            spec_digest=spec.digest(),
+            code_version=code_ver,
+            timeline_sha256=timeline_sha(job.scheduler.timeline),
+            events=len(job.scheduler.timeline),
+            makespan_ns=result.makespan_ns,
+            startup_ns=result.startup_ns,
+            counters=dict(sorted(result.counters.snapshot().items())),
+            pe_stats=[
+                {"pe": p.index, "busy_ns": p.busy_ns, "idle_ns": p.idle_ns,
+                 "ctx_switches": p.ctx_switches,
+                 "final_ranks": list(p.final_ranks)}
+                for p in result.pe_stats
+            ],
+            rollbacks=dict(sorted(result.rollbacks.items())),
+            recoveries=result.recoveries,
+            migrations=sum(1 for m in result.migrations
+                           if m.src_pe != m.dst_pe),
+            lb_moves=sum(r.moves for r in result.lb_reports),
+            exit_values={vp: _jsonable(v)
+                         for vp, v in sorted(result.exit_values.items())},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec_digest,
+            "code_version": self.code_version,
+            "timeline_sha256": self.timeline_sha256,
+            "events": self.events,
+            "makespan_ns": self.makespan_ns,
+            "startup_ns": self.startup_ns,
+            "counters": dict(sorted(self.counters.items())),
+            "pe_stats": list(self.pe_stats),
+            "rollbacks": {str(vp): n
+                          for vp, n in sorted(self.rollbacks.items())},
+            "recoveries": self.recoveries,
+            "migrations": self.migrations,
+            "lb_moves": self.lb_moves,
+            "exit_values": {str(vp): v
+                            for vp, v in sorted(self.exit_values.items())},
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunRecord":
+        return cls(
+            spec=JobSpec.from_dict(d["spec"]),
+            run_id=d["run_id"],
+            spec_digest=d["spec_digest"],
+            code_version=d["code_version"],
+            timeline_sha256=d["timeline_sha256"],
+            events=d["events"],
+            makespan_ns=d["makespan_ns"],
+            startup_ns=d["startup_ns"],
+            counters=dict(d.get("counters", {})),
+            pe_stats=list(d.get("pe_stats", [])),
+            rollbacks={int(vp): n
+                       for vp, n in d.get("rollbacks", {}).items()},
+            recoveries=d.get("recoveries", 0),
+            migrations=d.get("migrations", 0),
+            lb_moves=d.get("lb_moves", 0),
+            exit_values={int(vp): v
+                         for vp, v in d.get("exit_values", {}).items()},
+            created_at=d.get("created_at", 0.0),
+        )
+
+    def summary(self) -> str:
+        return (f"{self.run_id[:12]} {self.spec.app} nvp={self.spec.nvp} "
+                f"method={self.spec.method} machine={self.spec.machine} "
+                f"transport={self.spec.transport} "
+                f"recovery={self.spec.recovery} "
+                f"events={self.events} makespan={self.makespan_ns} ns "
+                f"timeline={self.timeline_sha256[:12]}")

@@ -1,0 +1,228 @@
+"""The append-only, content-addressed run store.
+
+On-disk layout (everything under one root, default ``.repro/store`` or
+``$REPRO_PROVENANCE``)::
+
+    <root>/records/<id[:2]>/<id>.json         # RunRecord (plain JSON)
+    <root>/records/<id[:2]>/<id>.timeline.zz  # zlib'd canonical event stream
+
+Records are keyed by ``run_id`` (spec digest + code version, see
+:mod:`repro.provenance.record`).  Writes are atomic (tmp file + rename)
+and never overwrite: putting a record whose id already exists is a
+*cache hit* — the store reports it and leaves the original untouched,
+which keeps ``created_at`` honest and makes the store safe to share
+between concurrent runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.provenance.record import RunRecord
+from repro.trace.stream import compress_timeline, decompress_timeline
+
+#: default store location relative to the working directory
+DEFAULT_STORE_DIR = ".repro/store"
+
+#: environment variable overriding the default store location
+STORE_ENV = "REPRO_PROVENANCE"
+
+
+def default_store_dir() -> str:
+    return os.environ.get(STORE_ENV) or DEFAULT_STORE_DIR
+
+
+class ProvenanceStore:
+    """Append-only content-addressed store of :class:`RunRecord`."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else Path(default_store_dir())
+
+    @property
+    def records_dir(self) -> Path:
+        return self.root / "records"
+
+    # -- paths --------------------------------------------------------------
+
+    def _record_path(self, run_id: str) -> Path:
+        return self.records_dir / run_id[:2] / f"{run_id}.json"
+
+    def _timeline_path(self, run_id: str) -> Path:
+        return self.records_dir / run_id[:2] / f"{run_id}.timeline.zz"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    # -- writing ------------------------------------------------------------
+
+    def put(self, record: RunRecord,
+            timeline: Iterable[tuple[int, int, int]] | None = None,
+            ) -> tuple[str, bool]:
+        """Store a record (and optionally its event stream).
+
+        Returns ``(run_id, cache_hit)``; a cache hit means a record with
+        this id (same spec, same code version) already exists and
+        nothing was written.
+        """
+        path = self._record_path(record.run_id)
+        if path.exists():
+            return record.run_id, True
+        if timeline is not None:
+            self._atomic_write(self._timeline_path(record.run_id),
+                               compress_timeline(timeline))
+        self._atomic_write(
+            path,
+            (json.dumps(record.to_dict(), sort_keys=True, indent=1)
+             + "\n").encode(),
+        )
+        return record.run_id, False
+
+    # -- reading ------------------------------------------------------------
+
+    def ids(self) -> list[str]:
+        """All record ids, sorted."""
+        if not self.records_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.records_dir.glob("*/*.json"))
+
+    def resolve(self, id_or_prefix: str) -> str:
+        """Resolve a (possibly abbreviated) record id."""
+        if len(id_or_prefix) >= 4:
+            exact = self._record_path(id_or_prefix)
+            if exact.exists():
+                return id_or_prefix
+        matches = [i for i in self.ids() if i.startswith(id_or_prefix)]
+        if not matches:
+            raise ReproError(
+                f"no record matching {id_or_prefix!r} in {self.root}")
+        if len(matches) > 1:
+            raise ReproError(
+                f"ambiguous id {id_or_prefix!r}: "
+                f"{', '.join(m[:12] for m in matches[:5])}...")
+        return matches[0]
+
+    def get(self, id_or_prefix: str) -> RunRecord:
+        run_id = self.resolve(id_or_prefix)
+        data = json.loads(self._record_path(run_id).read_text())
+        return RunRecord.from_dict(data)
+
+    def load_timeline(self, record: RunRecord
+                      ) -> list[tuple[int, int, int]] | None:
+        """The stored event stream, or None when it was not recorded."""
+        path = self._timeline_path(record.run_id)
+        if not path.exists():
+            return None
+        return decompress_timeline(path.read_bytes())
+
+    def records(self) -> list[RunRecord]:
+        return [self.get(i) for i in self.ids()]
+
+    def size_bytes(self) -> int:
+        if not self.records_dir.is_dir():
+            return 0
+        return sum(p.stat().st_size
+                   for p in self.records_dir.glob("*/*") if p.is_file())
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __contains__(self, run_id: str) -> bool:
+        return self._record_path(run_id).exists()
+
+    # -- garbage collection -------------------------------------------------
+
+    def delete(self, run_id: str) -> int:
+        """Remove one record + its event stream; returns bytes freed."""
+        freed = 0
+        for path in (self._record_path(run_id),
+                     self._timeline_path(run_id)):
+            if path.exists():
+                freed += path.stat().st_size
+                path.unlink()
+        return freed
+
+    def gc(self, *, keep: frozenset[str] | set[str] = frozenset(),
+           max_age_s: float | None = None,
+           max_bytes: int | None = None,
+           now: float | None = None,
+           dry_run: bool = False) -> "GcReport":
+        """Collect garbage under an age and/or size budget.
+
+        ``keep`` holds *spec digests* that must survive regardless of
+        budget (the pinned corpus).  Eviction order is oldest-first by
+        ``created_at``.
+        """
+        now = time.time() if now is None else now
+        entries = []   # (created_at, run_id, spec_digest, bytes)
+        for run_id in self.ids():
+            rec_path = self._record_path(run_id)
+            tl_path = self._timeline_path(run_id)
+            data = json.loads(rec_path.read_text())
+            nbytes = rec_path.stat().st_size
+            if tl_path.exists():
+                nbytes += tl_path.stat().st_size
+            entries.append((data.get("created_at", 0.0), run_id,
+                            data.get("spec_digest", ""), nbytes))
+        entries.sort()
+
+        doomed: list[str] = []
+        protected = 0
+        if max_age_s is not None:
+            for created, run_id, digest, _ in entries:
+                if now - created > max_age_s:
+                    if digest in keep:
+                        protected += 1
+                    else:
+                        doomed.append(run_id)
+        if max_bytes is not None:
+            doomed_set = set(doomed)
+            total = sum(nb for _, run_id, _, nb in entries
+                        if run_id not in doomed_set)
+            for created, run_id, digest, nb in entries:
+                if total <= max_bytes:
+                    break
+                if run_id in doomed_set:
+                    continue
+                if digest in keep:
+                    protected += 1
+                    continue
+                doomed.append(run_id)
+                doomed_set.add(run_id)
+                total -= nb
+        freed = 0
+        if not dry_run:
+            for run_id in doomed:
+                freed += self.delete(run_id)
+        return GcReport(scanned=len(entries), deleted=len(doomed),
+                        protected=protected, freed_bytes=freed,
+                        remaining=len(entries) - len(doomed),
+                        deleted_ids=tuple(doomed), dry_run=dry_run)
+
+
+@dataclass(frozen=True)
+class GcReport:
+    scanned: int
+    deleted: int
+    protected: int         #: records spared only because they are pinned
+    freed_bytes: int
+    remaining: int
+    deleted_ids: tuple[str, ...]
+    dry_run: bool = False
+
+    def to_dict(self) -> dict:
+        return {"scanned": self.scanned, "deleted": self.deleted,
+                "protected": self.protected,
+                "freed_bytes": self.freed_bytes,
+                "remaining": self.remaining,
+                "deleted_ids": list(self.deleted_ids),
+                "dry_run": self.dry_run}

@@ -19,6 +19,13 @@ from repro.trace.export import (
     write_chrome_trace,
 )
 from repro.trace.recorder import PE_TID, TraceEvent, TraceRecorder
+from repro.trace.stream import (
+    TimelineEvent,
+    compress_timeline,
+    decompress_timeline,
+    timeline_events,
+    timeline_sha,
+)
 from repro.trace.timeline import (
     PeUtilization,
     render_timeline,
@@ -28,6 +35,11 @@ from repro.trace.timeline import (
 __all__ = [
     "TraceRecorder",
     "TraceEvent",
+    "TimelineEvent",
+    "timeline_events",
+    "timeline_sha",
+    "compress_timeline",
+    "decompress_timeline",
     "PE_TID",
     "chrome_trace",
     "dumps_chrome_trace",

@@ -1,0 +1,217 @@
+"""Tests for the canonical job spec (repro.harness.jobspec)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ft import FaultPlan, MessageFaults, NodeCrash
+from repro.harness import jobspec as js
+from repro.harness.jobspec import (
+    JobSpec,
+    app_names,
+    build_app_source,
+    build_job,
+    code_version,
+    default_layout,
+    machine_preset_name,
+    register_app,
+    run_spec,
+    run_spec_job,
+)
+from repro.machine import BRIDGES2, GENERIC_LINUX
+
+
+def _fault_plans():
+    crash = FaultPlan(seed=7, node_crashes=(
+        NodeCrash(at_ns=1_000_000, node=1),))
+    noisy = FaultPlan(seed=9, message_faults=MessageFaults(drop=0.05))
+    return [None, crash.to_dict(), noisy.to_dict()]
+
+
+class TestRoundTrip:
+    """Property: from_dict(to_dict(s)) == s, and digests are stable,
+    across the full spec matrix the repo exercises."""
+
+    @pytest.mark.parametrize("app,config", [
+        ("jacobi3d", {"n": 12, "iters": 4}),
+        ("adcirc", {"width": 16, "height": 32, "steps": 4}),
+        ("memhog", {"heap_mb": 2}),
+        ("startup", {"code_bytes": 4096}),
+        ("pingpong", {"yields_per_rank": 10}),
+        ("hello", {}),
+    ])
+    @pytest.mark.parametrize("method", ["none", "tlsglobals", "pieglobals"])
+    def test_apps_and_methods(self, app, config, method):
+        s = JobSpec(app=app, nvp=4, app_config=config, method=method)
+        assert JobSpec.from_dict(s.to_dict()) == s
+        assert JobSpec.from_dict(s.to_dict()).digest() == s.digest()
+
+    @pytest.mark.parametrize("transport", ["priced", "reliable"])
+    @pytest.mark.parametrize("recovery", ["global", "local"])
+    @pytest.mark.parametrize("plan", _fault_plans())
+    def test_transport_recovery_faults(self, transport, recovery, plan):
+        s = JobSpec(app="jacobi3d", nvp=8,
+                    app_config={"n": 12, "iters": 4, "ckpt_period": 2},
+                    transport=transport, recovery=recovery,
+                    fault_plan=plan, ft_interval_ns=0,
+                    layout=(4, 1, 2), sanitize=True)
+        s2 = JobSpec.from_dict(s.to_dict())
+        assert s2 == s
+        assert s2.digest() == s.digest()
+
+    def test_json_round_trip(self):
+        import json
+
+        s = JobSpec(app="adcirc", nvp=6, app_config={"steps": 3},
+                    argv=("x", "y"), layout=(2, 1, 3))
+        wire = json.dumps(s.to_dict())
+        assert JobSpec.from_dict(json.loads(wire)) == s
+
+
+class TestDigest:
+    def test_equal_specs_equal_digests(self):
+        a = JobSpec(app="jacobi3d", nvp=8, app_config={"n": 10, "iters": 2})
+        b = JobSpec(app="jacobi3d", nvp=8, app_config={"iters": 2, "n": 10})
+        assert a.digest() == b.digest()   # key order must not matter
+
+    def test_any_field_change_changes_digest(self):
+        base = JobSpec(app="jacobi3d", nvp=8)
+        variants = [
+            JobSpec(app="jacobi3d", nvp=9),
+            JobSpec(app="jacobi3d", nvp=8, method="tlsglobals"),
+            JobSpec(app="jacobi3d", nvp=8, machine="bridges2"),
+            JobSpec(app="jacobi3d", nvp=8, transport="reliable"),
+            JobSpec(app="jacobi3d", nvp=8, recovery="local"),
+            JobSpec(app="jacobi3d", nvp=8, sanitize=True),
+            JobSpec(app="jacobi3d", nvp=8, app_config={"n": 25}),
+            JobSpec(app="jacobi3d", nvp=8, layout=(2, 1, 4)),
+            JobSpec(app="jacobi3d", nvp=8,
+                    fault_plan=FaultPlan(seed=1).to_dict()),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_is_sha256_hex(self):
+        d = JobSpec(app="hello", nvp=1).digest()
+        assert len(d) == 64
+        int(d, 16)
+
+
+class TestValidation:
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ReproError, match="unknown JobSpec fields"):
+            JobSpec.from_dict({"app": "hello", "nvp": 1, "bogus": 3})
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ReproError):
+            JobSpec(app="hello", nvp=0)
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ReproError, match="layout"):
+            JobSpec(app="hello", nvp=1, layout=(1, 1))
+
+    def test_unknown_app_fails_at_build_not_construct(self):
+        s = JobSpec(app="no-such-app", nvp=1)    # constructible
+        with pytest.raises(ReproError, match="unknown app"):
+            s.build_source()
+
+
+class TestRegistry:
+    def test_builtin_apps_registered(self):
+        assert {"jacobi3d", "adcirc", "memhog", "startup", "pingpong",
+                "hello"} <= set(app_names())
+
+    def test_register_and_run_custom_app(self):
+        from repro.apps.micro import build_hello_program
+
+        register_app("test-hello", lambda cfg: build_hello_program(**cfg))
+        try:
+            src = build_app_source("test-hello", {})
+            assert src is not None
+            result = run_spec(JobSpec(app="test-hello", nvp=2,
+                                      method="pieglobals"))
+            assert result.exit_values[1] == "rank: 1"
+        finally:
+            js._APPS.pop("test-hello", None)
+
+
+class TestMaterialization:
+    def test_machine_preset_name(self):
+        assert machine_preset_name(GENERIC_LINUX) == "generic-linux"
+        assert machine_preset_name(BRIDGES2) == "bridges2"
+        custom = dataclasses.replace(BRIDGES2, cores_per_node=3)
+        assert machine_preset_name(custom) is None
+
+    def test_default_layout(self):
+        assert default_layout(4, GENERIC_LINUX) == (1, 1, 4)
+        big = default_layout(10_000, GENERIC_LINUX)
+        assert big[2] == GENERIC_LINUX.cores_per_node
+
+    def test_build_job_honors_spec(self):
+        s = JobSpec(app="jacobi3d", nvp=4, app_config={"n": 10, "iters": 2},
+                    method="tlsglobals", layout=(2, 1, 2),
+                    transport="reliable", recovery="local")
+        job = build_job(s)
+        assert job.nvp == 4
+        assert job.layout.nodes == 2
+        assert job.machine is GENERIC_LINUX
+
+    def test_spec_sanitize_flag_builds_sanitized_job(self):
+        s = JobSpec(app="hello", nvp=2, method="pieglobals", sanitize=True)
+        _, result = run_spec_job(s)
+        assert result.exit_values[0] == "rank: 0"
+
+    def test_spec_path_matches_direct_construction(self):
+        """The spec route must reproduce the direct AmpiJob timeline."""
+        from repro.ampi.runtime import AmpiJob
+        from repro.apps.jacobi3d import JacobiConfig, build_jacobi_program
+        from repro.charm.node import JobLayout
+        from repro.trace.stream import timeline_sha
+
+        cfg = JacobiConfig(n=12, iters=4)
+        direct = AmpiJob(build_jacobi_program(cfg), 8,
+                         method="pieglobals", machine=GENERIC_LINUX,
+                         layout=JobLayout.single(4))
+        direct.run()
+        spec_job, _ = run_spec_job(JobSpec(
+            app="jacobi3d", nvp=8, app_config=dict(cfg.__dict__),
+            method="pieglobals", machine="generic-linux", layout=(1, 1, 4)))
+        assert timeline_sha(direct.scheduler.timeline) == \
+            timeline_sha(spec_job.scheduler.timeline)
+
+
+class TestResultHooks:
+    def test_hooks_fire_and_detach(self):
+        seen = []
+        hook = lambda spec, job, result: seen.append(spec.app)  # noqa: E731
+        js.add_result_hook(hook)
+        try:
+            run_spec(JobSpec(app="hello", nvp=1, method="pieglobals"))
+        finally:
+            js.remove_result_hook(hook)
+        run_spec(JobSpec(app="hello", nvp=1, method="pieglobals"))
+        assert seen == ["hello"]
+
+    def test_remove_unknown_hook_is_noop(self):
+        js.remove_result_hook(lambda *a: None)
+
+
+class TestCodeVersion:
+    def test_stable_hex(self):
+        v = code_version()
+        assert len(v) == 64
+        int(v, 16)
+        assert code_version() == v
+
+    def test_faults_rows_carry_code_version(self):
+        from repro.harness.experiments import fault_overhead_experiment
+
+        rows = fault_overhead_experiment(kmax=0)
+        assert all(r.code_version == code_version() for r in rows)
+
+    def test_bench_payload_carries_code_version(self):
+        from repro.harness.bench import run_bench
+
+        payload = run_bench(quick=True, nvp=8, reps=1)
+        assert payload["code_version"] == code_version()
