@@ -29,7 +29,13 @@ from repro.charm.reduction import tree_depth
 from repro.charm.scheduler import JobScheduler
 from repro.charm.vrank import VirtualRank
 from repro.elf.loader import DynamicLoader
-from repro.errors import MpiAbort, MpiError, ReductionOffsetError, ReproError
+from repro.errors import (
+    FaultUnrecoverableError,
+    MpiAbort,
+    MpiError,
+    ReductionOffsetError,
+    ReproError,
+)
 from repro.fs.sharedfs import SharedFileSystem
 from repro.machine import GENERIC_LINUX, MachineModel
 from repro.mem.address_space import MapKind
@@ -44,6 +50,7 @@ from repro.net.network import Network
 from repro.net.reliable import ReliableTransport
 from repro.perf.counters import (
     CounterSet,
+    EV_DEDUP_DROP,
     EV_FAULT,
     EV_MSG_BYTES,
     EV_MSG_FAULT_CORRUPT,
@@ -114,6 +121,16 @@ class JobResult:
     #: sanitizer findings from this job, in deterministic order
     #: (empty unless the job ran with ``sanitize=``)
     sanitize_findings: list = field(default_factory=list)
+    #: structured classification when the job died unrecoverably (one of
+    #: :data:`repro.errors.UNRECOVERABLE_REASONS`); None for a run that
+    #: completed.  Populated by ``run(strict=False)``.
+    unrecoverable_reason: str | None = None
+    #: human-readable message of the fatal error (None when completed)
+    error: str | None = None
+    #: one entry per recovered crash, in handling order (node, at_ns,
+    #: dead_vps, cascade, ckpt_fallback, recovery_ns, resume_ns) — the
+    #: account chaos invariants reconcile rollback counters against
+    crashes: list = field(default_factory=list)
 
     @property
     def app_ns(self) -> int:
@@ -183,6 +200,11 @@ class JobResult:
             "recovery": self.recovery,
             "rollbacks": {str(vp): n
                           for vp, n in sorted(self.rollbacks.items())},
+            "status": ("ok" if self.unrecoverable_reason is None
+                       else "unrecoverable"),
+            "unrecoverable_reason": self.unrecoverable_reason,
+            "error": self.error,
+            "crashes": list(self.crashes),
             "sanitize_findings": [f.to_dict() for f in self.sanitize_findings],
             "rank_cpu_ns": {str(vp): ns
                             for vp, ns in sorted(self.rank_cpu_ns.items())},
@@ -561,10 +583,34 @@ class AmpiJob:
 
     # -- run --------------------------------------------------------------------------------
 
-    def run(self) -> JobResult:
-        if not self.started:
-            self.start()
-        self.scheduler.run()
+    def run(self, *, strict: bool = True) -> JobResult:
+        """Execute the job to completion.
+
+        ``strict=True`` (the default) propagates
+        :class:`~repro.errors.FaultUnrecoverableError` to the caller.
+        ``strict=False`` converts an unrecoverable death into a
+        *structured* result — ``unrecoverable_reason`` carries the
+        taxonomy code, ``error`` the message, and every counter reflects
+        the partial execution — which is what fault campaigns compare
+        across re-runs (deterministic unrecoverability: same reason,
+        same counters, same timeline, every time).
+        """
+        try:
+            if not self.started:
+                self.start()
+            self.scheduler.run()
+        except FaultUnrecoverableError as e:
+            if strict or getattr(self, "scheduler", None) is None:
+                raise
+            # The scheduler's run loop unwinds its ULTs on any exit path,
+            # but a failure *before* the loop (e.g. a non-checkpointable
+            # method dying at the baseline checkpoint) leaves the threads
+            # created by start() alive — shut down explicitly (idempotent).
+            self.scheduler.shutdown()
+            result = self._result()
+            result.unrecoverable_reason = e.reason
+            result.error = str(e)
+            return result
         return self._result()
 
     def cleanup(self) -> int:
@@ -611,6 +657,8 @@ class AmpiJob:
             recovery=self.recovery_mode,
             rollbacks=(dict(self.recovery.rollback_counts)
                        if self.recovery else {}),
+            crashes=(list(self.recovery.crash_log)
+                     if self.recovery else []),
             sanitize_findings=(self.sanitizer.sorted_findings()
                                if self.sanitizer is not None else []),
         )
@@ -758,6 +806,22 @@ class AmpiJob:
 
     def _deliver(self, dst_vp: int, msg: Message) -> None:
         dst_rank = self._ranks[dst_vp]
+        ml = self.msglog
+        if ml is not None and ml.already_consumed(dst_vp, msg.src_vp,
+                                                  msg.chan_seq):
+            # Local-recovery duplicate: this rank already consumed the
+            # channel seq from the message log while the sender's
+            # re-executed copy was still in flight.  Matching it against
+            # a posted receive would hand a *later* receive this stale
+            # payload.
+            self.counters.incr(EV_DEDUP_DROP)
+            if self.trace is not None:
+                self.trace.instant(
+                    "replay:dedup-drop", "ft", msg.arrival,
+                    pid=self.trace_pid_of(dst_rank.pe), tid=dst_vp,
+                    args={"src_vp": msg.src_vp, "chan_seq": msg.chan_seq},
+                )
+            return
         for i, posted in enumerate(self._posted[dst_vp]):
             req = posted.request
             if msg.matches(src=req.src, tag=req.tag, comm_id=req.comm_id):
@@ -833,7 +897,14 @@ class AmpiJob:
                               "chan_seq": entry.chan_seq},
                     )
                 return req
-        msg = self._mailboxes[rank.vp].match(source, tag, comm.cid)
+        while True:
+            msg = self._mailboxes[rank.vp].match(source, tag, comm.cid)
+            if msg is None or ml is None or not ml.already_consumed(
+                    rank.vp, msg.src_vp, msg.chan_seq):
+                break
+            # A duplicate copy of a seq this rank already replayed from
+            # the message log (see _deliver): discard and keep matching.
+            self.counters.incr(EV_DEDUP_DROP)
         if msg is not None:
             req.complete(when=msg.arrival, payload=msg.payload,
                          source=msg.src, tag=msg.tag, nbytes=msg.nbytes)

@@ -107,9 +107,13 @@ def build_jacobi_program(cfg: JacobiConfig) -> ProgramSource:
     if cfg.ckpt_period:
         # Restart state: which iteration to resume at, and the block
         # itself (checkpointed alongside the heap copy so the restored
-        # solver picks up exactly where the snapshot was taken).
-        p.add_global("next_iter", 0)
-        p.add_global("ublock", None)
+        # solver picks up exactly where the snapshot was taken).  This
+        # state is per-rank and read back after a restore, so a TLS
+        # build must tag it ``__thread`` like the inner-loop globals:
+        # untagged it would be process-shared under TLSglobals and a
+        # restore would hand every rank its last process-mate's block.
+        p.add_global("next_iter", 0, tls=cfg.tag_tls)
+        p.add_global("ublock", None, tls=cfg.tag_tls)
 
     iters = cfg.iters
     reduce_every = cfg.reduce_every
@@ -255,6 +259,7 @@ def run_jacobi(
     recovery: str = "global",
     ult_backend: Any = None,
     sanitize: Any = None,
+    strict: bool = True,
 ) -> JobResult:
     """Build + run Jacobi-3D; returns the job result (exit value of each
     rank is the final global residual).
@@ -284,7 +289,7 @@ def run_jacobi(
         )
         return _js.run_spec(spec, trace=trace, sanitize=sanitize,
                             ult_backend=ult_backend,
-                            trace_fetches=trace_fetches)
+                            trace_fetches=trace_fetches, strict=strict)
     source = build_jacobi_program(cfg)
     job = AmpiJob(
         source, nvp, method=method, machine=machine, layout=layout,
@@ -293,4 +298,4 @@ def run_jacobi(
         fault_plan=fault_plan, ft=ft, transport=transport,
         recovery=recovery, ult_backend=ult_backend, sanitize=sanitize,
     )
-    return job.run()
+    return job.run(strict=strict)

@@ -1,0 +1,51 @@
+"""repro.chaos: deterministic multi-fault campaigns with plan shrinking.
+
+Seeded random scenarios over the full job matrix (app x virtualization
+x privatization x LB x fault plan x transport x recovery), each checked
+against a machine-verifiable invariant suite; violations are minimized
+by a delta-debugging shrinker and persisted as replayable provenance.
+See ARCHITECTURE.md section 15.
+"""
+
+from repro.chaos.engine import (
+    CampaignReport,
+    DrillReport,
+    ScenarioOutcome,
+    drill_scenario,
+    run_campaign,
+    run_drill,
+    run_scenario,
+)
+from repro.chaos.invariants import (
+    INVARIANTS,
+    Violation,
+    check_fault_draws,
+    check_replay,
+    check_run,
+)
+from repro.chaos.scenario import (
+    ChaosScenario,
+    generate_scenario,
+    generate_scenarios,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "CampaignReport",
+    "ChaosScenario",
+    "DrillReport",
+    "INVARIANTS",
+    "ScenarioOutcome",
+    "ShrinkResult",
+    "Violation",
+    "check_fault_draws",
+    "check_replay",
+    "check_run",
+    "drill_scenario",
+    "generate_scenario",
+    "generate_scenarios",
+    "run_campaign",
+    "run_drill",
+    "run_scenario",
+    "shrink_plan",
+]

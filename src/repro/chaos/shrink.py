@@ -1,0 +1,150 @@
+"""Delta-debugging minimization of failing fault plans.
+
+When a scenario violates an invariant, the raw plan is rarely the story:
+three crashes and three wire-fault rates obscure the one crash that
+matters.  :func:`shrink_plan` minimizes a :class:`~repro.ft.plan
+.FaultPlan` against a caller-supplied predicate (``fails(plan) ->
+bool``, re-running the scenario under the candidate plan), in three
+deterministic passes:
+
+1. **drop crashes** — ddmin-style: remove whole subsets of the crash
+   list (halves first, then single crashes to a fixpoint);
+2. **zero fault rates** — turn off drop/duplicate/corrupt one at a
+   time, removing the :class:`~repro.ft.plan.MessageFaults` entirely
+   when all rates reach zero;
+3. **round crash instants** — snap ``at_ns`` to the coarsest time grid
+   that still fails, so the repro's numbers are human-readable.
+
+Every candidate evaluation is one full deterministic re-run, so the
+shrinker is bounded by ``budget`` evaluations and the result is a
+*guaranteed-failing* plan: the predicate accepted it, and re-running it
+reproduces the violation bit-for-bit by the simulator's determinism
+contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ft.plan import FaultPlan
+
+#: time grids for pass 3, coarsest first
+_GRIDS = (1_000_000, 100_000, 10_000, 1_000)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    plan: FaultPlan          #: the minimal still-failing plan
+    evaluations: int         #: predicate runs spent
+    #: (description, survived) per accepted step, for walkthroughs
+    steps: list[tuple[str, bool]]
+
+    @property
+    def n_faults(self) -> int:
+        """Size of the shrunk plan: crashes + active wire-fault rates."""
+        mf = self.plan.message_faults
+        rates = 0
+        if mf is not None:
+            rates = sum(1 for r in (mf.drop, mf.duplicate, mf.corrupt)
+                        if r > 0.0)
+        return len(self.plan.node_crashes) + rates
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "evaluations": self.evaluations,
+            "n_faults": self.n_faults,
+            "steps": [{"step": s, "kept": kept} for s, kept in self.steps],
+        }
+
+
+def shrink_plan(plan: FaultPlan, fails: Callable[[FaultPlan], bool],
+                *, budget: int = 64) -> ShrinkResult:
+    """Minimize ``plan`` while ``fails`` keeps returning True.
+
+    ``fails`` must be deterministic (it re-runs the scenario under the
+    candidate plan); the original plan is assumed failing and is never
+    re-evaluated.  Returns the smallest failing plan found within
+    ``budget`` predicate evaluations.
+    """
+    spent = 0
+    steps: list[tuple[str, bool]] = []
+
+    def attempt(candidate: FaultPlan, label: str) -> bool:
+        nonlocal spent
+        if spent >= budget:
+            return False
+        spent += 1
+        ok = fails(candidate)
+        steps.append((label, ok))
+        return ok
+
+    # -- pass 1: drop crashes (ddmin: halves, then singles) -----------------
+    crashes = list(plan.node_crashes)
+
+    def with_crashes(cs) -> FaultPlan:
+        return dataclasses.replace(plan, node_crashes=tuple(cs))
+
+    while len(crashes) > 1 and spent < budget:
+        half = len(crashes) // 2
+        first, second = crashes[:half], crashes[half:]
+        if attempt(with_crashes(second),
+                   f"drop first {half} crash(es)"):
+            crashes = second
+            plan = with_crashes(crashes)
+            continue
+        if attempt(with_crashes(first),
+                   f"drop last {len(second)} crash(es)"):
+            crashes = first
+            plan = with_crashes(crashes)
+            continue
+        break
+    changed = True
+    while changed and spent < budget:
+        changed = False
+        for i, c in enumerate(crashes):
+            cand = crashes[:i] + crashes[i + 1:]
+            if attempt(with_crashes(cand),
+                       f"drop crash node={c.node}@t={c.at_ns}"):
+                crashes = cand
+                plan = with_crashes(crashes)
+                changed = True
+                break
+
+    # -- pass 2: zero wire-fault rates ---------------------------------------
+    mf = plan.message_faults
+    if mf is not None and mf.any:
+        for field in ("drop", "duplicate", "corrupt"):
+            if mf is None or getattr(mf, field) == 0.0:
+                continue
+            cand_mf = dataclasses.replace(mf, **{field: 0.0})
+            cand = dataclasses.replace(
+                plan,
+                message_faults=cand_mf if cand_mf.any else None,
+            )
+            if attempt(cand, f"zero {field} rate"):
+                plan = cand
+                mf = plan.message_faults
+        if mf is None or not mf.any:
+            mf = None
+
+    # -- pass 3: round crash instants to the coarsest failing grid ----------
+    for grid in _GRIDS:
+        if not plan.node_crashes or spent >= budget:
+            break
+        rounded = tuple(
+            dataclasses.replace(c, at_ns=max(0, (c.at_ns // grid) * grid))
+            for c in plan.node_crashes
+        )
+        if rounded == plan.node_crashes:
+            break  # already on this grid (and any finer one)
+        cand = dataclasses.replace(plan, node_crashes=rounded)
+        if attempt(cand, f"round crash instants to {grid} ns"):
+            plan = cand
+            break
+
+    return ShrinkResult(plan=plan, evaluations=spent, steps=steps)

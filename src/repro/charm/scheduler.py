@@ -188,9 +188,17 @@ class JobScheduler:
                     if timers:
                         # Nothing runnable but a timeout is pending (e.g.
                         # a retransmission whose receiver blocks on it).
+                        # The fault check runs *before* the pop: a crash
+                        # firing here may roll the job back, and under
+                        # local recovery a survivor's timer must stay in
+                        # the heap and fire after the outage — popping
+                        # first would silently drop it (a lost
+                        # retransmission deadlocks its receiver).
+                        at = timers[0][0]
+                        if fault_check is not None and fault_check(at):
+                            continue
                         at, _, fn = heappop(timers)
-                        if fault_check is None or not fault_check(at):
-                            fn()
+                        fn()
                         continue
                     if all(r.finished for r in self._all_ranks):
                         return

@@ -598,6 +598,102 @@ def cmd_gc(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Chaos commands
+# ---------------------------------------------------------------------------
+
+def cmd_chaos_run(args) -> int:
+    from repro.chaos import run_campaign
+
+    store = None if args.no_store else _open_store(args)
+    progress = None if (args.json or args.quiet) else print
+    report = run_campaign(
+        args.seed, args.count, store=store,
+        replay=not args.no_replay, shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget, progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        if progress is not None:
+            print()
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_chaos_shrink(args) -> int:
+    from repro.chaos import generate_scenario, run_drill, run_scenario
+
+    store = _open_store(args)
+    if args.drill:
+        # CI gate: plant a known bug and prove the shrinker converges on
+        # a tiny plan whose stored repro replays byte-identically.
+        report = run_drill(args.seed, store, budget=args.budget,
+                           max_faults=args.max_faults)
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        else:
+            verdict = "converged" if report.ok else "FAILED"
+            print(f"shrinker drill (seed={args.seed}): {verdict}")
+            print(f"  faults in minimal plan : {report.n_faults} "
+                  f"(target <= {args.max_faults})")
+            print(f"  predicate evaluations  : {report.evaluations}")
+            print(f"  repro replay           : "
+                  f"{'byte-identical' if report.replay_ok else 'DIVERGED'}")
+            for step in report.steps:
+                print(f"    {step}")
+            if report.run_id:
+                print(f"  repro: repro chaos replay {report.run_id[:12]}")
+        return 0 if report.ok else 1
+
+    # Re-run one campaign scenario and minimize it if it violates.
+    sc = generate_scenario(args.seed, args.index)
+    outcome = run_scenario(sc, store=store, shrink=True,
+                           shrink_budget=args.budget)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), sort_keys=True, indent=2))
+        return 1 if outcome.violations else 0
+    print(outcome.scenario.label(), "->", outcome.status)
+    for v in outcome.violations:
+        print(f"  - {v}")
+    if outcome.shrunk is not None:
+        sh = outcome.shrunk
+        print(f"  shrunk to {sh['n_faults']} fault(s) in "
+              f"{sh['evaluations']} evaluations:")
+        print(f"    {sh['plan']}")
+    if outcome.run_id and outcome.violations:
+        print(f"  repro: repro chaos replay {outcome.run_id[:12]}")
+    elif not outcome.violations:
+        print("  no invariant violation: nothing to shrink")
+    return 1 if outcome.violations else 0
+
+
+def cmd_chaos_replay(args) -> int:
+    from repro.provenance import replay_record
+
+    store = _open_store(args)
+    record = store.get(args.id)
+    report = replay_record(record, store=store)
+    ok = report.ok and report.reason_match
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        return 0 if ok else 1
+    s = record.spec
+    verdict = "byte-identical" if ok else "DIVERGED"
+    print(f"chaos replay {record.run_id[:12]} ({s.app}, nvp={s.nvp}, "
+          f"{s.method}, {s.transport}/{s.recovery}): {verdict}")
+    print(f"  recorded sha256 : {report.expected_sha}")
+    print(f"  replayed sha256 : {report.actual_sha}")
+    print(f"  outcome match   : {report.reason_match} "
+          f"(recorded reason: {record.unrecoverable_reason})")
+    print(f"  counters match  : {report.counters_match}")
+    for name, (rec, rep) in sorted(report.counter_drift.items()):
+        print(f"    {name}: {rec} -> {rep}")
+    if report.code_version_changed:
+        print("  note: sources changed since this record was written")
+    return 0 if ok else 1
+
+
 def _add_provenance_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--provenance", nargs="?", const="", default=None, metavar="DIR",
@@ -809,6 +905,63 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report what would be deleted without deleting")
     gc.add_argument("--json", action="store_true")
     gc.set_defaults(fn=cmd_gc)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic multi-fault campaigns: seeded scenarios over "
+             "the full job matrix, invariant-checked, with automatic "
+             "plan shrinking of violations")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    crun = chaos_sub.add_parser(
+        "run", help="run a seeded campaign; exits nonzero on any "
+                    "invariant violation")
+    crun.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (the scenario sequence is a "
+                           "pure function of seed and count)")
+    crun.add_argument("--count", type=int, default=50,
+                      help="number of scenarios to run")
+    crun.add_argument("--no-replay", action="store_true",
+                      help="skip the record-and-replay determinism audit "
+                           "per scenario")
+    crun.add_argument("--no-shrink", action="store_true",
+                      help="report violations without minimizing them")
+    crun.add_argument("--no-store", action="store_true",
+                      help="do not persist scenario records (violating "
+                           "repros then have no replay id)")
+    crun.add_argument("--shrink-budget", type=int, default=24,
+                      help="max predicate evaluations per shrink")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress per-scenario progress lines")
+    _add_store_flag(crun)
+    crun.add_argument("--json", action="store_true")
+    crun.set_defaults(fn=cmd_chaos_run)
+
+    cshrink = chaos_sub.add_parser(
+        "shrink", help="minimize one campaign scenario's fault plan "
+                       "(or, with --drill, prove the shrinker converges "
+                       "on a planted bug)")
+    cshrink.add_argument("--seed", type=int, default=0)
+    cshrink.add_argument("--index", type=int, default=0,
+                         help="scenario index within the campaign")
+    cshrink.add_argument("--drill", action="store_true",
+                         help="run the seeded known-bug drill instead "
+                              "(the CI gate for the shrinker itself)")
+    cshrink.add_argument("--budget", type=int, default=32,
+                         help="max predicate evaluations")
+    cshrink.add_argument("--max-faults", type=int, default=2,
+                         help="drill: required size of the minimal plan")
+    _add_store_flag(cshrink)
+    cshrink.add_argument("--json", action="store_true")
+    cshrink.set_defaults(fn=cmd_chaos_shrink)
+
+    creplay = chaos_sub.add_parser(
+        "replay", help="re-execute a stored chaos repro and verify both "
+                       "the timeline and the structured outcome")
+    creplay.add_argument("id", help="record id (or unique prefix)")
+    _add_store_flag(creplay)
+    creplay.add_argument("--json", action="store_true")
+    creplay.set_defaults(fn=cmd_chaos_replay)
     return ap
 
 

@@ -114,6 +114,24 @@ class CheckpointError(ReproError):
     """Checkpoint/restart failure."""
 
 
+#: machine-checkable unrecoverability taxonomy — every
+#: :class:`FaultUnrecoverableError` carries exactly one of these codes,
+#: so harnesses classify failures structurally instead of string-matching
+#: exception messages
+UNRECOVERABLE_REASONS = (
+    "buddy-pair-dead",        #: a crash destroyed both snapshot copies
+    "nprocs-too-small",       #: single OS process: the buddy is itself
+    "no-survivor",            #: every PE in the job is down
+    "no-checkpoint",          #: crash before any checkpoint existed
+    "retrans-exhausted",      #: reliable transport hit its attempt cap
+    "crash-during-recovery",  #: a cascading crash killed the restart
+    "checkpoint-corrupt",     #: no intact checkpoint generation left
+    "method-uncheckpointable",  #: privatization method cannot snapshot
+    "bad-ft-config",          #: invalid fault-tolerance configuration
+    "unclassified",           #: raise site predates the taxonomy
+)
+
+
 class FaultUnrecoverableError(ReproError):
     """An injected fault cannot be recovered from.
 
@@ -122,7 +140,18 @@ class FaultUnrecoverableError(ReproError):
     checkpoint exists, the privatization method cannot checkpoint
     (PIPglobals/FSglobals under the Isomalloc limitation), or the crash
     took both in-memory copies of some rank's snapshot.
+
+    ``reason`` is one of :data:`UNRECOVERABLE_REASONS`; it is surfaced
+    on :class:`~repro.ampi.runtime.JobResult` as ``unrecoverable_reason``
+    and compared during provenance replay, so an unrecoverable scenario
+    must fail with the *same* classification on every re-run.
     """
+
+    def __init__(self, message: str = "", *, reason: str = "unclassified"):
+        if reason not in UNRECOVERABLE_REASONS:
+            raise ValueError(f"unknown unrecoverable reason {reason!r}")
+        self.reason = reason
+        super().__init__(message)
 
 
 # ---------------------------------------------------------------------------

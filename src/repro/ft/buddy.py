@@ -16,11 +16,13 @@ so a crash there is deliberately unrecoverable.
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import CheckpointError, FaultUnrecoverableError
-from repro.ampi.checkpoint import Checkpoint
+from repro.ampi.checkpoint import Checkpoint, RankSnapshot
 from repro.net.network import Network
 from repro.perf.costs import CostModel
 from repro.perf.counters import CounterSet, EV_CKPT, EV_CKPT_BYTES
@@ -28,6 +30,54 @@ from repro.trace.recorder import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ampi.runtime import AmpiJob
+
+
+def snapshot_checksum(snap: RankSnapshot) -> int:
+    """CRC32 over a rank snapshot's packed state.
+
+    Computed when the checkpoint is taken and re-verified before any
+    restore, so a snapshot that rotted in place (the in-memory analogue
+    of a bad DIMM or a truncated buddy transfer) is *detected* instead
+    of silently restored as garbage.  Pickle protocol is pinned so the
+    encoding — and therefore the checksum — is stable within a run.
+    """
+    return zlib.crc32(pickle.dumps(
+        (snap.vp, snap.clock_ns, snap.globals_, snap.heap_items),
+        protocol=4,
+    ))
+
+
+@dataclass
+class CheckpointGeneration:
+    """One consistent checkpoint: state + holders + integrity checksums."""
+
+    ckpt: Checkpoint
+    #: vp -> (primary process index, buddy process index)
+    holders: dict[int, tuple[int, int]]
+    #: vp -> CRC32 of the snapshot as captured
+    checksums: dict[int, int]
+    at_ns: int
+
+    def corrupt_vps(self) -> list[int]:
+        """Ranks whose stored snapshot no longer matches its checksum."""
+        return sorted(
+            vp for vp, snap in self.ckpt.snapshots.items()
+            if snapshot_checksum(snap) != self.checksums[vp]
+        )
+
+    def recoverable_after(self, dead_procs: set[int]) -> bool:
+        """Does every rank still have a surviving snapshot copy?"""
+        return all(
+            primary not in dead_procs or buddy not in dead_procs
+            for primary, buddy in self.holders.values()
+        )
+
+    def lost_ranks(self, dead_procs: set[int]) -> list[int]:
+        """Ranks whose both snapshot copies died (for error reporting)."""
+        return sorted(
+            vp for vp, (primary, buddy) in self.holders.items()
+            if primary in dead_procs and buddy in dead_procs
+        )
 
 
 @dataclass(frozen=True)
@@ -46,7 +96,8 @@ class FtConfig:
     def __post_init__(self) -> None:
         if self.ckpt_interval_ns < 0:
             raise FaultUnrecoverableError(
-                "checkpoint interval must be >= 0"
+                "checkpoint interval must be >= 0",
+                reason="bad-ft-config",
             )
 
 
@@ -62,12 +113,27 @@ class BuddyCheckpointer:
         self.counters = counters
         self.trace = trace
         self.trace_pid_base = trace_pid_base
-        self.checkpoint: Checkpoint | None = None
-        #: vp -> (primary process index, buddy process index)
-        self.holders: dict[int, tuple[int, int]] = {}
+        #: the two retained checkpoint generations, newest first; the
+        #: previous generation is the fallback when the current one
+        #: fails its integrity checksums at recovery time
+        self.current: CheckpointGeneration | None = None
+        self.previous: CheckpointGeneration | None = None
         self.last_at_ns: int | None = None
         self.taken = 0
         self.coalesced = 0
+        #: generations discarded after failing checksum verification
+        self.fallbacks = 0
+
+    # Back-compat accessors: most of the runtime only cares about the
+    # newest generation.
+
+    @property
+    def checkpoint(self) -> Checkpoint | None:
+        return self.current.ckpt if self.current is not None else None
+
+    @property
+    def holders(self) -> dict[int, tuple[int, int]]:
+        return self.current.holders if self.current is not None else {}
 
     @staticmethod
     def buddy_of(proc_index: int, nprocs: int) -> int:
@@ -106,7 +172,8 @@ class BuddyCheckpointer:
         except CheckpointError as e:
             raise FaultUnrecoverableError(
                 f"buddy checkpointing impossible under method "
-                f"{job.method.name!r}: {e}"
+                f"{job.method.name!r}: {e}",
+                reason="method-uncheckpointable",
             ) from e
 
         share: dict[int, int] = {p.index: 0 for p in job.processes}
@@ -129,8 +196,13 @@ class BuddyCheckpointer:
                 )
             extra = max(extra, ns)
 
-        self.checkpoint = ckpt
-        self.holders = holders
+        self.previous = self.current
+        self.current = CheckpointGeneration(
+            ckpt=ckpt, holders=holders,
+            checksums={vp: snapshot_checksum(snap)
+                       for vp, snap in ckpt.snapshots.items()},
+            at_ns=at_ns,
+        )
         self.last_at_ns = at_ns
         self.taken += 1
         if getattr(job, "msglog", None) is not None:
@@ -151,16 +223,76 @@ class BuddyCheckpointer:
 
     def recoverable_after(self, dead_procs: set[int]) -> bool:
         """Does every rank still have a surviving snapshot copy?"""
-        if self.checkpoint is None:
+        if self.current is None:
             return False
-        return all(
-            primary not in dead_procs or buddy not in dead_procs
-            for primary, buddy in self.holders.values()
-        )
+        return self.current.recoverable_after(dead_procs)
 
     def lost_ranks(self, dead_procs: set[int]) -> list[int]:
         """Ranks whose both snapshot copies died (for error reporting)."""
-        return sorted(
-            vp for vp, (primary, buddy) in self.holders.items()
-            if primary in dead_procs and buddy in dead_procs
+        return self.current.lost_ranks(dead_procs) if self.current else []
+
+    # -- recovery-time selection --------------------------------------------------
+
+    def corrupt_snapshot(self, vp: int) -> None:
+        """Deliberately rot rank ``vp``'s stored snapshot (test hook).
+
+        Mutates the captured globals so the generation's checksum no
+        longer matches — the deterministic stand-in for an in-memory
+        copy decaying between checkpoint and crash.
+        """
+        if self.current is None:
+            raise CheckpointError("no checkpoint generation to corrupt")
+        self.current.ckpt.snapshots[vp].globals_["__rotted__"] = True
+
+    def usable_generation(
+        self, dead_procs: set[int], *, allow_fallback: bool = True,
+    ) -> tuple[CheckpointGeneration | None, bool]:
+        """The newest *intact* generation to restore from.
+
+        Verifies the current generation's snapshot checksums.  If any
+        snapshot rotted, the generation is discarded and — when
+        ``allow_fallback`` (global rollback; local recovery cannot use
+        it because the message-log cursors belong to the newest
+        checkpoint) — recovery falls back to the previous generation,
+        which must itself verify.  Restoring an older generation only
+        costs extra re-execution; restoring garbage would corrupt the
+        job, so exhausting intact generations raises
+        :class:`FaultUnrecoverableError` with reason
+        ``checkpoint-corrupt``.
+
+        Returns ``(generation, fellback)``; ``(None, False)`` when the
+        intact generation cannot cover ``dead_procs`` (the caller
+        classifies that as buddy-pair death).
+        """
+        assert self.current is not None
+        bad = self.current.corrupt_vps()
+        if not bad:
+            if self.current.recoverable_after(dead_procs):
+                return self.current, False
+            return None, False
+        prev = self.previous if allow_fallback else None
+        prev_bad = prev.corrupt_vps() if prev is not None else None
+        if prev is not None and not prev_bad \
+                and prev.recoverable_after(dead_procs):
+            # Promote: the corrupt generation is gone for good; every
+            # later recovery (until the next checkpoint) restores from
+            # the surviving one.
+            self.current = prev
+            self.previous = None
+            self.fallbacks += 1
+            return prev, True
+        if not allow_fallback:
+            detail = ("local recovery cannot fall back to an older "
+                      "generation (message-log cursors belong to the "
+                      "newest checkpoint)")
+        elif prev is None:
+            detail = "no previous generation retained"
+        elif prev_bad:
+            detail = f"previous generation corrupt too (vp(s) {prev_bad})"
+        else:
+            detail = "previous generation lost its surviving copy"
+        raise FaultUnrecoverableError(
+            f"checkpoint snapshot(s) of vp(s) {bad} failed checksum "
+            f"verification and {detail}",
+            reason="checkpoint-corrupt",
         )

@@ -163,6 +163,24 @@ class MessageLogger:
                        result: Any) -> None:
         self._coll_log[(vp, cid, seq)] = (release_ns, _copy_payload(result))
 
+    def already_consumed(self, dst_vp: int, src_vp: int,
+                         chan_seq: int) -> bool:
+        """Has ``dst_vp`` already consumed this channel sequence number?
+
+        The MPI match layer uses this to discard duplicate copies of a
+        message that reached the rank twice during local recovery — once
+        from the sender's re-execution through the transport and once
+        from this log (a co-recovering sender's re-send is re-logged the
+        moment it happens, so the replaying receiver can legitimately
+        see both).  Whichever copy is consumed first wins; the window
+        makes the other one inert instead of satisfying a later receive
+        with stale data.
+        """
+        if chan_seq < 0:
+            return False
+        w = self._consumed.get((src_vp, dst_vp))
+        return w is not None and chan_seq in w
+
     # -- replay ------------------------------------------------------------------------
 
     def is_replaying(self, vp: int) -> bool:

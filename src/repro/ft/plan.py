@@ -203,6 +203,20 @@ class FaultInjector:
     def pending_crashes(self) -> int:
         return len(self.plan.node_crashes) - self._crash_idx
 
+    # -- draw accounting --------------------------------------------------------
+
+    @property
+    def draws(self) -> int:
+        """Message-fault decisions consumed so far.
+
+        The determinism ledger: exactly one draw is spent per
+        transmission *attempt* (``transport="reliable"``) or per send
+        (``transport="priced"``), so after a run this reconciles with
+        the transport counters — see
+        :func:`repro.chaos.invariants.check_fault_draws`.
+        """
+        return self._msg_idx
+
     # -- message faults -----------------------------------------------------------
 
     def next_message_fault(self) -> str | None:

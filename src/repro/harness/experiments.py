@@ -464,7 +464,7 @@ def _square_layout(cores: int, machine: MachineModel) -> JobLayout:
 class FaultRow:
     k: int                    #: injected node crashes
     seed: int
-    status: str               #: "ok" or "unrecoverable: <reason>"
+    status: str               #: "ok" or "unrecoverable: <reason code>"
     makespan_ns: int
     overhead_pct: float       #: vs. the failure-free (k=0) run
     recovery_ns: int          #: total simulated recovery time (counter)
@@ -487,6 +487,12 @@ class FaultRow:
     #: :func:`repro.harness.jobspec.code_version`) — a replayed plan is
     #: only expected to be bit-identical under the same code version.
     code_version: str = ""
+    #: structured classification from
+    #: :data:`repro.errors.UNRECOVERABLE_REASONS` (None when ok) — the
+    #: machine-checkable field; ``status`` is its human rendering
+    unrecoverable_reason: str | None = None
+    #: fatal error message for an unrecoverable run (None when ok)
+    error: str | None = None
 
 
 def fault_overhead_experiment(
@@ -511,8 +517,9 @@ def fault_overhead_experiment(
     (inside the application phase, away from the edges), then once per
     ``k`` with :meth:`FaultPlan.random_crashes`.  Everything is seeded —
     rerunning the sweep reproduces it bit-for-bit.  A run whose crashes
-    destroy both snapshot copies reports ``status="unrecoverable: ..."``
-    instead of raising.
+    destroy both snapshot copies reports
+    ``status="unrecoverable: <reason>"`` — with the machine-checkable
+    code on ``unrecoverable_reason`` — instead of raising.
 
     ``transport``/``recovery`` select the point-to-point transport and
     the rollback scheme (see :class:`repro.ampi.runtime.AmpiJob`);
@@ -522,7 +529,6 @@ def fault_overhead_experiment(
     the same wire conditions.
     """
     from repro.apps.jacobi3d import run_jacobi
-    from repro.errors import FaultUnrecoverableError
     from repro.ft import FaultPlan, FtConfig
     from repro.machine import GENERIC_LINUX
     from repro.perf.counters import (
@@ -549,10 +555,12 @@ def fault_overhead_experiment(
     ft = FtConfig(ckpt_interval_ns=ckpt_interval_ns)
 
     def one(plan) -> JobResult:
+        # strict=False: an unrecoverable run comes back as a structured
+        # result (unrecoverable_reason set) rather than an exception.
         return run_jacobi(cfg, nvp, method=method, machine=machine,
                           layout=layout, fault_plan=plan, ft=ft,
                           trace=trace, transport=transport,
-                          recovery=recovery)
+                          recovery=recovery, strict=False)
 
     mf = message_faults
     base_plan = (FaultPlan(seed=seed, message_faults=mf)
@@ -569,16 +577,10 @@ def fault_overhead_experiment(
 
     code_ver = code_version()
 
-    def row(k: int, result: JobResult | None, status: str,
-            plan=None) -> FaultRow:
+    def row(k: int, result: JobResult, plan=None) -> FaultRow:
         plan_dict = plan.to_dict() if plan is not None else None
-        if result is None:
-            return FaultRow(k=k, seed=seed, status=status, makespan_ns=0,
-                            overhead_pct=0.0, recovery_ns=0, faults=k,
-                            checkpoints=0, ckpt_bytes=0, migrations=0,
-                            residual=None, transport=transport,
-                            recovery=recovery, plan=plan_dict,
-                            code_version=code_ver)
+        reason = result.unrecoverable_reason
+        status = "ok" if reason is None else f"unrecoverable: {reason}"
         c = result.counters
         return FaultRow(
             k=k, seed=seed, status=status,
@@ -599,16 +601,15 @@ def fault_overhead_experiment(
             rollbacks=sum(result.rollbacks.values()),
             plan=plan_dict,
             code_version=code_ver,
+            unrecoverable_reason=reason,
+            error=result.error,
         )
 
-    rows = [row(0, base, "ok", base_plan)]
+    rows = [row(0, base, base_plan)]
     for k in range(1, kmax + 1):
         plan = FaultPlan.random_crashes(seed, k, nodes, (lo, hi),
                                         message_faults=mf)
-        try:
-            rows.append(row(k, one(plan), "ok", plan))
-        except FaultUnrecoverableError as e:
-            rows.append(row(k, None, f"unrecoverable: {e}", plan))
+        rows.append(row(k, one(plan), plan))
     return rows
 
 

@@ -268,9 +268,17 @@ def remove_result_hook(fn: Callable[[JobSpec, AmpiJob, JobResult], None]) -> Non
 
 def run_spec_job(spec: JobSpec, **runtime: Any) -> tuple[AmpiJob, JobResult]:
     """Build and run a spec; returns (job, result) and fires the result
-    hooks (the provenance auto-recorder attaches here)."""
+    hooks (the provenance auto-recorder attaches here).
+
+    ``strict=False`` returns a structured result (with
+    ``unrecoverable_reason`` set) instead of raising
+    :class:`~repro.errors.FaultUnrecoverableError`; the result hooks
+    fire for such runs too, so unrecoverable scenarios are recordable
+    and replayable provenance like any other run.
+    """
+    strict = runtime.pop("strict", True)
     job = build_job(spec, **runtime)
-    result = job.run()
+    result = job.run(strict=strict)
     for fn in list(_result_hooks):
         fn(spec, job, result)
     return job, result

@@ -12,9 +12,12 @@ clock, through :meth:`JobScheduler.add_timer
 Fault decisions come from the job's :class:`~repro.ft.plan.FaultInjector`
 (one draw per *attempt*, not per MPI send), so a run is deterministic in
 the plan seed: same seed, same drops, same retransmission schedule,
-byte-identical timeline.  The payload itself is delivered exactly once
-and bit-intact — a corrupt frame is discarded on checksum mismatch and
-retransmitted, so numerics always match a failure-free run and only
+byte-identical timeline.  The payload itself is delivered exactly once,
+bit-intact, and *in channel order* — a corrupt frame is discarded on
+checksum mismatch and retransmitted, and a later frame that overtakes
+the retransmission is held at the receiver until the gap fills
+(:meth:`ReliableTransport._complete`), preserving MPI's non-overtaking
+guarantee — so numerics always match a failure-free run and only
 latency is lost.  This replaces the flat
 :meth:`~repro.ft.plan.FaultInjector.message_penalty_ns` lump of the
 ``transport="priced"`` path, which stays available for back-compat.
@@ -45,7 +48,9 @@ from repro.perf.counters import (
     EV_MSG_FAULT_CORRUPT,
     EV_MSG_FAULT_DROP,
     EV_MSG_FAULT_DUP,
+    EV_REORDER_HOLD,
     EV_RETRANS,
+    EV_RTO_CANCEL,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,8 +97,10 @@ class Frame:
 
 class SeqWindow:
     """Receiver-side dedup window: the set of delivered sequence numbers,
-    compressed as a low watermark plus a sparse set above it (deliveries
-    can arrive out of seq order when a retransmitted frame overtakes)."""
+    compressed as a low watermark plus a sparse set above it.  With
+    in-order release (see :meth:`ReliableTransport._complete`) delivery
+    is contiguous and the watermark does all the work; the sparse set
+    survives for rewound channels, whose watermark restarts at 0."""
 
     __slots__ = ("low", "seen")
 
@@ -118,12 +125,16 @@ class SeqWindow:
 class ChannelState:
     """Per-(src_vp, dst_vp) protocol state."""
 
-    __slots__ = ("next_seq", "window", "epoch")
+    __slots__ = ("next_seq", "window", "epoch", "deliver_next", "pending")
 
     def __init__(self) -> None:
         self.next_seq = 0        #: sender: next sequence number to assign
         self.window = SeqWindow()  #: receiver: delivered seqs (dedup)
         self.epoch = 0           #: bumped on rollback to squash timers
+        self.deliver_next = 0    #: receiver: next seq releasable in order
+        #: frames that arrived ahead of a retransmitted predecessor,
+        #: held until the gap fills: seq -> (msg, arrival, deliver, pid)
+        self.pending: dict[int, tuple[Any, int, Callable, int]] = {}
 
 
 class ReliableTransport:
@@ -198,7 +209,8 @@ class ReliableTransport:
             raise FaultUnrecoverableError(
                 f"reliable transport gave up on channel "
                 f"{msg.src_vp}->{msg.dst_vp} seq {msg.chan_seq} after "
-                f"{attempt} attempts"
+                f"{attempt} attempts",
+                reason="retrans-exhausted",
             )
         fault = (self.injector.next_message_fault()
                  if self.injector is not None else None)
@@ -286,15 +298,91 @@ class ReliableTransport:
     def _complete(self, ch: ChannelState, msg: "Message", arrival: int,
                   deliver: Callable[["Message"], None],
                   trace_pid: int) -> None:
-        ch.window.add(msg.chan_seq)
-        msg.arrival = arrival
+        """A good frame reached the receiver: ack it, then release it —
+        and any frames queued behind it — in sequence order.
+
+        The ack (counter + trace) belongs to the physical arrival, so
+        the fault-draw accounting identity (draws == acks + drops +
+        corrupts) holds regardless of reordering.  Delivery is gated on
+        ``deliver_next``: a frame that overtook a retransmitted
+        predecessor is *held* rather than delivered, because MPI
+        guarantees non-overtaking per channel — an overtaking halo frame
+        would match the wrong iteration's posted receive and silently
+        corrupt numerics.  The gap always fills (the sender retries the
+        missing seq until it lands or dies retrans-exhausted), at which
+        point the contiguous run of held frames flushes with a monotone
+        release clock.
+        """
         self.counters.incr(EV_ACK)
         if self.trace is not None:
             self.trace.instant(
                 "net:ack", "net", arrival, pid=trace_pid, tid=msg.dst_vp,
                 args={"src_vp": msg.src_vp, "seq": msg.chan_seq},
             )
+        if msg.chan_seq != ch.deliver_next:
+            self.counters.incr(EV_REORDER_HOLD)
+            if self.trace is not None:
+                self.trace.instant(
+                    "net:reorder-hold", "net", arrival, pid=trace_pid,
+                    tid=msg.dst_vp,
+                    args={"src_vp": msg.src_vp, "seq": msg.chan_seq,
+                          "awaiting": ch.deliver_next},
+                )
+            ch.pending[msg.chan_seq] = (msg, arrival, deliver, trace_pid)
+            return
+        self._release(ch, msg, arrival, deliver)
+        floor = arrival
+        while ch.deliver_next in ch.pending:
+            held, held_at, held_deliver, held_pid = ch.pending.pop(
+                ch.deliver_next)
+            floor = max(floor, held_at)
+            if self.trace is not None:
+                self.trace.instant(
+                    "net:reorder-release", "net", floor, pid=held_pid,
+                    tid=held.dst_vp,
+                    args={"src_vp": held.src_vp, "seq": held.chan_seq},
+                )
+            self._release(ch, held, floor, held_deliver)
+
+    def _release(self, ch: ChannelState, msg: "Message", arrival: int,
+                 deliver: Callable[["Message"], None]) -> None:
+        """Hand one frame to the job, in order.  The dedup window only
+        records *released* seqs: a held-but-undelivered frame must not
+        suppress its own replayed re-send after a rollback."""
+        ch.window.add(msg.chan_seq)
+        ch.deliver_next = msg.chan_seq + 1
+        msg.arrival = arrival
         deliver(msg)
+
+    # -- crash support ------------------------------------------------------------------
+
+    def on_crash(self, dead_vps: set[int]) -> int:
+        """Suppress pending RTO chains touching dead endpoints.
+
+        Called by the recovery manager the moment a node crash is
+        detected — *before* recoverability is even decided — so that
+        retransmission timers aimed at (or armed by) a dead rank stop
+        firing immediately instead of burning attempts, and fault draws,
+        toward the :data:`MAX_ATTEMPTS` cap against an endpoint that no
+        longer exists.  Without this, a caught-and-continued
+        unrecoverable run can be re-classified as ``retrans-exhausted``
+        by a stale timer chain, and recovery pricing depends on how many
+        zombie retransmissions happened to fire first.
+
+        Bumping the channel epoch is the cancellation mechanism (the
+        same one :meth:`rewind` uses): the timer callbacks remain in the
+        scheduler heap but become no-ops.  Fresh sends on the channel —
+        e.g. a recovered rank replaying — capture the new epoch and
+        retransmit normally.  Returns the number of channels squashed.
+        """
+        squashed = 0
+        for (src, dst), ch in self._channels.items():
+            if src in dead_vps or dst in dead_vps:
+                ch.epoch += 1
+                squashed += 1
+        if squashed:
+            self.counters.incr(EV_RTO_CANCEL, squashed)
+        return squashed
 
     # -- local-rollback support -------------------------------------------------------
 
@@ -309,16 +397,48 @@ class ReliableTransport:
 
         Channels *from* a recovering rank resume at their checkpointed
         sequence number, so replayed re-sends reuse the original seqs
-        and survivors' dedup windows suppress them.  Channels *to* a
-        recovering rank clear their window (the receiver's mailbox was
-        reset; re-deliveries during replay are legitimate).  Every
-        touched channel's epoch is bumped, squashing in-flight
+        and survivors' dedup windows suppress them; frames of theirs
+        held for reordering belong to the lost timeline and are dropped
+        (the replay re-sends them).  Channels *to* a recovering rank
+        clear their window (the receiver's mailbox was reset;
+        re-deliveries during replay are legitimate) and restart their
+        in-order cursor at the sender's post-rewind ``next_seq`` — the
+        lowest seq that will actually arrive on the wire, whether the
+        sender is a co-recovering rank replaying from its checkpointed
+        cursor or a survivor continuing where it left off (the message
+        log re-delivers anything older without touching the transport).
+        Every touched channel's epoch is bumped, squashing in-flight
         retransmission timers from the lost timeline.
         """
         for (src, dst), ch in self._channels.items():
             if src in vps:
                 ch.next_seq = send_seqs.get((src, dst), 0)
+                ch.pending.clear()
                 ch.epoch += 1
             if dst in vps:
                 ch.window.reset()
+                ch.pending.clear()
+                ch.deliver_next = ch.next_seq
                 ch.epoch += 1
+
+    # -- global-rollback support --------------------------------------------------------
+
+    def resync(self) -> None:
+        """Resynchronize every channel after a *global* rollback.
+
+        Global recovery flushes the scheduler outright, so every
+        in-flight retransmission chain dies with its timers; the ranks
+        then replay from their checkpoints and re-send with *fresh*
+        sequence numbers (``next_seq`` is not checkpointed on this
+        path).  A seq that was mid-retransmission at the crash will
+        therefore never complete — without this hook it would pin
+        ``deliver_next`` forever and every post-rollback frame on the
+        channel would be held as "out of order".  Jump each receive
+        cursor to the channel's send cursor, drop frames held for the
+        dead timeline, and bump epochs as belt-and-braces against any
+        surviving timer callback.
+        """
+        for ch in self._channels.values():
+            ch.epoch += 1
+            ch.pending.clear()
+            ch.deliver_next = ch.next_seq

@@ -36,8 +36,13 @@ EV_RETRANS = "RETRANS"              #: frames retransmitted after an RTO
 EV_ACK = "ACKS"                     #: frames acknowledged by a receiver
 EV_DEDUP_DROP = "DEDUP_DROPS"       #: duplicate frames dropped by seq window
 EV_CKSUM_FAIL = "CHECKSUM_FAIL"     #: frames discarded on checksum mismatch
+EV_REORDER_HOLD = "REORDER_HOLDS"   #: frames held for in-order delivery
 EV_LOG_BYTES = "LOG_BYTES"          #: payload bytes retained by the msg log
 EV_REPLAYED = "REPLAYED_MSGS"       #: messages re-delivered from the msg log
+EV_RTO_CANCEL = "RTO_CANCELLED"     #: RTO chains squashed at crash time
+EV_CASCADE = "CRASH_DURING_RECOVERY"  #: crashes absorbed mid-recovery
+EV_CKPT_FALLBACK = "CKPT_FALLBACK"  #: recoveries served by the previous
+                                    #: checkpoint generation (corruption)
 EV_SAN_CHECK = "SAN_CHECK"          #: shadow-state checks by the sanitizer
 EV_SAN_FINDING = "SAN_FINDING"      #: sanitizer findings emitted (pre-dedup cap)
 

@@ -47,6 +47,10 @@ class RunRecord:
     pe_stats: list[dict[str, Any]]
     rollbacks: dict[int, int]
     recoveries: int
+    #: structured unrecoverability classification (None: run completed);
+    #: a deterministic failure is provenance like any other run, and
+    #: replay must reproduce the same classification
+    unrecoverable_reason: str | None
     migrations: int
     lb_moves: int
     exit_values: dict[int, Any]
@@ -88,6 +92,7 @@ class RunRecord:
             ],
             rollbacks=dict(sorted(result.rollbacks.items())),
             recoveries=result.recoveries,
+            unrecoverable_reason=result.unrecoverable_reason,
             migrations=sum(1 for m in result.migrations
                            if m.src_pe != m.dst_pe),
             lb_moves=sum(r.moves for r in result.lb_reports),
@@ -110,6 +115,7 @@ class RunRecord:
             "rollbacks": {str(vp): n
                           for vp, n in sorted(self.rollbacks.items())},
             "recoveries": self.recoveries,
+            "unrecoverable_reason": self.unrecoverable_reason,
             "migrations": self.migrations,
             "lb_moves": self.lb_moves,
             "exit_values": {str(vp): v
@@ -133,6 +139,7 @@ class RunRecord:
             rollbacks={int(vp): n
                        for vp, n in d.get("rollbacks", {}).items()},
             recoveries=d.get("recoveries", 0),
+            unrecoverable_reason=d.get("unrecoverable_reason"),
             migrations=d.get("migrations", 0),
             lb_moves=d.get("lb_moves", 0),
             exit_values={int(vp): v
@@ -146,4 +153,6 @@ class RunRecord:
                 f"transport={self.spec.transport} "
                 f"recovery={self.spec.recovery} "
                 f"events={self.events} makespan={self.makespan_ns} ns "
-                f"timeline={self.timeline_sha256[:12]}")
+                f"timeline={self.timeline_sha256[:12]}"
+                + (f" UNRECOVERABLE({self.unrecoverable_reason})"
+                   if self.unrecoverable_reason else ""))

@@ -91,6 +91,9 @@ class ReplayReport:
     makespan_match: bool
     counters_match: bool
     rollbacks_match: bool
+    #: an unrecoverable record must replay to the *same* structured
+    #: classification (deterministic unrecoverability)
+    reason_match: bool = True
     #: counters whose totals changed: name -> (recorded, replayed)
     counter_drift: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: the record was produced by different sources than are running now
@@ -114,6 +117,7 @@ class ReplayReport:
             "makespan_match": self.makespan_match,
             "counters_match": self.counters_match,
             "rollbacks_match": self.rollbacks_match,
+            "reason_match": self.reason_match,
             "counter_drift": {k: list(v)
                               for k, v in sorted(self.counter_drift.items())},
             "code_version_changed": self.code_version_changed,
@@ -128,6 +132,9 @@ def replay_record(record: RunRecord, *, store: ProvenanceStore | None = None,
     (append-only: a replay under unchanged sources is a cache hit; a
     replay under changed sources creates the new code version's record).
     """
+    # Never strict: a recorded unrecoverable run replays to a structured
+    # result whose classification is compared, not to an exception.
+    runtime.setdefault("strict", False)
     job, result = run_spec_job(record.spec, **runtime)
     fresh = RunRecord.from_run(record.spec, job, result)
     if store is not None:
@@ -146,6 +153,8 @@ def replay_record(record: RunRecord, *, store: ProvenanceStore | None = None,
         makespan_match=record.makespan_ns == fresh.makespan_ns,
         counters_match=not drift,
         rollbacks_match=record.rollbacks == fresh.rollbacks,
+        reason_match=(record.unrecoverable_reason
+                      == fresh.unrecoverable_reason),
         counter_drift=drift,
         code_version_changed=record.code_version != code_version(),
         replayed=fresh,

@@ -1,0 +1,111 @@
+"""Tests for deterministic chaos-scenario generation (repro.chaos.scenario)."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import generate_scenario, generate_scenarios
+from repro.chaos.scenario import CHECKPOINTABLE_METHODS, KINDS
+from repro.harness.jobspec import run_spec_job
+
+N = 120  # generation is cheap: wide sample, no jobs run
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return generate_scenarios(0, N)
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario(self, sample):
+        again = generate_scenarios(0, N)
+        assert [s.to_dict() for s in sample] == \
+            [s.to_dict() for s in again]
+
+    def test_index_is_an_independent_stream(self):
+        # Regenerating index 57 alone must equal its in-sequence twin.
+        assert generate_scenario(0, 57).to_dict() == \
+            generate_scenarios(0, 58)[57].to_dict()
+
+    def test_campaign_seed_changes_the_matrix(self, sample):
+        other = generate_scenarios(1, N)
+        assert [s.to_dict() for s in sample] != \
+            [s.to_dict() for s in other]
+
+
+class TestMatrixConstraints:
+    def test_kinds_all_appear(self, sample):
+        assert {s.kind for s in sample} == set(KINDS)
+
+    def test_fault_free_twin_never_has_a_plan(self, sample):
+        assert all(s.base_spec.fault_plan is None for s in sample)
+
+    def test_local_recovery_implies_reliable_transport(self, sample):
+        for s in sample:
+            if s.base_spec.recovery == "local":
+                assert s.base_spec.transport == "reliable", s.label()
+
+    def test_crash_scenarios_use_checkpointable_methods(self, sample):
+        for s in sample:
+            if s.kind == "crash":
+                assert s.base_spec.method in CHECKPOINTABLE_METHODS, \
+                    s.label()
+
+    def test_clean_scenarios_have_no_faults(self, sample):
+        for s in sample:
+            if s.kind == "clean":
+                assert not s.has_faults
+
+    def test_crash_counts_fit_the_layout(self, sample):
+        for s in sample:
+            if s.kind == "crash":
+                assert 1 <= s.n_crashes <= s.nodes, s.label()
+
+    def test_labels_are_unique_and_informative(self, sample):
+        labels = [s.label() for s in sample]
+        assert len(set(labels)) == len(labels)
+        for s, lab in zip(sample, labels):
+            assert s.kind in lab and s.base_spec.app in lab
+
+
+class TestPlanMaterialization:
+    @pytest.fixture(scope="class")
+    def crash_scenario(self, sample):
+        return next(s for s in sample
+                    if s.kind == "crash" and s.n_crashes >= 2)
+
+    @pytest.fixture(scope="class")
+    def base(self, crash_scenario):
+        _, result = run_spec_job(crash_scenario.base_spec, strict=False)
+        return result
+
+    def test_crashes_land_in_the_calibrated_window(self, crash_scenario,
+                                                   base):
+        plan = crash_scenario.plan(base)
+        lo, hi = crash_scenario.crash_window(base)
+        assert len(plan.node_crashes) == crash_scenario.n_crashes
+        for c in plan.node_crashes:
+            assert lo <= c.at_ns < hi
+            assert 0 <= c.node < crash_scenario.nodes
+
+    def test_plan_is_a_pure_function_of_the_baseline(self, crash_scenario,
+                                                     base):
+        assert crash_scenario.plan(base).to_dict() == \
+            crash_scenario.plan(base).to_dict()
+
+    def test_spec_round_trips_the_plan(self, crash_scenario, base):
+        plan = crash_scenario.plan(base)
+        spec = crash_scenario.spec(plan)
+        assert spec.fault_plan == plan.to_dict()
+        # everything else identical to the twin
+        assert spec.app == crash_scenario.base_spec.app
+        assert spec.layout == crash_scenario.base_spec.layout
+
+    def test_cascade_window_is_compressed(self, sample, base,
+                                          crash_scenario):
+        assert any(s.cascade_window for s in sample)
+        wide = dataclasses.replace(crash_scenario, cascade_window=False)
+        tight = dataclasses.replace(crash_scenario, cascade_window=True)
+        lo, hi = wide.crash_window(base)
+        clo, chi = tight.crash_window(base)
+        assert clo == lo and chi - clo <= (hi - lo) // 16

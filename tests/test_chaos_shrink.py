@@ -1,0 +1,89 @@
+"""Tests for the delta-debugging fault-plan shrinker (repro.chaos.shrink)."""
+
+from repro.chaos import shrink_plan
+from repro.ft import FaultPlan, MessageFaults, NodeCrash
+
+
+def _plan(n_crashes=4, mf=MessageFaults(drop=0.1, duplicate=0.05,
+                                        corrupt=0.02)):
+    crashes = tuple(NodeCrash(at_ns=1_234_567 + i * 1000, node=i)
+                    for i in range(n_crashes))
+    return FaultPlan(seed=7, node_crashes=crashes, message_faults=mf)
+
+
+def _node0_fails(plan):
+    """Synthetic bug: fails iff any crash hits node 0."""
+    return any(c.node == 0 for c in plan.node_crashes)
+
+
+class TestConvergence:
+    def test_shrinks_to_the_one_guilty_crash(self):
+        res = shrink_plan(_plan(), _node0_fails)
+        assert res.n_faults == 1
+        assert len(res.plan.node_crashes) == 1
+        assert res.plan.node_crashes[0].node == 0
+        assert res.plan.message_faults is None
+
+    def test_rates_zeroed_one_at_a_time(self):
+        # Bug depends on the drop rate alone: dup/corrupt must go, the
+        # drop rate must stay.
+        def fails(plan):
+            mf = plan.message_faults
+            return mf is not None and mf.drop > 0
+        res = shrink_plan(_plan(n_crashes=0), fails)
+        mf = res.plan.message_faults
+        assert mf is not None
+        assert mf.drop > 0 and mf.duplicate == 0 and mf.corrupt == 0
+        assert res.n_faults == 1
+
+    def test_crash_instants_rounded_to_coarsest_grid(self):
+        res = shrink_plan(_plan(n_crashes=1, mf=None), _node0_fails)
+        at = res.plan.node_crashes[0].at_ns
+        assert at % 1_000_000 == 0  # time-insensitive bug: coarsest grid
+
+    def test_time_sensitive_bug_keeps_its_instant(self):
+        def fails(plan):
+            return any(c.node == 0 and c.at_ns == 1_234_567
+                       for c in plan.node_crashes)
+        res = shrink_plan(_plan(n_crashes=1, mf=None), fails)
+        assert res.plan.node_crashes[0].at_ns == 1_234_567
+
+
+class TestContract:
+    def test_result_still_fails(self):
+        res = shrink_plan(_plan(), _node0_fails)
+        assert _node0_fails(res.plan)
+
+    def test_deterministic(self):
+        a = shrink_plan(_plan(), _node0_fails)
+        b = shrink_plan(_plan(), _node0_fails)
+        assert a.plan.to_dict() == b.plan.to_dict()
+        assert a.evaluations == b.evaluations
+        assert a.steps == b.steps
+
+    def test_budget_is_respected(self):
+        calls = []
+
+        def fails(plan):
+            calls.append(1)
+            return _node0_fails(plan)
+
+        res = shrink_plan(_plan(n_crashes=8), fails, budget=5)
+        assert res.evaluations == len(calls) <= 5
+        assert _node0_fails(res.plan)  # never returns a passing plan
+
+    def test_steps_record_the_walkthrough(self):
+        res = shrink_plan(_plan(), _node0_fails)
+        assert res.steps  # (description, survived) pairs
+        assert all(isinstance(s, str) and isinstance(k, bool)
+                   for s, k in res.steps)
+        d = res.to_dict()
+        assert d["n_faults"] == res.n_faults
+        assert d["plan"] == res.plan.to_dict()
+
+    def test_unshrinkable_plan_survives_whole(self):
+        # Every crash is load-bearing: nothing can be dropped.
+        def fails(plan):
+            return len(plan.node_crashes) == 4
+        res = shrink_plan(_plan(mf=None), fails)
+        assert len(res.plan.node_crashes) == 4

@@ -1,0 +1,181 @@
+"""Seeded cascading-failure fixtures.
+
+Every hostile crash pattern must end in a deterministic, *structured*
+outcome — an ``unrecoverable_reason`` from the taxonomy or a correct
+recovery — never a hang, a bare traceback, or silently wrong numerics.
+These are the fixtures the chaos campaign's taxonomy invariant
+generalizes from.
+"""
+
+import pytest
+
+from repro.apps.jacobi3d import JacobiConfig, run_jacobi
+from repro.charm.node import JobLayout
+from repro.errors import UNRECOVERABLE_REASONS
+from repro.ft import FaultPlan, MessageFaults, NodeCrash
+from repro.ft.buddy import BuddyCheckpointer
+from repro.perf.counters import EV_CASCADE, EV_CKPT_FALLBACK
+
+CFG = JacobiConfig(n=12, iters=8, reduce_every=2, ckpt_period=2,
+                   compute_ns_per_cell=2000.0)
+LAYOUT = JobLayout(nodes=4, processes_per_node=1, pes_per_process=2)
+
+RECOVERIES = ("global", "local")
+
+
+def _run(plan, recovery, **kw):
+    return run_jacobi(CFG, 8, layout=LAYOUT, fault_plan=plan,
+                      transport="reliable", recovery=recovery,
+                      strict=False, **kw)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_jacobi(CFG, 8, layout=LAYOUT, transport="reliable",
+                      recovery="local")
+
+
+@pytest.fixture(scope="module")
+def mid(baseline):
+    return baseline.startup_ns + baseline.app_ns // 2
+
+
+def _buddy_pair(mid, delta):
+    """Nodes 1 and 2 — a buddy pair under the ring scheme — die
+    ``delta`` ns apart."""
+    return FaultPlan(seed=3, node_crashes=(
+        NodeCrash(at_ns=mid, node=1),
+        NodeCrash(at_ns=mid + delta, node=2),
+    ))
+
+
+class TestCrashDuringRecovery:
+    """A second crash landing inside the first crash's recovery window
+    kills the restart itself: deterministic structured failure."""
+
+    @pytest.mark.parametrize("recovery", RECOVERIES)
+    def test_simultaneous_pair_crash_is_cascade(self, mid, recovery):
+        r = _run(_buddy_pair(mid, 1), recovery)
+        assert r.unrecoverable_reason == "crash-during-recovery"
+        assert r.error  # structured message, not a bare traceback
+
+    @pytest.mark.parametrize("recovery", RECOVERIES)
+    def test_cascade_outcome_is_deterministic(self, mid, recovery):
+        a = _run(_buddy_pair(mid, 1), recovery)
+        b = _run(_buddy_pair(mid, 1), recovery)
+        assert a.unrecoverable_reason == b.unrecoverable_reason
+        assert a.error == b.error
+        assert a.counters.snapshot() == b.counters.snapshot()
+
+    def test_survivable_cascade_counts_and_recovers(self, baseline, mid):
+        # Nodes 1 and 3 are NOT a buddy pair: the cascade is absorbed
+        # and the job still finishes with correct numerics.
+        plan = FaultPlan(seed=3, node_crashes=(
+            NodeCrash(at_ns=mid, node=1),
+            NodeCrash(at_ns=mid + 1, node=3),
+        ))
+        r = _run(plan, "global")
+        assert r.unrecoverable_reason is None
+        assert r.counters[EV_CASCADE] >= 1
+        assert r.exit_values == baseline.exit_values
+
+
+class TestBuddyPairDeath:
+    """Both snapshot copies destroyed by crashes far enough apart that
+    the second is not a cascade."""
+
+    # Past the recovery horizon (not a cascade) but before the next
+    # checkpoint re-replicates node 1's ranks elsewhere.
+    DELTA = 800_000
+
+    @pytest.mark.parametrize("recovery", RECOVERIES)
+    def test_pair_death_is_structured(self, mid, recovery):
+        r = _run(_buddy_pair(mid, self.DELTA), recovery)
+        assert r.unrecoverable_reason == "buddy-pair-dead"
+        assert "snapshot" in r.error
+
+    @pytest.mark.parametrize("recovery", RECOVERIES)
+    def test_pair_death_is_deterministic(self, mid, recovery):
+        a = _run(_buddy_pair(mid, self.DELTA), recovery)
+        b = _run(_buddy_pair(mid, self.DELTA), recovery)
+        assert a.unrecoverable_reason == b.unrecoverable_reason == \
+            "buddy-pair-dead"
+        assert a.counters.snapshot() == b.counters.snapshot()
+
+    def test_late_second_crash_recovers_locally(self, baseline, mid):
+        # Once a checkpoint has re-replicated the migrated ranks, the
+        # same pair of crashes is survivable again under local recovery.
+        r = _run(_buddy_pair(mid, 1_600_000), "local")
+        assert r.unrecoverable_reason is None
+        assert r.recoveries == 2
+        assert r.exit_values == baseline.exit_values
+
+
+class TestRetransExhaustion:
+    def test_hostile_wire_is_structured(self):
+        plan = FaultPlan(seed=11,
+                         message_faults=MessageFaults(drop=0.95))
+        r = _run(plan, "global")
+        assert r.unrecoverable_reason == "retrans-exhausted"
+        assert "attempts" in r.error
+
+    def test_exhaustion_is_deterministic(self):
+        plan = FaultPlan(seed=11,
+                         message_faults=MessageFaults(drop=0.95))
+        a = _run(plan, "global")
+        b = _run(plan, "global")
+        assert a.unrecoverable_reason == b.unrecoverable_reason
+        assert a.counters.snapshot() == b.counters.snapshot()
+
+
+class TestCheckpointCorruption:
+    """A rotted current generation: global rollback falls back to the
+    previous generation; local recovery (which cannot rewind further
+    than the logged cursors allow) fails structurally."""
+
+    @pytest.fixture()
+    def rot_third_take(self, monkeypatch):
+        # Take #3 is the last checkpoint before the crash below; rotting
+        # it leaves the previous generation as the only intact copy.
+        orig = BuddyCheckpointer.take
+        takes = []
+
+        def take(self, job, at_ns):
+            out = orig(self, job, at_ns)
+            takes.append(at_ns)
+            if len(takes) == 3:
+                self.corrupt_snapshot(0)
+            return out
+
+        monkeypatch.setattr(BuddyCheckpointer, "take", take)
+        return takes
+
+    def _crash_plan(self, mid):
+        return FaultPlan(seed=3,
+                         node_crashes=(NodeCrash(at_ns=mid, node=2),))
+
+    def test_global_falls_back_to_previous_generation(
+            self, baseline, mid, rot_third_take):
+        r = _run(self._crash_plan(mid), "global")
+        assert r.unrecoverable_reason is None
+        assert r.counters[EV_CKPT_FALLBACK] == 1
+        assert r.exit_values == baseline.exit_values
+
+    def test_local_cannot_fall_back(self, mid, rot_third_take):
+        r = _run(self._crash_plan(mid), "local")
+        assert r.unrecoverable_reason == "checkpoint-corrupt"
+        assert r.counters[EV_CKPT_FALLBACK] == 0
+
+
+class TestTaxonomyIsTotal:
+    @pytest.mark.parametrize("recovery", RECOVERIES)
+    @pytest.mark.parametrize("delta", [0, 1, 400_000, 800_000])
+    def test_every_outcome_is_classified_or_clean(self, mid, delta,
+                                                  recovery):
+        r = _run(_buddy_pair(mid, delta), recovery)
+        if r.unrecoverable_reason is None:
+            assert not r.error
+            assert all(v is not None for v in r.exit_values.values())
+        else:
+            assert r.unrecoverable_reason in UNRECOVERABLE_REASONS
+            assert r.error

@@ -1,0 +1,114 @@
+"""Property test: fault-injector draw accounting reconciles exactly.
+
+The determinism contract hinges on the injector's counter-based RNG
+consuming exactly one draw per fault decision.  On the reliable path
+every transmission *attempt* ends in exactly one of {acked, dropped,
+corrupted}, so::
+
+    draws == ACKS + MSG_FAULT_DROPPED + MSG_FAULT_CORRUPTED
+
+and on the priced path one draw is made per send::
+
+    draws == MSG_SENT
+
+Any slack means a decision was consumed twice, skipped, or spent on a
+message that never existed — which would de-synchronize replays.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import check_fault_draws
+from repro.ft import FaultPlan, MessageFaults, NodeCrash
+from repro.harness.jobspec import JobSpec, run_spec_job
+from repro.perf.counters import (
+    EV_ACK,
+    EV_MSG_FAULT_CORRUPT,
+    EV_MSG_FAULT_DROP,
+    EV_MSG_SENT,
+)
+
+BASE = JobSpec(
+    app="jacobi3d", nvp=8,
+    app_config={"n": 10, "iters": 6, "reduce_every": 2, "ckpt_period": 2,
+                "compute_ns_per_cell": 500.0},
+    layout=(4, 1, 2),
+)
+
+#: deterministic per-seed wire-fault rates exercising every mix
+RATES = [
+    MessageFaults(drop=0.05),
+    MessageFaults(duplicate=0.07),
+    MessageFaults(corrupt=0.04),
+    MessageFaults(drop=0.03, duplicate=0.03, corrupt=0.03),
+    MessageFaults(drop=0.12, corrupt=0.06),
+    MessageFaults(drop=0.01, duplicate=0.15),
+]
+
+
+@pytest.fixture(scope="module")
+def crash_at():
+    # Calibrate against the reliable twin: the transports' timelines
+    # differ, and the crash must land inside the application phase of
+    # *these* runs — early enough that the noisy (slightly reshaped)
+    # timeline hasn't already finished.
+    _, base = run_spec_job(dataclasses.replace(BASE, transport="reliable"))
+    return base.startup_ns + base.app_ns // 4
+
+
+def _spec(transport, recovery, plan):
+    return dataclasses.replace(BASE, transport=transport,
+                               recovery=recovery,
+                               fault_plan=plan.to_dict())
+
+
+@pytest.mark.parametrize("seed", range(len(RATES)))
+@pytest.mark.parametrize("transport", ["reliable", "priced"])
+def test_draws_reconcile_across_seeds(seed, transport):
+    plan = FaultPlan(seed=seed, message_faults=RATES[seed])
+    spec = _spec(transport, "global", plan)
+    job, result = run_spec_job(spec, strict=False)
+    assert result.unrecoverable_reason is None
+    assert check_fault_draws(spec, job, result) is None
+    c = result.counters
+    draws = job.fault_injector.draws
+    if transport == "reliable":
+        assert draws == (c[EV_ACK] + c[EV_MSG_FAULT_DROP]
+                         + c[EV_MSG_FAULT_CORRUPT])
+    else:
+        assert draws == c[EV_MSG_SENT]
+    assert draws > 0
+
+
+@pytest.mark.parametrize("recovery", ["global", "local"])
+def test_draws_reconcile_across_rollbacks(crash_at, recovery):
+    # RETRANS after a crash and replayed sends during recovery must stay
+    # inside the identity: each replayed attempt draws its own fault.
+    plan = FaultPlan(
+        seed=9,
+        node_crashes=(NodeCrash(at_ns=crash_at, node=2),),
+        message_faults=MessageFaults(drop=0.04, duplicate=0.02),
+    )
+    spec = _spec("reliable", recovery, plan)
+    job, result = run_spec_job(spec, strict=False)
+    assert result.unrecoverable_reason is None
+    assert sum(result.rollbacks.values()) > 0
+    assert check_fault_draws(spec, job, result) is None
+
+
+def test_no_faults_means_no_draws():
+    plan = FaultPlan(seed=1)  # crash-free, no message faults
+    spec = _spec("reliable", "global", plan)
+    job, result = run_spec_job(spec, strict=False)
+    injector = job.fault_injector
+    assert injector is None or injector.draws == 0
+    assert check_fault_draws(spec, job, result) is None
+
+
+def test_draw_count_is_deterministic():
+    plan = FaultPlan(seed=4, message_faults=RATES[4])
+    spec = _spec("reliable", "global", plan)
+    job_a, _ = run_spec_job(spec, strict=False)
+    job_b, _ = run_spec_job(spec, strict=False)
+    assert job_a.fault_injector.draws == job_b.fault_injector.draws
