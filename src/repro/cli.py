@@ -19,11 +19,14 @@ Commands
 ``faults <app> [--kmax K] [--json]``
     Fault-tolerance overhead sweep: failure-free vs. k node crashes on
     a checkpointing Jacobi-3D, with deterministic fault injection.
-``bench [--quick] [--json] [--out F]``
+``bench [--quick] [--serve] [--json] [--out F]``
     Wall-clock (host-time) performance smoke of the event loop itself:
     ULT lifecycle churn, a paper-scale Jacobi run under both execution
     backends (with a byte-identical-timeline determinism check), and a
-    figure-6-style context-switch sweep.  Writes ``BENCH_scale.json``.
+    figure-6-style context-switch sweep.  ``--serve`` appends a
+    load-generator pass against a private job service (cold/warm
+    throughput, hit rate, single-flight coalescing, concurrent gc).
+    Writes ``BENCH_scale.json``.
 ``hello [--method M] [--vp N]``
     The Figure 2/3 hello world under a chosen method.
 ``runs [--store DIR]``
@@ -43,6 +46,11 @@ Commands
     drift gate.
 ``gc [--keep-pinned] [--max-age-days D] [--max-bytes B]``
     Collect old/oversized store records; pinned specs always survive.
+``serve [--socket P | --port N] [--workers W] [--gc-every S]``
+    Multi-tenant job service on the provenance cache: accepts
+    concurrent JobSpec submissions over a local socket, executes
+    misses on a worker pool, serves repeats straight from the store,
+    and coalesces identical in-flight submissions onto one execution.
 
 ``run``, ``faults``, ``bench`` and ``hello`` accept ``--provenance
 [DIR]`` (or the ``REPRO_PROVENANCE`` environment variable) to record
@@ -312,7 +320,8 @@ def cmd_faults(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness.bench import run_bench
 
-    payload = run_bench(quick=args.quick, nvp=args.nvp, reps=args.reps)
+    payload = run_bench(quick=args.quick, nvp=args.nvp, reps=args.reps,
+                        serve=args.serve)
     text = json.dumps(payload, sort_keys=True, indent=2)
     if args.out:
         try:
@@ -337,6 +346,22 @@ def cmd_bench(args) -> int:
                 print(format_table(
                     ["backend", "best wall (s)", f"{stage['unit']}/s"],
                     rows, title=f"{name}{extra}"))
+            elif name == "serve":
+                c, w = stage["cold"], stage["warm"]
+                rows = [
+                    ["cold", c["jobs"], c["total_s"], c["jobs_per_s"], "-"],
+                    ["warm", w["jobs"], w["total_s"], w["jobs_per_s"],
+                     w["hit_rate"]],
+                ]
+                ident = ("identical" if stage["records_identical"]
+                         else "DIVERGED")
+                verdict = "ok" if stage["ok"] else "FAILED"
+                print(format_table(
+                    ["pass", "jobs", "wall (s)", "jobs/s", "hit rate"],
+                    rows,
+                    title=f"serve — warm {stage['speedup_warm_vs_cold']}x "
+                          f"over cold, records {ident}, gc cycles "
+                          f"{stage['gc']['cycles']} ({verdict})"))
             else:
                 print(format_table(
                     ["nvp", "wall (s)", "switches/s"],
@@ -347,8 +372,10 @@ def cmd_bench(args) -> int:
         if args.out:
             print(f"wrote {args.out}")
     # The determinism contract is part of the bench's contract: fail
-    # loudly if the backends ever produce different simulated timelines.
-    ok = all(s.get("trace_identical", True) for s in payload["stages"])
+    # loudly if the backends ever produce different simulated timelines
+    # (or the serve stage breaks its caching/coalescing invariants).
+    ok = all(s.get("trace_identical", True) and s.get("ok", True)
+             for s in payload["stages"])
     return 0 if ok else 1
 
 
@@ -594,7 +621,56 @@ def cmd_gc(args) -> int:
         verb = "would delete" if report.dry_run else "deleted"
         print(f"gc {store.root}: scanned {report.scanned}, {verb} "
               f"{report.deleted} ({report.freed_bytes} bytes), protected "
-              f"{report.protected} pinned, {report.remaining} remain")
+              f"{report.protected} pinned, skipped {report.skipped} "
+              f"concurrently-changed, swept {report.swept_tmp} stale tmp, "
+              f"{report.remaining} remain")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import DEFAULT_SOCKET, JobService
+
+    keep: frozenset[str] = frozenset()
+    if args.keep_pinned:
+        from repro.provenance import load_manifest, pinned_spec_digests
+
+        keep = pinned_spec_digests(load_manifest(args.manifest))
+    use_tcp = args.port is not None
+    service = JobService(
+        _open_store(args),
+        workers=args.workers,
+        socket_path=None if use_tcp else (args.socket or DEFAULT_SOCKET),
+        host=args.host if use_tcp else None,
+        port=args.port or 0,
+        worker_mode=args.worker_mode,
+        gc_every_s=args.gc_every,
+        gc_max_age_s=(args.max_age_days * 86400.0
+                      if args.max_age_days is not None else None),
+        gc_max_bytes=args.max_bytes,
+        gc_keep=keep,
+    )
+
+    async def amain() -> None:
+        await service.start()
+        print(f"repro serve: listening on {service.endpoint} "
+              f"({service.workers} {service.worker_mode} worker(s), "
+              f"store {service.store.root})", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service.request_shutdown)
+            except NotImplementedError:  # pragma: no cover
+                pass
+        await service.run()
+
+    asyncio.run(amain())
+    s = service.stats
+    print(f"repro serve: exiting — {s.submissions} submissions, "
+          f"{s.hits} hits, {s.executed} executed, {s.coalesced} coalesced, "
+          f"{s.errors} errors, {s.gc_cycles} gc cycles", flush=True)
     return 0
 
 
@@ -823,6 +899,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "64 with --quick)")
     bench.add_argument("--reps", type=int, default=None,
                        help="timed repetitions per measurement (best-of)")
+    bench.add_argument("--serve", action="store_true",
+                       help="append the job-service load-gen stage "
+                            "(cold/warm throughput, hit rate, "
+                            "single-flight coalescing, concurrent gc)")
     bench.add_argument("--json", action="store_true",
                        help="print the payload to stdout as JSON")
     bench.add_argument("--out", default="BENCH_scale.json",
@@ -905,6 +985,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report what would be deleted without deleting")
     gc.add_argument("--json", action="store_true")
     gc.set_defaults(fn=cmd_gc)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant job service: concurrent JobSpec submissions "
+             "over a local socket, misses executed on a worker pool, "
+             "repeats served from the provenance store, identical "
+             "in-flight submissions coalesced onto one execution")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default .repro/serve.sock)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (with --port; "
+                            "default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="listen on TCP instead of the Unix socket "
+                            "(0 = ephemeral port, printed at startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker pool size (default 2)")
+    serve.add_argument("--worker-mode", choices=["process", "thread"],
+                       default="process",
+                       help="process workers execute jobs in parallel; "
+                            "thread workers serialize (tests/debug)")
+    serve.add_argument("--gc-every", type=float, default=None, metavar="S",
+                       help="run the store janitor every S seconds")
+    serve.add_argument("--max-age-days", type=float, default=None,
+                       help="janitor: collect records older than this")
+    serve.add_argument("--max-bytes", type=int, default=None,
+                       help="janitor: evict oldest records until the "
+                            "store fits")
+    serve.add_argument("--keep-pinned", action="store_true",
+                       help="janitor never collects pinned specs")
+    serve.add_argument("--manifest", default=DEFAULT_MANIFEST,
+                       help="pin manifest for --keep-pinned")
+    _add_store_flag(serve)
+    serve.set_defaults(fn=cmd_serve)
 
     chaos = sub.add_parser(
         "chaos",

@@ -24,6 +24,15 @@ Three stages, written to ``BENCH_scale.json``:
     Figure-6-style context-switch sweep: a yield ping-pong program at
     increasing VP counts on one PE, reporting real switches/second.
 
+``serve`` (``--serve``)
+    Load-generator for the ``repro serve`` job service: a client fleet
+    submits the pinned-scenario corpus against a fresh store (cold
+    pass, every spec executes) and again (warm pass, every spec must be
+    a cache hit with a byte-identical record), plus a single-flight
+    burst (N identical submissions must coalesce onto one execution)
+    — all while the service's own gc janitor cycles concurrently.
+    Reports cold/warm throughput, warm/cold speedup and hit rate.
+
 Wall-clock methodology: per measurement we take the best of ``reps``
 runs with the garbage collector disabled inside the timed window (GC
 pauses over the simulated-machine object graph otherwise dominate at
@@ -280,15 +289,152 @@ def bench_ctx_sweep(
 
 
 # ---------------------------------------------------------------------------
+# Stage 4 (opt-in): serve load generator
+# ---------------------------------------------------------------------------
+
+def _serve_corpus(limit: int | None = None) -> list[JobSpec]:
+    """The pinned-scenario specs (the committed regression corpus), or a
+    synthetic ping-pong ladder when no manifest is checked out."""
+    from repro.provenance import DEFAULT_MANIFEST, load_manifest
+
+    entries = load_manifest(DEFAULT_MANIFEST)
+    specs = [e.spec for _, e in sorted(entries.items())]
+    if not specs:
+        specs = [
+            JobSpec(app="pingpong", nvp=n,
+                    app_config={"yields_per_rank": 60,
+                                "name": f"serve-bench-{n}"},
+                    method="none", machine="generic-linux",
+                    layout=(1, 1, 1), slot_size=1 << 24)
+            for n in (2, 4, 8)
+        ]
+    return specs[:limit] if limit else specs
+
+
+def bench_serve(
+    *,
+    workers: int = 2,
+    worker_mode: str = "process",
+    clients: int = 8,
+    coalesce_n: int = 6,
+    gc_every_s: float = 0.05,
+    spec_limit: int | None = None,
+) -> dict[str, Any]:
+    """Load-generate against a private ``repro serve`` instance.
+
+    Fresh store and socket in a temp dir, the service's gc janitor
+    cycling every ``gc_every_s`` throughout (age budget 7 days, so it
+    scans concurrently with worker writes but must evict nothing).
+    The stage's ``ok`` is correctness, not speed: every cold submit
+    succeeds, N identical concurrent submissions execute exactly once,
+    every warm submit is a cache hit, and warm records are
+    byte-identical to cold ones.  The warm/cold speedup is reported
+    (the acceptance target is >= 50x for the pinned corpus).
+    """
+    import concurrent.futures
+    import json
+    import tempfile
+    from collections import Counter
+    from pathlib import Path
+
+    from repro.provenance.store import ProvenanceStore
+    from repro.serve import JobService, ServeClient, ServiceThread
+
+    specs = _serve_corpus(spec_limit)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        store = ProvenanceStore(Path(tmp) / "store")
+        service = JobService(
+            store, workers=workers, worker_mode=worker_mode,
+            socket_path=Path(tmp) / "serve.sock",
+            gc_every_s=gc_every_s, gc_max_age_s=7 * 86400.0,
+        )
+        client = ServeClient(socket_path=Path(tmp) / "serve.sock")
+
+        def submit_all() -> tuple[list, float]:
+            t0 = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(clients) as ex:
+                replies = list(ex.map(client.submit, specs))
+            return replies, time.perf_counter() - t0
+
+        with ServiceThread(service):
+            client.ping()
+            cold, cold_s = submit_all()
+
+            # Single-flight burst: a spec the corpus has not seen yet,
+            # submitted coalesce_n times at once — exactly one execution.
+            burst_spec = JobSpec(
+                app="pingpong", nvp=4,
+                app_config={"yields_per_rank": 40,
+                            "name": "serve-bench-burst"},
+                method="none", machine="generic-linux",
+                layout=(1, 1, 1), slot_size=1 << 24)
+            executed_before = client.stats()["executed"]
+            with concurrent.futures.ThreadPoolExecutor(coalesce_n) as ex:
+                burst = list(ex.map(
+                    lambda _: client.submit(burst_spec), range(coalesce_n)))
+            executed_delta = client.stats()["executed"] - executed_before
+
+            warm, warm_s = submit_all()
+            stats = client.stats()
+        records_after = len(store)
+
+    def canon(reply) -> str:
+        return json.dumps(reply.record, sort_keys=True)
+
+    cold_by_id = {r.run_id: canon(r) for r in cold if r.ok}
+    identical = (
+        all(r.ok for r in cold) and all(r.ok for r in warm)
+        and all(cold_by_id.get(r.run_id) == canon(r) for r in warm)
+    )
+    warm_hits = sum(1 for r in warm if r.hit)
+    n = len(specs)
+    expected_records = len(cold_by_id) + (1 if any(r.ok for r in burst)
+                                          else 0)
+    ok = (
+        identical
+        and warm_hits == n
+        and executed_delta == 1
+        and all(r.ok for r in burst)
+        and stats["gc_errors"] == 0
+        and stats["gc_cycles"] >= 1
+        and records_after == expected_records
+    )
+    speedup = round(cold_s / warm_s, 2) if warm_s > 0 else float("inf")
+    return {
+        "name": "serve",
+        "unit": "jobs",
+        "params": {"workers": workers, "worker_mode": worker_mode,
+                   "clients": clients, "n_specs": n,
+                   "coalesce_n": coalesce_n, "gc_every_s": gc_every_s},
+        "cold": {"jobs": n, "total_s": round(cold_s, 6),
+                 "jobs_per_s": round(n / cold_s, 2),
+                 "caches": dict(Counter(r.cache for r in cold))},
+        "warm": {"jobs": n, "total_s": round(warm_s, 6),
+                 "jobs_per_s": round(n / warm_s, 2),
+                 "hit_rate": round(warm_hits / n, 4) if n else 0.0},
+        "speedup_warm_vs_cold": speedup,
+        "coalesce": {"burst": coalesce_n, "executed_delta": executed_delta,
+                     "caches": dict(Counter(r.cache for r in burst))},
+        "gc": {"cycles": stats["gc_cycles"], "errors": stats["gc_errors"],
+               "records_after": records_after,
+               "expected_records": expected_records},
+        "records_identical": identical,
+        "ok": ok,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
 def run_bench(quick: bool = False, *, nvp: int | None = None,
-              reps: int | None = None) -> dict[str, Any]:
+              reps: int | None = None, serve: bool = False) -> dict[str, Any]:
     """Run all stages; returns the ``BENCH_scale.json`` payload.
 
     ``quick`` shrinks every stage for CI smoke use (a few seconds
     total); the full run targets the paper-scale 1k-VP smoke.
+    ``serve`` appends the opt-in job-service load-gen stage (thread
+    workers under ``quick``, real worker processes otherwise).
     """
     if quick:
         churn_n, jacobi_nvp, sweep_vps = 128, 64, (2, 16, 64)
@@ -303,6 +449,13 @@ def run_bench(quick: bool = False, *, nvp: int | None = None,
         bench_jacobi(nvp=jacobi_nvp, reps=nreps),
         bench_ctx_sweep(vps=sweep_vps),
     ]
+    if serve:
+        if quick:
+            stages.append(bench_serve(worker_mode="thread", workers=2,
+                                      clients=4, spec_limit=3))
+        else:
+            stages.append(bench_serve(worker_mode="process", workers=2,
+                                      clients=8))
     return {
         "bench": "scale_smoke",
         "quick": quick,

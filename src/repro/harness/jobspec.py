@@ -25,9 +25,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.ampi.runtime import AmpiJob, JobResult
 from repro.apps.adcirc import AdcircConfig, build_adcirc_program
@@ -251,19 +254,52 @@ def build_job(
     )
 
 
-#: hooks fired after every spec-built run: fn(spec, job, result)
-_result_hooks: list[Callable[[JobSpec, AmpiJob, JobResult], None]] = []
+#: the hook signature: fn(spec, job, result)
+ResultHook = Callable[[JobSpec, AmpiJob, JobResult], None]
+
+#: process-global hooks fired after every spec-built run
+_result_hooks: list[ResultHook] = []
+
+#: (hooks, exclusive) visible only to the current thread/task — the
+#: scoped alternative the serve worker pool uses so one tenant's
+#: recording hooks never fire for another tenant's jobs
+_hook_scope: ContextVar[tuple[tuple[ResultHook, ...], bool]] = ContextVar(
+    "repro_result_hook_scope", default=((), False))
+
+_log = logging.getLogger(__name__)
 
 
-def add_result_hook(fn: Callable[[JobSpec, AmpiJob, JobResult], None]) -> None:
+def add_result_hook(fn: ResultHook) -> None:
     _result_hooks.append(fn)
 
 
-def remove_result_hook(fn: Callable[[JobSpec, AmpiJob, JobResult], None]) -> None:
+def remove_result_hook(fn: ResultHook) -> None:
     try:
         _result_hooks.remove(fn)
     except ValueError:
         pass
+
+
+@contextmanager
+def result_hook_scope(*fns: ResultHook,
+                      exclusive: bool = False) -> Iterator[None]:
+    """Fire ``fns`` for spec-built runs inside this context only.
+
+    Scoped hooks are carried in a :class:`~contextvars.ContextVar`, so
+    they are invisible to other threads and asyncio tasks — two tenants
+    recording into different stores cannot cross-contaminate the way
+    they would through the process-global :func:`add_result_hook` list.
+    ``exclusive=True`` additionally suppresses the process-global hooks
+    for runs inside the scope (the serve workers run with an exclusive
+    scope so a ``--provenance`` auto-recorder in the same process never
+    double-records service jobs).
+    """
+    hooks, excl = _hook_scope.get()
+    token = _hook_scope.set((hooks + fns, excl or exclusive))
+    try:
+        yield
+    finally:
+        _hook_scope.reset(token)
 
 
 def run_spec_job(spec: JobSpec, **runtime: Any) -> tuple[AmpiJob, JobResult]:
@@ -275,12 +311,22 @@ def run_spec_job(spec: JobSpec, **runtime: Any) -> tuple[AmpiJob, JobResult]:
     :class:`~repro.errors.FaultUnrecoverableError`; the result hooks
     fire for such runs too, so unrecoverable scenarios are recordable
     and replayable provenance like any other run.
+
+    Hooks are observers, never participants: a raising hook is logged
+    and skipped, so a *completed* job can never be made to look failed
+    by its recorder — and every remaining hook still fires.
     """
     strict = runtime.pop("strict", True)
     job = build_job(spec, **runtime)
     result = job.run(strict=strict)
-    for fn in list(_result_hooks):
-        fn(spec, job, result)
+    scoped, exclusive = _hook_scope.get()
+    hooks = scoped if exclusive else (*_result_hooks, *scoped)
+    for fn in hooks:
+        try:
+            fn(spec, job, result)
+        except Exception:
+            _log.exception("result hook %r failed; run result is "
+                           "unaffected", fn)
     return job, result
 
 

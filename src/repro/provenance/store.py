@@ -12,6 +12,22 @@ and never overwrite: putting a record whose id already exists is a
 *cache hit* — the store reports it and leaves the original untouched,
 which keeps ``created_at`` honest and makes the store safe to share
 between concurrent runs.
+
+Concurrency contract: any number of processes may ``put``, ``get`` and
+``gc`` the same root simultaneously (the ``repro serve`` worker pool
+does exactly that).  Every cross-process race therefore degrades, never
+raises: ``gc`` skips records that vanish or are half-written between
+its listing and its read (counted in :attr:`GcReport.skipped`),
+``delete`` tolerates a concurrent delete of the same record, and
+crash-leftover ``*.tmp<pid>`` files are swept by ``gc`` once their
+writing process is gone.
+
+Usage recency: a cache-hit ``put`` or a ``get`` records a *last used*
+touch in a zero-byte ``<id>.touch`` sidecar (its mtime is the
+timestamp), and age/size eviction orders by ``max(created_at,
+last_used)`` — so a record that is hit a thousand times a day never
+ages out, while ``created_at`` in the record JSON stays the honest
+creation time for provenance.
 """
 
 from __future__ import annotations
@@ -26,6 +42,10 @@ from typing import Iterable
 from repro.errors import ReproError
 from repro.provenance.record import RunRecord
 from repro.trace.stream import compress_timeline, decompress_timeline
+
+#: age (seconds) past which a tmp file whose pid cannot be parsed or
+#: liveness-checked is considered a crash leftover
+TMP_GRACE_S = 3600.0
 
 #: default store location relative to the working directory
 DEFAULT_STORE_DIR = ".repro/store"
@@ -56,6 +76,9 @@ class ProvenanceStore:
     def _timeline_path(self, run_id: str) -> Path:
         return self.records_dir / run_id[:2] / f"{run_id}.timeline.zz"
 
+    def _touch_path(self, run_id: str) -> Path:
+        return self.records_dir / run_id[:2] / f"{run_id}.touch"
+
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -67,19 +90,26 @@ class ProvenanceStore:
 
     def put(self, record: RunRecord,
             timeline: Iterable[tuple[int, int, int]] | None = None,
+            *, compressed_timeline: bytes | None = None,
             ) -> tuple[str, bool]:
         """Store a record (and optionally its event stream).
 
         Returns ``(run_id, cache_hit)``; a cache hit means a record with
         this id (same spec, same code version) already exists and
-        nothing was written.
+        nothing was written — the hit refreshes the record's last-used
+        time instead.  ``compressed_timeline`` accepts an already
+        zlib-compressed stream (the serve workers compress in-process
+        before shipping results over the queue).
         """
         path = self._record_path(record.run_id)
         if path.exists():
+            self.touch(record.run_id)
             return record.run_id, True
-        if timeline is not None:
+        if compressed_timeline is None and timeline is not None:
+            compressed_timeline = compress_timeline(timeline)
+        if compressed_timeline is not None:
             self._atomic_write(self._timeline_path(record.run_id),
-                               compress_timeline(timeline))
+                               compressed_timeline)
         self._atomic_write(
             path,
             (json.dumps(record.to_dict(), sort_keys=True, indent=1)
@@ -87,13 +117,37 @@ class ProvenanceStore:
         )
         return record.run_id, False
 
+    # -- usage recency ------------------------------------------------------
+
+    def touch(self, run_id: str) -> None:
+        """Record that ``run_id`` was just used (cache hit / retrieval).
+
+        Best-effort: a concurrent ``gc`` may have deleted the record (or
+        its whole shard directory) between our caller's check and now —
+        losing one touch is harmless, so never raise.
+        """
+        try:
+            self._touch_path(run_id).touch()
+        except OSError:
+            pass
+
+    def last_used(self, run_id: str) -> float | None:
+        """Epoch seconds of the most recent touch, or None if never
+        touched since creation."""
+        try:
+            return self._touch_path(run_id).stat().st_mtime
+        except OSError:
+            return None
+
     # -- reading ------------------------------------------------------------
 
     def ids(self) -> list[str]:
-        """All record ids, sorted."""
+        """All record ids, sorted.  In-flight/stale ``*.tmp<pid>`` files
+        and ``*.touch`` sidecars are never listed."""
         if not self.records_dir.is_dir():
             return []
-        return sorted(p.stem for p in self.records_dir.glob("*/*.json"))
+        return sorted(p.stem for p in self.records_dir.glob("*/*.json")
+                      if ".tmp" not in p.name)
 
     def resolve(self, id_or_prefix: str) -> str:
         """Resolve a (possibly abbreviated) record id."""
@@ -111,9 +165,14 @@ class ProvenanceStore:
                 f"{', '.join(m[:12] for m in matches[:5])}...")
         return matches[0]
 
-    def get(self, id_or_prefix: str) -> RunRecord:
+    def get(self, id_or_prefix: str, *, touch: bool = True) -> RunRecord:
+        """Retrieve one record.  Retrieval counts as *use* (it refreshes
+        the record's eviction age) unless ``touch=False`` — bulk listing
+        (:meth:`records`) does not mark every record used."""
         run_id = self.resolve(id_or_prefix)
         data = json.loads(self._record_path(run_id).read_text())
+        if touch:
+            self.touch(run_id)
         return RunRecord.from_dict(data)
 
     def load_timeline(self, record: RunRecord
@@ -125,7 +184,7 @@ class ProvenanceStore:
         return decompress_timeline(path.read_bytes())
 
     def records(self) -> list[RunRecord]:
-        return [self.get(i) for i in self.ids()]
+        return [self.get(i, touch=False) for i in self.ids()]
 
     def size_bytes(self) -> int:
         if not self.records_dir.is_dir():
@@ -142,14 +201,71 @@ class ProvenanceStore:
     # -- garbage collection -------------------------------------------------
 
     def delete(self, run_id: str) -> int:
-        """Remove one record + its event stream; returns bytes freed."""
+        """Remove one record + its sidecars; returns bytes freed.
+
+        Safe against a concurrent delete of the same record: a path that
+        vanishes between the stat and the unlink simply counts as
+        already freed by the other process.
+        """
         freed = 0
         for path in (self._record_path(run_id),
-                     self._timeline_path(run_id)):
-            if path.exists():
-                freed += path.stat().st_size
+                     self._timeline_path(run_id),
+                     self._touch_path(run_id)):
+            try:
+                size = path.stat().st_size
                 path.unlink()
+            except OSError:
+                continue
+            freed += size
         return freed
+
+    # -- stale tmp files ----------------------------------------------------
+
+    @staticmethod
+    def _tmp_is_stale(path: Path, now: float) -> bool:
+        """A ``*.tmp<pid>`` file is stale once its writer is provably
+        gone (the pid no longer exists) or, when the pid cannot be
+        judged (unparseable, recycled, or another user's), once it is
+        older than :data:`TMP_GRACE_S` — an in-flight atomic write lives
+        milliseconds, not hours."""
+        _, _, pid_s = path.name.rpartition(".tmp")
+        try:
+            pid = int(pid_s)
+        except ValueError:
+            pid = None
+        if pid is not None:
+            if pid == os.getpid():
+                return False            # our own in-flight write
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True             # writer died mid-replace
+            except PermissionError:
+                pass                    # alive, other user
+        try:
+            return now - path.stat().st_mtime > TMP_GRACE_S
+        except OSError:
+            return False                # vanished: writer completed
+
+    def sweep_tmp(self, *, now: float | None = None,
+                  dry_run: bool = False) -> tuple[int, int]:
+        """Delete crash-leftover tmp files; returns (count, bytes)."""
+        if not self.records_dir.is_dir():
+            return 0, 0
+        now = time.time() if now is None else now
+        swept = nbytes = 0
+        for path in self.records_dir.glob("*/*.tmp*"):
+            if not self._tmp_is_stale(path, now):
+                continue
+            try:
+                size = path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+            except OSError:
+                continue
+            swept += 1
+            nbytes += size
+        return swept, nbytes
 
     def gc(self, *, keep: frozenset[str] | set[str] = frozenset(),
            max_age_s: float | None = None,
@@ -159,27 +275,45 @@ class ProvenanceStore:
         """Collect garbage under an age and/or size budget.
 
         ``keep`` holds *spec digests* that must survive regardless of
-        budget (the pinned corpus).  Eviction order is oldest-first by
-        ``created_at``.
+        budget (the pinned corpus).  Eviction order is least-recently
+        *used* first — ``max(created_at, last_used)`` — so cache hits
+        keep a record young without touching ``created_at``.
+
+        Safe to run while other processes put/get/gc the same store: a
+        record that vanishes or is half-visible between the listing and
+        its read is skipped (and counted), never a crash.  Stale tmp
+        files from crashed writers are swept as a side effect.
         """
         now = time.time() if now is None else now
-        entries = []   # (created_at, run_id, spec_digest, bytes)
+        entries = []   # (last_used, run_id, spec_digest, bytes)
+        skipped = 0
         for run_id in self.ids():
             rec_path = self._record_path(run_id)
             tl_path = self._timeline_path(run_id)
-            data = json.loads(rec_path.read_text())
-            nbytes = rec_path.stat().st_size
-            if tl_path.exists():
+            try:
+                data = json.loads(rec_path.read_text())
+                nbytes = rec_path.stat().st_size
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                # Deleted by a concurrent gc, or listed mid-write by a
+                # non-atomic producer: not ours to judge this cycle.
+                skipped += 1
+                continue
+            try:
                 nbytes += tl_path.stat().st_size
-            entries.append((data.get("created_at", 0.0), run_id,
-                            data.get("spec_digest", ""), nbytes))
+            except OSError:
+                pass
+            created = data.get("created_at", 0.0)
+            touched = self.last_used(run_id)
+            last = created if touched is None else max(created, touched)
+            entries.append((last, run_id, data.get("spec_digest", ""),
+                            nbytes))
         entries.sort()
 
         doomed: list[str] = []
         protected = 0
         if max_age_s is not None:
-            for created, run_id, digest, _ in entries:
-                if now - created > max_age_s:
+            for last, run_id, digest, _ in entries:
+                if now - last > max_age_s:
                     if digest in keep:
                         protected += 1
                     else:
@@ -188,7 +322,7 @@ class ProvenanceStore:
             doomed_set = set(doomed)
             total = sum(nb for _, run_id, _, nb in entries
                         if run_id not in doomed_set)
-            for created, run_id, digest, nb in entries:
+            for last, run_id, digest, nb in entries:
                 if total <= max_bytes:
                     break
                 if run_id in doomed_set:
@@ -203,10 +337,13 @@ class ProvenanceStore:
         if not dry_run:
             for run_id in doomed:
                 freed += self.delete(run_id)
+        swept_tmp, tmp_bytes = self.sweep_tmp(now=now, dry_run=dry_run)
         return GcReport(scanned=len(entries), deleted=len(doomed),
-                        protected=protected, freed_bytes=freed,
+                        protected=protected,
+                        freed_bytes=freed + (0 if dry_run else tmp_bytes),
                         remaining=len(entries) - len(doomed),
-                        deleted_ids=tuple(doomed), dry_run=dry_run)
+                        deleted_ids=tuple(doomed), dry_run=dry_run,
+                        skipped=skipped, swept_tmp=swept_tmp)
 
 
 @dataclass(frozen=True)
@@ -218,6 +355,11 @@ class GcReport:
     remaining: int
     deleted_ids: tuple[str, ...]
     dry_run: bool = False
+    #: records that vanished / were unreadable mid-scan (concurrent
+    #: writer or gc) — skipped this cycle, not an error
+    skipped: int = 0
+    #: crash-leftover ``*.tmp<pid>`` files swept
+    swept_tmp: int = 0
 
     def to_dict(self) -> dict:
         return {"scanned": self.scanned, "deleted": self.deleted,
@@ -225,4 +367,6 @@ class GcReport:
                 "freed_bytes": self.freed_bytes,
                 "remaining": self.remaining,
                 "deleted_ids": list(self.deleted_ids),
-                "dry_run": self.dry_run}
+                "dry_run": self.dry_run,
+                "skipped": self.skipped,
+                "swept_tmp": self.swept_tmp}

@@ -1,0 +1,57 @@
+"""``repro serve`` — the multi-tenant job service on the provenance
+cache.
+
+Everything this repo runs is deterministic by contract, which makes
+every job perfectly memoizable: the service keys submissions by
+``sha256(spec.canonical + code_version)``, serves repeats straight from
+the content-addressed :class:`~repro.provenance.ProvenanceStore`, and
+coalesces identical *in-flight* submissions onto one execution
+(single-flight).  Architecture: a real asyncio edge
+(:class:`JobService`), a multiprocess :class:`WorkerPool` running each
+job in simulated time, and clients (:class:`ServeClient`,
+:class:`AsyncServeClient`) speaking a line-JSON protocol over a Unix
+socket or localhost TCP.  See ``docs/ARCHITECTURE.md`` §16.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import (
+    AsyncServeClient,
+    ServeClient,
+    ServeConnectionError,
+    SubmitReply,
+)
+from repro.serve.pool import WorkerPool, execute_spec
+from repro.serve.protocol import (
+    CACHE_COALESCED,
+    CACHE_HIT,
+    CACHE_INFLIGHT,
+    CACHE_MISS,
+    MAX_LINE,
+    ProtocolError,
+)
+from repro.serve.server import (
+    DEFAULT_SOCKET,
+    JobService,
+    ServeStats,
+    ServiceThread,
+)
+
+__all__ = [
+    "CACHE_COALESCED",
+    "CACHE_HIT",
+    "CACHE_INFLIGHT",
+    "CACHE_MISS",
+    "DEFAULT_SOCKET",
+    "MAX_LINE",
+    "AsyncServeClient",
+    "JobService",
+    "ProtocolError",
+    "ResultCache",
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeStats",
+    "ServiceThread",
+    "SubmitReply",
+    "WorkerPool",
+    "execute_spec",
+]

@@ -1,0 +1,70 @@
+"""The content-addressed result cache the job service fronts.
+
+A thin, counting layer over :class:`~repro.provenance.ProvenanceStore`:
+the cache *is* the store — ``repro serve`` results are ordinary
+provenance records, so everything recorded by ``--provenance`` runs,
+chaos campaigns, or another server sharing the root is a potential hit,
+and everything the service executes is replayable/diffable with the
+normal forensics tools.
+
+Keying: ``run_id = sha256(spec.canonical() + "\\n" + code_version)``
+(:func:`repro.provenance.record.run_id_for`) — the same spec under
+changed sources is a different entry, so a stale binary can never serve
+yesterday's timeline.  The code version is digested once at
+construction; restart the service after changing sources.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.harness.jobspec import JobSpec, code_version
+from repro.provenance.record import RunRecord, run_id_for
+from repro.provenance.store import ProvenanceStore
+
+
+class ResultCache:
+    """Content-addressed record cache over a provenance store."""
+
+    def __init__(self, store: ProvenanceStore):
+        self.store = store
+        self.code_version = code_version()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec: JobSpec) -> str:
+        return run_id_for(spec, self.code_version)
+
+    def get(self, run_id: str) -> RunRecord | None:
+        """The stored record, or None.  A hit counts as *use* (the
+        store refreshes the record's eviction age); a record deleted by
+        a concurrent gc between the membership check and the read is a
+        miss, not a crash."""
+        if run_id not in self.store:
+            self.misses += 1
+            return None
+        try:
+            record = self.store.get(run_id)
+        except (OSError, ValueError, KeyError, ReproError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, record: RunRecord,
+            compressed_timeline: bytes | None = None) -> tuple[str, bool]:
+        """File an executed result; append-only (a concurrent identical
+        execution that won the race leaves the original untouched)."""
+        return self.store.put(record,
+                              compressed_timeline=compressed_timeline)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            "records": len(self.store),
+            "store_bytes": self.store.size_bytes(),
+            "store_root": str(self.store.root),
+            "code_version": self.code_version,
+        }

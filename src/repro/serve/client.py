@@ -1,0 +1,226 @@
+"""Clients for the ``repro serve`` job service.
+
+:class:`ServeClient` is synchronous (plain sockets, one connection per
+request — cheap over Unix sockets and it keeps every call independent);
+:class:`AsyncServeClient` is the asyncio twin for callers that want to
+hold thousands of submissions open concurrently.  Both speak
+:mod:`repro.serve.protocol` and return :class:`SubmitReply` for the
+job-shaped verbs.
+
+    >>> with ServeClient(socket_path=".repro/serve.sock") as c:
+    ...     r = c.submit(JobSpec(app="hello", nvp=2))
+    ...     r.cache, r.run_id[:12]          # 'miss' first, 'hit' after
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.harness.jobspec import JobSpec
+from repro.provenance.record import RunRecord
+from repro.serve import protocol
+
+
+class ServeConnectionError(ReproError):
+    """The service is unreachable or hung up mid-reply."""
+
+
+@dataclass
+class SubmitReply:
+    """One submit/await outcome as the client sees it."""
+
+    ok: bool
+    run_id: str | None = None
+    #: ``hit`` | ``miss`` | ``coalesced`` | ``inflight`` (wait=False)
+    cache: str | None = None
+    record: dict[str, Any] | None = None
+    error: str | None = None
+    #: client-side wall seconds for the round trip
+    wall_s: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.cache == protocol.CACHE_HIT
+
+    def run_record(self) -> RunRecord:
+        if self.record is None:
+            raise ReproError(f"no record in reply: {self.error or self}")
+        return RunRecord.from_dict(self.record)
+
+    @classmethod
+    def from_reply(cls, reply: dict[str, Any],
+                   wall_s: float = 0.0) -> "SubmitReply":
+        return cls(ok=bool(reply.get("ok")),
+                   run_id=reply.get("run_id"),
+                   cache=reply.get("cache"),
+                   record=reply.get("record"),
+                   error=reply.get("error"),
+                   wall_s=wall_s)
+
+
+def _spec_dict(spec: JobSpec | dict[str, Any]) -> dict[str, Any]:
+    return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+
+
+class ServeClient:
+    """Synchronous client; one connection per request."""
+
+    def __init__(self, socket_path: str | Path | None = None, *,
+                 host: str | None = None, port: int | None = None,
+                 timeout: float | None = None):
+        if socket_path is None and host is None:
+            raise ReproError("need a socket_path or a host/port")
+        self.socket_path = str(socket_path) if socket_path else None
+        self.host, self.port = host, port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port or 0), timeout=self.timeout)
+        except OSError as e:
+            raise ServeConnectionError(
+                f"cannot reach serve at "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {e}"
+            ) from None
+        try:
+            sock.sendall(protocol.encode(msg))
+            chunks = []
+            total = 0
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                total += len(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+                if total > protocol.MAX_LINE:
+                    raise protocol.ProtocolError(
+                        f"reply exceeds {protocol.MAX_LINE} bytes")
+        except OSError as e:
+            raise ServeConnectionError(f"serve connection lost: {e}") \
+                from None
+        finally:
+            sock.close()
+        line = b"".join(chunks)
+        if not line:
+            raise ServeConnectionError("serve hung up without a reply")
+        return protocol.decode(line)
+
+    # -- verbs --------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict[str, Any], *,
+               wait: bool = True) -> SubmitReply:
+        t0 = time.perf_counter()
+        reply = self._request({"op": protocol.OP_SUBMIT,
+                               "spec": _spec_dict(spec), "wait": wait})
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+
+    def await_result(self, run_id: str) -> SubmitReply:
+        t0 = time.perf_counter()
+        reply = self._request({"op": protocol.OP_AWAIT, "run_id": run_id})
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+
+    def status(self, run_id: str) -> str:
+        reply = self._request({"op": protocol.OP_STATUS, "run_id": run_id})
+        return reply.get("state", "unknown")
+
+    def stats(self) -> dict[str, Any]:
+        reply = self._request({"op": protocol.OP_STATS})
+        if not reply.get("ok"):
+            raise ReproError(f"stats failed: {reply.get('error')}")
+        return reply["stats"]
+
+    def ping(self) -> dict[str, Any]:
+        return self._request({"op": protocol.OP_PING})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._request({"op": protocol.OP_SHUTDOWN})
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+class AsyncServeClient:
+    """Asyncio client; one connection per request, so thousands of
+    submissions can be held open concurrently with ``asyncio.gather``."""
+
+    def __init__(self, socket_path: str | Path | None = None, *,
+                 host: str | None = None, port: int | None = None):
+        if socket_path is None and host is None:
+            raise ReproError("need a socket_path or a host/port")
+        self.socket_path = str(socket_path) if socket_path else None
+        self.host, self.port = host, port
+
+    async def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        try:
+            if self.socket_path is not None:
+                reader, writer = await asyncio.open_unix_connection(
+                    self.socket_path, limit=protocol.MAX_LINE)
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=protocol.MAX_LINE)
+        except OSError as e:
+            raise ServeConnectionError(
+                f"cannot reach serve at "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {e}"
+            ) from None
+        try:
+            await protocol.write_message(writer, msg)
+            reply = await protocol.read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+        if reply is None:
+            raise ServeConnectionError("serve hung up without a reply")
+        return reply
+
+    async def submit(self, spec: JobSpec | dict[str, Any], *,
+                     wait: bool = True) -> SubmitReply:
+        t0 = time.perf_counter()
+        reply = await self._request({"op": protocol.OP_SUBMIT,
+                                     "spec": _spec_dict(spec),
+                                     "wait": wait})
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+
+    async def await_result(self, run_id: str) -> SubmitReply:
+        reply = await self._request({"op": protocol.OP_AWAIT,
+                                     "run_id": run_id})
+        return SubmitReply.from_reply(reply)
+
+    async def status(self, run_id: str) -> str:
+        reply = await self._request({"op": protocol.OP_STATUS,
+                                     "run_id": run_id})
+        return reply.get("state", "unknown")
+
+    async def stats(self) -> dict[str, Any]:
+        reply = await self._request({"op": protocol.OP_STATS})
+        if not reply.get("ok"):
+            raise ReproError(f"stats failed: {reply.get('error')}")
+        return reply["stats"]
+
+    async def ping(self) -> dict[str, Any]:
+        return await self._request({"op": protocol.OP_PING})
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self._request({"op": protocol.OP_SHUTDOWN})

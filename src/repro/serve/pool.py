@@ -1,0 +1,224 @@
+"""The multiprocess worker pool that executes submitted specs.
+
+The doeff-style runtime split: the service edge is real-async
+(:mod:`repro.serve.server` on asyncio), while every job runs entirely
+in *simulated* time inside a worker.  Workers are OS processes
+(``mode="process"``, the default) so N jobs really execute in parallel
+and a crashing simulation cannot take the front-end down; each worker
+runs one job at a time, start to finish — the simulator's process-wide
+state (pooled ULT backend, loader namespaces) is never shared between
+concurrently running jobs.
+
+Workers execute through :func:`repro.harness.jobspec.run_spec_job`
+under an *exclusive* :func:`~repro.harness.jobspec.result_hook_scope`,
+so recording is explicit per job — a process-global ``--provenance``
+auto-recorder in the host process can never double-record (or
+cross-record) service jobs.  ``strict=False``: a deterministic
+unrecoverable run is a *result* (with ``unrecoverable_reason`` set),
+and results are cacheable.
+
+``mode="thread"`` trades parallelism for startup cost: workers are
+threads in the current process, execution is serialized by a lock (the
+simulator's process-wide state is not reentrant) and forced onto the
+thread-per-ULT backend (the pooled backend is process-global).  It
+exists for tests and short-lived in-process servers; the scalable path
+is processes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Any
+
+from repro.harness.jobspec import JobSpec, result_hook_scope, run_spec_job
+from repro.provenance.record import RunRecord
+from repro.trace.stream import compress_timeline
+
+
+def execute_spec(spec_dict: dict[str, Any], *,
+                 ult_backend: str | None = None) -> dict[str, Any]:
+    """Run one spec dict to completion; never raises.
+
+    Returns ``{"record": RunRecord.to_dict(), "timeline_z": bytes,
+    "error": None}`` on success (including structured-unrecoverable
+    runs), or ``{"record": None, "timeline_z": None, "error": str}``
+    when the job cannot be built or dies unstructured.
+    """
+    runtime: dict[str, Any] = {"strict": False}
+    if ult_backend is not None:
+        runtime["ult_backend"] = ult_backend
+    try:
+        spec = JobSpec.from_dict(dict(spec_dict))
+        with result_hook_scope(exclusive=True):
+            job, result = run_spec_job(spec, **runtime)
+        record = RunRecord.from_run(spec, job, result)
+        return {"record": record.to_dict(),
+                "timeline_z": compress_timeline(job.scheduler.timeline),
+                "error": None}
+    except Exception as e:
+        return {"record": None, "timeline_z": None,
+                "error": f"{type(e).__name__}: {e}"}
+
+
+def _worker_main(tasks: Any, results: Any) -> None:
+    """Process-mode worker loop: drain tasks until the None sentinel."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, spec_dict = item
+        results.put((task_id, execute_spec(spec_dict)))
+
+
+class WorkerPool:
+    """Fixed pool of spec executors with a Future-based submit API.
+
+    ``submit`` returns a :class:`concurrent.futures.Future` resolving
+    to :func:`execute_spec`'s reply dict — the asyncio server wraps it
+    with :func:`asyncio.wrap_future`.  Thread-safe.
+    """
+
+    def __init__(self, workers: int = 2, *, mode: str = "process",
+                 mp_context: str = "spawn"):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._futures: dict[int, concurrent.futures.Future] = {}
+        self._closed = False
+        if mode == "process":
+            ctx = multiprocessing.get_context(mp_context)
+            self._tasks: Any = ctx.Queue()
+            self._results = ctx.Queue()
+            self._procs = [
+                ctx.Process(target=_worker_main,
+                            args=(self._tasks, self._results), daemon=True)
+                for _ in range(workers)
+            ]
+            for p in self._procs:
+                p.start()
+            self._reader = threading.Thread(
+                target=self._drain_results, name="serve-pool-reader",
+                daemon=True)
+            self._reader.start()
+            self._monitor = threading.Thread(
+                target=self._watch_workers, name="serve-pool-monitor",
+                daemon=True)
+            self._monitor.start()
+        else:
+            self._procs = []
+            self._tasks = queue.Queue()
+            # The simulator's process-wide state is not reentrant:
+            # thread-mode workers execute one job at a time.
+            self._exec_lock = threading.Lock()
+            self._threads = [
+                threading.Thread(target=self._thread_worker,
+                                 name=f"serve-worker-{i}", daemon=True)
+                for i in range(workers)
+            ]
+            for t in self._threads:
+                t.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec_dict: dict[str, Any]
+               ) -> concurrent.futures.Future:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        fut: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            task_id = next(self._seq)
+            self._futures[task_id] = fut
+        self._tasks.put((task_id, spec_dict))
+        return fut
+
+    def _resolve(self, task_id: int, out: dict[str, Any]) -> None:
+        with self._lock:
+            fut = self._futures.pop(task_id, None)
+        if fut is not None and not fut.done():
+            fut.set_result(out)
+
+    # -- process mode -------------------------------------------------------
+
+    def _drain_results(self) -> None:
+        while True:
+            item = self._results.get()
+            if item is None:
+                return
+            task_id, out = item
+            self._resolve(task_id, out)
+
+    def _watch_workers(self) -> None:
+        """Fail pending futures if every worker dies (e.g. the spawn
+        bootstrap cannot re-import the host program) — a hung client is
+        worse than an error reply."""
+        while not self._closed:
+            if all(not p.is_alive() for p in self._procs):
+                with self._lock:
+                    pending = list(self._futures.values())
+                    self._futures.clear()
+                for fut in pending:
+                    if not fut.done():
+                        fut.set_result({
+                            "record": None, "timeline_z": None,
+                            "error": "all pool workers died"})
+            time.sleep(0.5)
+
+    # -- thread mode --------------------------------------------------------
+
+    def _thread_worker(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            task_id, spec_dict = item
+            with self._exec_lock:
+                out = execute_spec(spec_dict, ult_backend="thread")
+            self._resolve(task_id, out)
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop accepting work and reap the workers.  Futures still
+        pending afterwards resolve to a structured pool-closed error
+        (the server drains in-flight jobs before closing, so in
+        practice there are none)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in range(self.workers):
+            self._tasks.put(None)
+        if self.mode == "process":
+            for p in self._procs:
+                p.join(timeout=timeout)
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            self._results.put(None)
+            self._reader.join(timeout=timeout)
+        else:
+            for t in self._threads:
+                t.join(timeout=timeout)
+        with self._lock:
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for fut in pending:
+            if not fut.done():
+                fut.set_result({"record": None, "timeline_z": None,
+                                "error": "worker pool closed"})
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

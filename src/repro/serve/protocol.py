@@ -1,0 +1,97 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON messages.
+
+One request per line, one reply per line, over a Unix-domain socket
+(default) or a localhost TCP connection.  A connection may carry any
+number of sequential requests; concurrency comes from concurrent
+connections (the server handles each connection in its own asyncio
+task, and a ``submit`` with ``wait`` holds only its own connection).
+
+Requests (``op`` selects the verb)::
+
+    {"op": "submit", "spec": {...JobSpec.to_dict()...}, "wait": true}
+    {"op": "await",  "run_id": "<64-hex>"}
+    {"op": "status", "run_id": "<64-hex>"}
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+Replies always carry ``ok``.  A successful ``submit``/``await`` reply
+carries ``run_id``, ``cache`` (``hit`` — served from the store;
+``miss`` — this submission executed; ``coalesced`` — attached to an
+identical in-flight execution; ``inflight`` — ``wait`` was false) and,
+once resolved, ``record`` (the stored ``RunRecord.to_dict()``).
+
+The protocol is deliberately line-based: every message is valid JSON on
+one line, so ``socat``/``nc`` sessions and log captures stay readable.
+Timelines never cross the wire — they live in the store; replies carry
+only the record (spec, digests, counters, per-PE stats).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError
+
+#: maximum encoded message size (a 1k-VP record with per-PE stats is
+#: ~200 KB; 64 MB leaves room without letting a client exhaust memory)
+MAX_LINE = 1 << 26
+
+OP_SUBMIT = "submit"
+OP_AWAIT = "await"
+OP_STATUS = "status"
+OP_STATS = "stats"
+OP_PING = "ping"
+OP_SHUTDOWN = "shutdown"
+
+OPS = (OP_SUBMIT, OP_AWAIT, OP_STATUS, OP_STATS, OP_PING, OP_SHUTDOWN)
+
+#: ``cache`` values a submit/await reply can carry
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_COALESCED = "coalesced"
+CACHE_INFLIGHT = "inflight"
+
+
+class ProtocolError(ReproError):
+    """Malformed frame or message on the serve protocol."""
+
+
+def encode(msg: dict[str, Any]) -> bytes:
+    """One message -> one JSON line (sorted keys, compact)."""
+    return (json.dumps(msg, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise ProtocolError(f"bad message: {e}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"message must be a JSON object, "
+                            f"got {type(msg).__name__}")
+    return msg
+
+
+def error_reply(error: str, **extra: Any) -> dict[str, Any]:
+    return {"ok": False, "error": error, **extra}
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one message; None on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError(f"message exceeds {MAX_LINE} bytes") from None
+    if not line:
+        return None
+    return decode(line)
+
+
+async def write_message(writer: asyncio.StreamWriter,
+                        msg: dict[str, Any]) -> None:
+    writer.write(encode(msg))
+    await writer.drain()

@@ -1,0 +1,416 @@
+"""The multi-tenant job service: async edge, simulated time inside.
+
+:class:`JobService` accepts concurrent :class:`JobSpec` submissions
+over the line protocol (:mod:`repro.serve.protocol`), executes misses
+on a :class:`~repro.serve.pool.WorkerPool`, and serves hits straight
+from the content-addressed :class:`~repro.serve.cache.ResultCache`
+(i.e. the provenance store).  The doeff runtime split, applied: the
+edge is a real asyncio event loop doing real I/O; every job runs in
+deterministic simulated time inside a worker process.
+
+Single-flight coalescing: submissions are keyed by ``run_id =
+sha256(spec.canonical + code_version)``.  While a run_id is executing,
+every identical submission *attaches to the same execution* — an
+:class:`asyncio.Future` per in-flight id — instead of re-running; all
+attached clients receive the one stored record, byte-identical.  With
+results deterministic by contract, deduplicating in-flight requests is
+as much of the "millions of users" story as the cache itself (cf. the
+request-cloning reproduction in PAPERS.md: identical concurrent
+requests are the common case under real traffic, not the corner case).
+
+The service may also run its own janitor (``gc_every_s``): periodic
+``store.gc`` under the configured age/size budget, off the event loop.
+The store's concurrency hardening makes this safe while workers write
+— and last-used-based eviction means a hot cache entry never ages out
+under it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.harness.jobspec import JobSpec, app_names
+from repro.provenance.record import RunRecord
+from repro.provenance.store import ProvenanceStore
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.pool import WorkerPool
+
+_log = logging.getLogger(__name__)
+
+#: default Unix socket path, relative to the working directory
+DEFAULT_SOCKET = ".repro/serve.sock"
+
+
+@dataclass
+class ServeStats:
+    """Service-lifetime counters (``stats`` op / load-gen reporting)."""
+
+    submissions: int = 0
+    hits: int = 0           #: served straight from the store
+    executed: int = 0       #: dispatched to the worker pool
+    coalesced: int = 0      #: attached to an identical in-flight run
+    errors: int = 0         #: executions that died unstructured
+    invalid: int = 0        #: submissions rejected before keying
+    gc_cycles: int = 0
+    gc_errors: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submissions": self.submissions,
+            "hits": self.hits,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "invalid": self.invalid,
+            "gc_cycles": self.gc_cycles,
+            "gc_errors": self.gc_errors,
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+
+class JobService:
+    """Asyncio front-end + worker pool + result cache, one object.
+
+    Lifecycle: ``await start()`` binds the socket and spawns workers;
+    ``await run()`` serves until :meth:`request_shutdown` (also
+    reachable as the ``shutdown`` op); ``await close()`` drains.  For
+    synchronous hosts (tests, the bench) use :class:`ServiceThread`.
+    """
+
+    def __init__(self, store: ProvenanceStore | str | Path | None = None,
+                 *,
+                 workers: int = 2,
+                 socket_path: str | Path | None = None,
+                 host: str | None = None,
+                 port: int = 0,
+                 worker_mode: str = "process",
+                 mp_context: str = "spawn",
+                 gc_every_s: float | None = None,
+                 gc_max_age_s: float | None = None,
+                 gc_max_bytes: int | None = None,
+                 gc_keep: frozenset[str] = frozenset()):
+        self.store = (store if isinstance(store, ProvenanceStore)
+                      else ProvenanceStore(store))
+        self.cache = ResultCache(self.store)
+        self.workers = workers
+        self.worker_mode = worker_mode
+        self.mp_context = mp_context
+        if socket_path is None and host is None:
+            socket_path = DEFAULT_SOCKET
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.host = host
+        self.port = port
+        self.gc_every_s = gc_every_s
+        self.gc_max_age_s = gc_max_age_s
+        self.gc_max_bytes = gc_max_bytes
+        self.gc_keep = gc_keep
+        self.stats = ServeStats()
+        self._pool: WorkerPool | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._shutdown: asyncio.Event | None = None
+        self._gc_task: asyncio.Task | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._pool = WorkerPool(self.workers, mode=self.worker_mode,
+                                mp_context=self.mp_context)
+        if self.socket_path is not None:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            with contextlib.suppress(OSError):
+                self.socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=str(self.socket_path),
+                limit=protocol.MAX_LINE)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self.host, port=self.port,
+                limit=protocol.MAX_LINE)
+            self.port = self._server.sockets[0].getsockname()[1]
+        if self.gc_every_s is not None:
+            self._gc_task = asyncio.get_running_loop().create_task(
+                self._gc_loop())
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def run(self) -> None:
+        """Serve until shutdown is requested, then drain and close."""
+        if self._server is None:
+            await self.start()
+        assert self._shutdown is not None
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._gc_task
+            self._gc_task = None
+        # Drain in-flight executions so attached waiters resolve and
+        # completed results still land in the store.
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight.values()),
+                                 return_exceptions=True)
+        if self._pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.close)
+            self._pool = None
+        if self.socket_path is not None:
+            with contextlib.suppress(OSError):
+                self.socket_path.unlink()
+
+    # -- the janitor --------------------------------------------------------
+
+    async def _gc_loop(self) -> None:
+        assert self.gc_every_s is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.gc_every_s)
+            try:
+                await loop.run_in_executor(
+                    None, lambda: self.store.gc(
+                        keep=self.gc_keep,
+                        max_age_s=self.gc_max_age_s,
+                        max_bytes=self.gc_max_bytes))
+                self.stats.gc_cycles += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.stats.gc_errors += 1
+                _log.exception("serve gc cycle failed")
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_message(reader)
+                except protocol.ProtocolError as e:
+                    await protocol.write_message(
+                        writer, protocol.error_reply(str(e)))
+                    break
+                if msg is None:
+                    break
+                reply = await self._dispatch(msg)
+                await protocol.write_message(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, msg: dict[str, Any]) -> dict[str, Any]:
+        op = msg.get("op")
+        if op == protocol.OP_PING:
+            return {"ok": True, "op": "pong",
+                    "code_version": self.cache.code_version}
+        if op == protocol.OP_STATS:
+            return {"ok": True,
+                    "stats": {**self.stats.to_dict(),
+                              "inflight": self.inflight,
+                              "workers": self.workers,
+                              "worker_mode": self.worker_mode,
+                              "endpoint": self.endpoint,
+                              **self.cache.stats()}}
+        if op == protocol.OP_SUBMIT:
+            return await self.submit(msg.get("spec"),
+                                     wait=bool(msg.get("wait", True)))
+        if op == protocol.OP_AWAIT:
+            return await self.await_result(str(msg.get("run_id", "")))
+        if op == protocol.OP_STATUS:
+            return self.status(str(msg.get("run_id", "")))
+        if op == protocol.OP_SHUTDOWN:
+            self.request_shutdown()
+            return {"ok": True, "op": "shutdown"}
+        return protocol.error_reply(f"unknown op {op!r}")
+
+    # -- the submit path ----------------------------------------------------
+
+    async def submit(self, spec_dict: Any,
+                     wait: bool = True) -> dict[str, Any]:
+        """Submit one spec: hit, coalesce, or execute."""
+        self.stats.submissions += 1
+        if not isinstance(spec_dict, dict):
+            self.stats.invalid += 1
+            return protocol.error_reply("submit needs a spec object")
+        try:
+            spec = JobSpec.from_dict(dict(spec_dict))
+        except (ReproError, TypeError, ValueError) as e:
+            self.stats.invalid += 1
+            return protocol.error_reply(f"bad spec: {e}")
+        if spec.app not in app_names():
+            self.stats.invalid += 1
+            return protocol.error_reply(
+                f"bad spec: unknown app {spec.app!r}; "
+                f"registered: {app_names()}")
+        run_id = self.cache.key(spec)
+
+        record = self.cache.get(run_id)
+        if record is not None:
+            self.stats.hits += 1
+            return {"ok": True, "run_id": run_id,
+                    "cache": protocol.CACHE_HIT,
+                    "record": record.to_dict()}
+
+        fut = self._inflight.get(run_id)
+        if fut is not None:
+            self.stats.coalesced += 1
+            cache = protocol.CACHE_COALESCED
+        else:
+            fut = self._launch(run_id, spec)
+            cache = protocol.CACHE_MISS
+        if not wait:
+            return {"ok": True, "run_id": run_id,
+                    "cache": protocol.CACHE_INFLIGHT}
+        reply = dict(await fut)
+        if reply.get("ok"):
+            reply["cache"] = cache
+        return reply
+
+    def _launch(self, run_id: str, spec: JobSpec) -> asyncio.Future:
+        """Dispatch one execution; registers the single-flight future."""
+        assert self._pool is not None
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._inflight[run_id] = fut
+        self.stats.executed += 1
+        pool_fut = asyncio.wrap_future(self._pool.submit(spec.to_dict()),
+                                       loop=loop)
+        loop.create_task(self._finish(run_id, pool_fut, fut))
+        return fut
+
+    async def _finish(self, run_id: str, pool_fut: asyncio.Future,
+                      fut: asyncio.Future) -> None:
+        try:
+            out = await pool_fut
+        except Exception as e:  # wrap_future surfaced a pool failure
+            out = {"record": None, "timeline_z": None,
+                   "error": f"{type(e).__name__}: {e}"}
+        if out.get("error") is not None or out.get("record") is None:
+            self.stats.errors += 1
+            reply = protocol.error_reply(
+                out.get("error") or "worker returned no record",
+                run_id=run_id)
+        else:
+            record = RunRecord.from_dict(out["record"])
+            # File before resolving: every waiter observes a stored,
+            # re-readable record.  The store write is tiny; doing it on
+            # the loop keeps put-then-resolve atomic wrt new submits.
+            self.cache.put(record, out.get("timeline_z"))
+            reply = {"ok": True, "run_id": run_id, "record": out["record"]}
+        self._inflight.pop(run_id, None)
+        if not fut.done():
+            fut.set_result(reply)
+
+    # -- status / await -----------------------------------------------------
+
+    async def await_result(self, run_id: str) -> dict[str, Any]:
+        """Block until ``run_id`` resolves (submitted earlier with
+        ``wait=false``), or serve it from the store."""
+        fut = self._inflight.get(run_id)
+        if fut is not None:
+            reply = dict(await fut)
+            if reply.get("ok"):
+                reply["cache"] = protocol.CACHE_COALESCED
+            return reply
+        record = self.cache.get(run_id)
+        if record is not None:
+            return {"ok": True, "run_id": run_id,
+                    "cache": protocol.CACHE_HIT,
+                    "record": record.to_dict()}
+        return protocol.error_reply(f"unknown run id {run_id[:12]!r}",
+                                    run_id=run_id)
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        if run_id in self._inflight:
+            state = "inflight"
+        elif run_id in self.store:
+            state = "done"
+        else:
+            state = "unknown"
+        return {"ok": True, "run_id": run_id, "state": state}
+
+
+class ServiceThread:
+    """Run a :class:`JobService` on a private event loop in a daemon
+    thread — the bridge for synchronous hosts (the bench, tests, the
+    smoke script's subprocess-free mode)."""
+
+    def __init__(self, service: JobService):
+        self.service = service
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as e:  # surface startup/serve failures
+            self._error = e
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.service.start()
+        self._ready.set()
+        await self.service.run()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._error is not None:
+            raise RuntimeError(
+                f"serve thread failed to start: {self._error}"
+            ) from self._error
+        if not self._ready.is_set():
+            raise RuntimeError("serve thread did not come up in 60s")
+        return self
+
+    def stop(self, *, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            # The loop may close between the liveness check and the
+            # call (a client sent the shutdown op): already stopped.
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(
+                    self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

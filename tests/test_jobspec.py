@@ -196,6 +196,65 @@ class TestResultHooks:
     def test_remove_unknown_hook_is_noop(self):
         js.remove_result_hook(lambda *a: None)
 
+    def test_raising_hook_does_not_fail_the_run(self, caplog):
+        # Regression: a crashing observer (e.g. a recorder hitting a
+        # full disk) must not make a completed job look failed.
+        def bad_hook(spec, job, result):
+            raise OSError("disk full")
+
+        seen = []
+        js.add_result_hook(bad_hook)
+        js.add_result_hook(lambda spec, job, result: seen.append(spec.app))
+        try:
+            with caplog.at_level("ERROR", logger="repro.harness.jobspec"):
+                result = run_spec(
+                    JobSpec(app="hello", nvp=1, method="pieglobals"))
+        finally:
+            js.remove_result_hook(bad_hook)
+            js._result_hooks.clear()
+        assert result.exit_values          # the run itself completed
+        assert seen == ["hello"]           # later hooks still fired
+        assert any("result hook" in r.message for r in caplog.records)
+
+    def test_scoped_hooks_fire_only_inside_the_scope(self):
+        seen = []
+        spec = JobSpec(app="hello", nvp=1, method="pieglobals")
+        with js.result_hook_scope(
+                lambda s, j, r: seen.append("scoped")):
+            run_spec(spec)
+        run_spec(spec)
+        assert seen == ["scoped"]
+
+    def test_exclusive_scope_suppresses_global_hooks(self):
+        seen = []
+        hook = lambda s, j, r: seen.append("global")  # noqa: E731
+        js.add_result_hook(hook)
+        try:
+            spec = JobSpec(app="hello", nvp=1, method="pieglobals")
+            with js.result_hook_scope(
+                    lambda s, j, r: seen.append("tenant"),
+                    exclusive=True):
+                run_spec(spec)
+            run_spec(spec)
+        finally:
+            js.remove_result_hook(hook)
+        assert seen == ["tenant", "global"]
+
+    def test_scoped_hooks_are_thread_local(self):
+        import threading
+
+        seen = []
+        spec = JobSpec(app="hello", nvp=1, method="pieglobals")
+
+        def other_thread():
+            run_spec(spec)                # no scope in this thread
+
+        with js.result_hook_scope(lambda s, j, r: seen.append("scoped")):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen == []                 # tenant hooks never crossed
+
 
 class TestCodeVersion:
     def test_stable_hex(self):

@@ -116,7 +116,8 @@ class TestBenchDeterminismGate:
         }
         import repro.harness.bench as bench
         monkeypatch.setattr(
-            bench, "run_bench", lambda quick, nvp, reps: payload)
+            bench, "run_bench",
+            lambda quick, nvp, reps, serve=False: payload)
 
     def test_exit_zero_when_timelines_identical(
             self, monkeypatch, capsys, tmp_path):

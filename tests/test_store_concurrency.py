@@ -1,0 +1,243 @@
+"""Concurrency hardening of the provenance store.
+
+Covers the contract the ``repro serve`` worker pool relies on: gc
+degrades (never raises) under concurrent mutation, crash-leftover tmp
+files are swept, and usage recency (the ``.touch`` sidecar) keeps hot
+cache entries alive without falsifying ``created_at``.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.harness.jobspec import JobSpec
+from repro.provenance import ProvenanceStore, RunRecord, run_id_for
+
+
+def _fake_record(i: int, code_ver: str = "v-test") -> RunRecord:
+    """A structurally valid record without running a simulation."""
+    spec = JobSpec(app="hello", nvp=2, method="none",
+                   app_config={"seq": i})
+    return RunRecord(
+        spec=spec, run_id=run_id_for(spec, code_ver),
+        spec_digest=spec.digest(), code_version=code_ver,
+        timeline_sha256="0" * 64, events=0, makespan_ns=0, startup_ns=0,
+        counters={}, pe_stats=[], rollbacks={}, recoveries=0,
+        unrecoverable_reason=None, migrations=0, lb_moves=0,
+        exit_values={})
+
+
+def _age_record(store: ProvenanceStore, record: RunRecord,
+                age_s: float) -> None:
+    """Rewrite a stored record's created_at to ``age_s`` seconds ago."""
+    path = store._record_path(record.run_id)
+    data = json.loads(path.read_text())
+    data["created_at"] = time.time() - age_s
+    path.write_text(json.dumps(data, sort_keys=True, indent=1) + "\n")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ProvenanceStore(tmp_path / "store")
+
+
+# ---------------------------------------------------------------------------
+# gc vs. concurrent mutation
+# ---------------------------------------------------------------------------
+
+class TestGcSkips:
+    def test_corrupt_record_is_skipped_not_fatal(self, store):
+        store.put(_fake_record(0))
+        shard = store.records_dir / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        bad = shard / ("ab" + "0" * 62 + ".json")
+        bad.write_text("{half-written json")
+        report = store.gc(max_age_s=3600.0)
+        assert report.skipped == 1
+        assert report.scanned == 1      # only readable entries judged
+        assert report.deleted == 0
+        assert bad.exists()             # not ours to judge this cycle
+
+    def test_vanished_record_is_skipped(self, store, monkeypatch):
+        store.put(_fake_record(0))
+        listed = store.ids() + ["cd" + "1" * 62]   # listed, then deleted
+        monkeypatch.setattr(store, "ids", lambda: sorted(listed))
+        report = store.gc()
+        assert report.skipped == 1
+        assert report.scanned == 1
+
+    def test_skipped_lands_in_report_dict(self, store):
+        d = store.gc().to_dict()
+        assert d["skipped"] == 0 and d["swept_tmp"] == 0
+
+
+# ---------------------------------------------------------------------------
+# stale tmp files
+# ---------------------------------------------------------------------------
+
+def _shard(store: ProvenanceStore) -> "os.PathLike":
+    shard = store.records_dir / "aa"
+    shard.mkdir(parents=True, exist_ok=True)
+    return shard
+
+
+def _dead_pid() -> int:
+    """A pid that provably no longer exists (a reaped child's)."""
+    ctx = multiprocessing.get_context("fork")
+    p = ctx.Process(target=lambda: None)
+    p.start()
+    p.join()
+    return p.pid
+
+
+class TestTmpSweep:
+    def test_ids_never_list_tmp_files(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        (_shard(store) / "aa11.json.tmp12345").write_bytes(b"{}")
+        assert store.ids() == [record.run_id]
+
+    def test_dead_writer_tmp_is_swept(self, store):
+        tmp = _shard(store) / f"aa22.json.tmp{_dead_pid()}"
+        tmp.write_bytes(b"partial")
+        swept, nbytes = store.sweep_tmp()
+        assert (swept, nbytes) == (1, len(b"partial"))
+        assert not tmp.exists()
+
+    def test_own_inflight_tmp_survives(self, store):
+        tmp = _shard(store) / f"aa33.json.tmp{os.getpid()}"
+        tmp.write_bytes(b"inflight")
+        assert store.sweep_tmp() == (0, 0)
+        assert tmp.exists()
+
+    def test_unparseable_pid_uses_mtime_grace(self, store):
+        from repro.provenance.store import TMP_GRACE_S
+
+        tmp = _shard(store) / "aa44.json.tmpgarbage"
+        tmp.write_bytes(b"??")
+        now = time.time()
+        assert store.sweep_tmp(now=now) == (0, 0)          # fresh: kept
+        swept, _ = store.sweep_tmp(now=now + TMP_GRACE_S + 1)
+        assert swept == 1 and not tmp.exists()
+
+    def test_gc_sweeps_and_reports(self, store):
+        store.put(_fake_record(0))
+        tmp = _shard(store) / f"aa55.json.tmp{_dead_pid()}"
+        tmp.write_bytes(b"xxxx")
+        report = store.gc()
+        assert report.swept_tmp == 1
+        assert report.freed_bytes == 4
+        assert report.deleted == 0 and report.remaining == 1
+
+    def test_gc_dry_run_keeps_tmp(self, store):
+        tmp = _shard(store) / f"aa66.json.tmp{_dead_pid()}"
+        tmp.write_bytes(b"x")
+        report = store.gc(dry_run=True)
+        assert report.swept_tmp == 1 and report.freed_bytes == 0
+        assert tmp.exists()
+
+
+# ---------------------------------------------------------------------------
+# usage recency (last_used) vs. age eviction
+# ---------------------------------------------------------------------------
+
+class TestLastUsed:
+    def test_touch_protects_aged_record(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        _age_record(store, record, age_s=1000.0)
+        store.touch(record.run_id)
+        report = store.gc(max_age_s=100.0)
+        assert report.deleted == 0
+        assert record.run_id in store
+
+    def test_untouched_aged_record_is_collected(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        _age_record(store, record, age_s=1000.0)
+        report = store.gc(max_age_s=100.0)
+        assert report.deleted == 1
+        assert record.run_id not in store
+
+    def test_cache_hit_put_refreshes_not_created_at(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        _age_record(store, record, age_s=1000.0)
+        run_id, hit = store.put(record)       # cache hit counts as use
+        assert hit and run_id == record.run_id
+        assert store.last_used(run_id) is not None
+        assert store.gc(max_age_s=100.0).deleted == 0
+        # created_at in the JSON stays the honest (old) creation time.
+        stored = json.loads(store._record_path(run_id).read_text())
+        assert stored["created_at"] < time.time() - 900.0
+
+    def test_get_touches_but_bulk_listing_does_not(self, store):
+        a, b = _fake_record(0), _fake_record(1)
+        store.put(a)
+        store.put(b)
+        _age_record(store, a, age_s=1000.0)
+        _age_record(store, b, age_s=1000.0)
+        store.records()                       # bulk listing: no touch
+        store.get(a.run_id)                   # retrieval: touch
+        report = store.gc(max_age_s=100.0)
+        assert report.deleted_ids == (b.run_id,)
+        assert a.run_id in store
+
+    def test_delete_removes_touch_sidecar(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        store.touch(record.run_id)
+        sidecar = store._touch_path(record.run_id)
+        assert sidecar.exists()
+        store.delete(record.run_id)
+        assert not sidecar.exists()
+        assert store.last_used(record.run_id) is None
+
+
+# ---------------------------------------------------------------------------
+# real multi-process put/get/gc
+# ---------------------------------------------------------------------------
+
+def _writer(root, start: int, n: int) -> None:
+    store = ProvenanceStore(root)
+    for i in range(start, start + n):
+        store.put(_fake_record(i))
+        if i % 5 == 0:
+            store.gc(max_age_s=3600.0)     # scan while others write
+        if i % 7 == 0:
+            ids = store.ids()
+            if ids:
+                store.get(ids[0])
+
+
+class TestMultiProcess:
+    N_PER_WRITER = 25
+
+    def test_two_writers_and_a_collector(self, store):
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_writer,
+                        args=(store.root, w * self.N_PER_WRITER,
+                              self.N_PER_WRITER))
+            for w in range(2)
+        ]
+        for p in writers:
+            p.start()
+        # Collect concurrently with the writers the whole time.
+        while any(p.is_alive() for p in writers):
+            report = store.gc(max_age_s=3600.0)
+            assert report.deleted == 0
+            time.sleep(0.002)
+        for p in writers:
+            p.join()
+            assert p.exitcode == 0
+        assert len(store) == 2 * self.N_PER_WRITER
+        # Everything is still readable after the storm...
+        assert len(store.records()) == 2 * self.N_PER_WRITER
+        # ...and a budgeted gc can still drain the store completely.
+        report = store.gc(max_bytes=0)
+        assert report.deleted == 2 * self.N_PER_WRITER
+        assert len(store) == 0
