@@ -1,0 +1,379 @@
+"""Rule families 1–3 over a :class:`~repro.analyze.model.ProgramModel`.
+
+Family 1 — privatization surface inference (``pv-*``): classify every
+global's observed access pattern and cross-check it against the declared
+:class:`~repro.mem.segments.VarDef` flags and (optionally) a chosen
+privatization method's coverage.
+
+Family 2 — migration/checkpoint safety (``mig-*``): state that lives
+outside the rank's privatized segments and heap, which migration and
+checkpoint/restore silently lose or share.
+
+Family 3 — communication shape (``comm-*``): symbolic tag matching,
+collectives under rank-dependent control flow, blocking-recv-before-send
+deadlock shapes, and never-completed nonblocking requests.
+
+Family 4 (``det-*``) lives in :mod:`repro.analyze.determinism`; this
+module only adapts its events onto program functions.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.determinism import scan_tree
+from repro.analyze.model import (
+    COLLECTIVE_OPS,
+    RECV_OPS,
+    SEND_OPS,
+    GlobalWrite,
+    ProgramModel,
+)
+from repro.mem.segments import VarDef
+from repro.sanitize.findings import Finding, Severity
+
+#: inferred access classes (family 1)
+READ_ONLY = "read-only"
+WRITE_ONCE_SAME = "write-once-same"
+RANK_VARYING = "rank-varying"
+
+
+def classify_globals(model: ProgramModel) -> dict[str, str]:
+    """Observed access class for every declared or accessed global."""
+    writes: dict[str, list[GlobalWrite]] = {}
+    for w in model.all_writes():
+        writes.setdefault(w.name, []).append(w)
+    names = {v.name for v in model.source.variables}
+    names |= model.accessed_globals()
+    out: dict[str, str] = {}
+    for name in sorted(names):
+        ws = writes.get(name, [])
+        if not ws:
+            out[name] = READ_ONLY
+        elif (len(ws) == 1 and not ws[0].tainted and not ws[0].self_ref
+              and not ws[0].in_loop):
+            out[name] = WRITE_ONCE_SAME
+        else:
+            # Rank-dependent values, read-modify-write accumulation, or
+            # repeated writes: sharing one copy is order-dependent.
+            out[name] = RANK_VARYING
+    return out
+
+
+def inferred_unsafe(model: ProgramModel,
+                    classes: dict[str, str] | None = None) -> list[str]:
+    """Declared globals whose observed use requires privatization."""
+    classes = classes if classes is not None else classify_globals(model)
+    declared = {v.name for v in model.source.variables}
+    return [n for n, c in sorted(classes.items())
+            if c == RANK_VARYING and n in declared]
+
+
+def _site(model: ProgramModel, func: str, line: int) -> dict:
+    s = model.summaries.get(func)
+    return {"file": s.src_file if s else None, "line": line}
+
+
+def privatization_findings(model: ProgramModel, *,
+                           method=None, suggest: bool = False,
+                           classes: dict[str, str] | None = None
+                           ) -> list[Finding]:
+    source = model.source
+    declared = {v.name: v for v in source.variables}
+    classes = classes if classes is not None else classify_globals(model)
+    writes: dict[str, list[GlobalWrite]] = {}
+    for w in model.all_writes():
+        writes.setdefault(w.name, []).append(w)
+    first_access: dict[str, tuple[str, int]] = {}
+    for r in model.all_reads():
+        first_access.setdefault(r.name, (r.func, r.line))
+    for w in model.all_writes():
+        prev = first_access.get(w.name)
+        if prev is None or w.line < prev[1]:
+            first_access[w.name] = (w.func, w.line)
+
+    out: list[Finding] = []
+    for name in sorted(model.accessed_globals() - set(declared)):
+        func, line = first_access[name]
+        out.append(Finding(
+            code="pv-undeclared-global", severity=Severity.ERROR,
+            message=f"access to undeclared global {name!r} in {func}()",
+            image=source.name, symbol=name,
+            fix_hint="declare it with Program.add_global/add_static",
+            **_site(model, func, line),
+        ))
+
+    for name, var in sorted(declared.items()):
+        ws = sorted(writes.get(name, ()), key=lambda w: (w.line, w.func))
+        if var.const and ws:
+            w = ws[0]
+            out.append(Finding(
+                code="pv-const-write", severity=Severity.ERROR,
+                message=f"const global {name!r} is written in {w.func}()",
+                image=source.name, symbol=name,
+                fix_hint="drop const, or stop writing it",
+                **_site(model, w.func, w.line),
+            ))
+        if var.write_once_same:
+            tainted = [w for w in ws if w.tainted]
+            if tainted:
+                w = tainted[0]
+                out.append(Finding(
+                    code="pv-write-once-divergent", severity=Severity.ERROR,
+                    message=(f"write_once_same global {name!r} is written "
+                             f"with a rank-dependent value in {w.func}()"),
+                    image=source.name, symbol=name,
+                    fix_hint="declare it a plain mutable global so "
+                             "privatization covers it",
+                    **_site(model, w.func, w.line),
+                ))
+        if method is not None and classes.get(name) == RANK_VARYING \
+                and var.unsafe and not method.privatizes_var(var):
+            w = next((x for x in ws if x.tainted), ws[0])
+            kind = ("static" if var.static
+                    else "tls" if var.tls else "global")
+            out.append(Finding(
+                code="pv-method-insufficient", severity=Severity.ERROR,
+                message=(f"{kind} {name!r} holds rank-varying state but "
+                         f"method {method.name!r} leaves it shared"),
+                image=source.name, symbol=name,
+                fix_hint="pick a method that privatizes this variable "
+                         "class (see repro probe)",
+                **_site(model, w.func, w.line),
+            ))
+
+    if suggest:
+        idle = [n for n, v in sorted(declared.items())
+                if v.unsafe and classes.get(n) == READ_ONLY]
+        if idle:
+            shown = ", ".join(idle[:5]) + ("..." if len(idle) > 5 else "")
+            out.append(Finding(
+                code="pv-unneeded-privatization", severity=Severity.INFO,
+                message=(f"{len(idle)} mutable global(s) are never "
+                         f"written ({shown}); declaring them const or "
+                         "write_once_same shrinks the privatization "
+                         "surface"),
+                image=source.name,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Family 2: migration/checkpoint safety
+# ---------------------------------------------------------------------------
+
+def migration_findings(model: ProgramModel) -> list[Finding]:
+    from repro.analyze.model import mutable_closure_cells
+
+    out: list[Finding] = []
+    for fdef in model.source.functions:
+        if fdef.fn is None:
+            continue
+        for cell, tname in mutable_closure_cells(fdef.fn):
+            out.append(Finding(
+                code="mig-closure-mutable", severity=Severity.ERROR,
+                message=(f"{fdef.name}() closes over mutable {tname} "
+                         f"{cell!r}; it is invisible to migration and "
+                         "checkpoint/restore"),
+                image=model.source.name, symbol=cell,
+                fix_hint="move the state into a declared global or pass "
+                         "it as an argument",
+                file=fdef.src_file, line=fdef.src_line or None,
+            ))
+    for fname, s in sorted(model.summaries.items()):
+        for name, line in s.module_writes:
+            out.append(Finding(
+                code="mig-module-global-write", severity=Severity.ERROR,
+                message=(f"{fname}() writes host module global {name!r}; "
+                         "it is shared by every rank in the interpreter "
+                         "and never migrated"),
+                image=model.source.name, symbol=name,
+                fix_hint="declare a program global instead",
+                file=s.src_file, line=line,
+            ))
+        for line, detail in s.ctx_escapes:
+            out.append(Finding(
+                code="mig-ctx-escape", severity=Severity.ERROR,
+                message=(f"{fname}(): {detail}; the execution context is "
+                         "rebuilt on migration and must not outlive the "
+                         "call"),
+                image=model.source.name, symbol=fname,
+                fix_hint="keep ctx on the stack; store plain values",
+                file=s.src_file, line=line,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Family 3: communication shape
+# ---------------------------------------------------------------------------
+
+def comm_findings(model: ProgramModel) -> list[Finding]:
+    out: list[Finding] = []
+    for fname, s in sorted(model.summaries.items()):
+        for m in s.mpi:
+            if m.op in COLLECTIVE_OPS and m.guard_tainted:
+                out.append(Finding(
+                    code="comm-collective-divergent",
+                    severity=Severity.ERROR,
+                    message=(f"collective mpi.{m.op}() in {fname}() under "
+                             "a rank-dependent branch: ranks that skip "
+                             "it deadlock the others"),
+                    image=model.source.name, symbol=fname,
+                    fix_hint="hoist the collective out of the "
+                             "rank-dependent branch",
+                    file=s.src_file, line=m.line,
+                ))
+        for c in s.calls:
+            if c.guard_tainted and c.callee in model.has_collective:
+                out.append(Finding(
+                    code="comm-collective-divergent",
+                    severity=Severity.ERROR,
+                    message=(f"{fname}() calls {c.callee}() — which "
+                             "executes a collective — under a "
+                             "rank-dependent branch"),
+                    image=model.source.name, symbol=fname,
+                    fix_hint="hoist the call out of the rank-dependent "
+                             "branch",
+                    file=s.src_file, line=c.line,
+                ))
+        out += _recv_before_send(model, fname)
+        out += _unwaited_requests(model, fname)
+    out += _tag_mismatches(model)
+    return out
+
+
+def _recv_before_send(model: ProgramModel, fname: str) -> list[Finding]:
+    s = model.summaries[fname]
+    sends = [m for m in s.mpi if m.op in SEND_OPS]
+    if not sends:
+        return []
+    first_send = min(m.line for m in sends)
+    for m in s.mpi:
+        if m.op == "recv" and not m.guarded and m.line < first_send:
+            return [Finding(
+                code="comm-recv-before-send", severity=Severity.ERROR,
+                message=(f"{fname}(): every rank blocks in mpi.recv() "
+                         "before any rank reaches its send — a "
+                         "symmetric deadlock"),
+                image=model.source.name, symbol=fname,
+                fix_hint="post irecv first, or order by rank parity "
+                         "(sendrecv)",
+                file=s.src_file, line=m.line,
+            )]
+    return []
+
+
+def _unwaited_requests(model: ProgramModel, fname: str) -> list[Finding]:
+    s = model.summaries[fname]
+    out: list[Finding] = []
+    for m in s.mpi:
+        if m.op not in ("isend", "irecv"):
+            continue
+        if m.standalone and m.op == "irecv":
+            out.append(Finding(
+                code="comm-unwaited-request", severity=Severity.ERROR,
+                message=(f"{fname}(): mpi.irecv() result discarded — "
+                         "the message can never be received"),
+                image=model.source.name, symbol=fname,
+                fix_hint="bind the request and mpi.wait() it",
+                file=s.src_file, line=m.line,
+            ))
+        elif m.bound is not None:
+            later = [ln for ln in s.name_loads.get(m.bound, ())
+                     if ln > m.line]
+            if not later:
+                out.append(Finding(
+                    code="comm-unwaited-request", severity=Severity.ERROR,
+                    message=(f"{fname}(): request {m.bound!r} from "
+                             f"mpi.{m.op}() is never waited or tested"),
+                    image=model.source.name, symbol=fname,
+                    fix_hint="mpi.wait()/mpi.test() the request",
+                    file=s.src_file, line=m.line,
+                ))
+    return out
+
+
+def _tag_mismatches(model: ProgramModel) -> list[Finding]:
+    """Program-wide constant-tag matching between send and recv sides.
+
+    A dynamic (non-constant) tag on either side is treated as matching
+    anything; the rule only fires when both populations are statically
+    known and provably disjoint somewhere.
+    """
+    sends: list[tuple[int | None, str, int]] = []   # (tag, func, line)
+    recvs: list[tuple[int | None, str, int]] = []
+    for fname, s in model.summaries.items():
+        for m in s.mpi:
+            if m.op in SEND_OPS:
+                # Facade default tag is 0; a supplied non-constant tag
+                # (m.tag None with has_tag) is a wildcard.
+                sends.append((m.tag if m.has_tag else 0, fname, m.line))
+            elif m.op in RECV_OPS:
+                # recv default is ANY_TAG; a supplied non-constant tag
+                # is also a wildcard for matching purposes.
+                recvs.append((m.tag if m.has_tag else None, fname, m.line))
+    if not sends or not recvs:
+        return []
+    send_wild = any(t is None for t, _, _ in sends)
+    recv_wild = any(t is None for t, _, _ in recvs)
+    send_tags = {t for t, _, _ in sends if t is not None}
+    recv_tags = {t for t, _, _ in recvs if t is not None}
+    out: list[Finding] = []
+    if not recv_wild:
+        for tag, fname, line in sorted(
+                (x for x in sends
+                 if x[0] is not None and x[0] not in recv_tags),
+                key=lambda x: (x[1], x[2])):
+            s = model.summaries[fname]
+            out.append(Finding(
+                code="comm-tag-mismatch", severity=Severity.ERROR,
+                message=(f"{fname}() sends with tag {tag} but no recv "
+                         "in the program accepts it"),
+                image=model.source.name, symbol=fname,
+                fix_hint="align the send/recv tag constants",
+                file=s.src_file, line=line,
+            ))
+    if not send_wild:
+        for tag, fname, line in sorted(
+                (x for x in recvs
+                 if x[0] is not None and x[0] not in send_tags),
+                key=lambda x: (x[1], x[2])):
+            s = model.summaries[fname]
+            out.append(Finding(
+                code="comm-tag-mismatch", severity=Severity.ERROR,
+                message=(f"{fname}() receives with tag {tag} but no "
+                         "send in the program produces it"),
+                image=model.source.name, symbol=fname,
+                fix_hint="align the send/recv tag constants",
+                file=s.src_file, line=line,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Family 4 adapter: determinism over program function bodies
+# ---------------------------------------------------------------------------
+
+def determinism_findings(model: ProgramModel) -> list[Finding]:
+    from repro.analyze.selflint import DET_HINTS, DET_SEVERITY
+
+    out: list[Finding] = []
+    for name, fast in sorted(model.functions.items()):
+        for ev in scan_tree(fast.tree):
+            out.append(Finding(
+                code=ev.code,
+                severity=DET_SEVERITY.get(ev.code, Severity.WARNING),
+                message=f"{name}(): {ev.detail} in a rank body",
+                image=model.source.name, symbol=name,
+                fix_hint=DET_HINTS.get(ev.code, ""),
+                file=fast.src_file, line=ev.line,
+            ))
+    return out
+
+
+def var_class(var: VarDef) -> str:
+    """The correctness-probe class a variable belongs to."""
+    if var.static:
+        return "static"
+    if var.tls:
+        return "tls"
+    return "global"

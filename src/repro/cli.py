@@ -410,6 +410,56 @@ def cmd_check(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cmd_analyze(args) -> int:
+    from repro.analyze import analyze_source
+    from repro.analyze.selflint import lint_tree
+    from repro.analyze.targets import resolve_targets
+
+    if args.target == "self":
+        findings = lint_tree()
+        if args.json:
+            print(json.dumps([f.to_dict() for f in findings],
+                             sort_keys=True, indent=2))
+        else:
+            verdict = "clean" if not findings else "FAILED"
+            print(f"== analyze self (determinism lint of src/repro): "
+                  f"{verdict}")
+            for f in findings:
+                print(f.format())
+            if findings:
+                print(f"{len(findings)} finding(s)")
+        return 0 if not findings else 1
+
+    try:
+        triples = resolve_targets(args.target)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    reports = []
+    for label, source, kw in triples:
+        if args.method is not None:
+            kw = {**kw, "method": args.method}
+        if args.suggest:
+            kw = {**kw, "suggest": True}
+        reports.append(analyze_source(source, target=label, **kw))
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         sort_keys=True, indent=2))
+    else:
+        for r in reports:
+            verdict = "clean" if r.ok else "FAILED"
+            method = f" method={r.method}" if r.method else ""
+            print(f"== analyze {r.target}{method}: {verdict} "
+                  f"(predicted min method: {r.predicted_method}, "
+                  f"{len(r.functions)} function(s), {r.elapsed_ms:.1f} ms)")
+            for f in r.findings:
+                print(f.format())
+            if r.findings:
+                print(f"{len(r.findings)} finding(s)")
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_hello(args) -> int:
     from repro.harness.jobspec import JobSpec, run_spec
 
@@ -835,6 +885,25 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true",
                        help="emit the report(s) as JSON")
     check.set_defaults(fn=cmd_check)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="interprocedural static analysis of program sources: "
+             "privatization surface, migration/checkpoint safety, "
+             "communication shape, and determinism lint (plus the "
+             "'self' lint over src/repro)")
+    analyze.add_argument("target",
+                         help="app name, apps, example:<name>, examples, "
+                              "fixture:<name>, fixtures, or self")
+    analyze.add_argument("--method", default=None,
+                         help="also check that this privatization method "
+                              "covers the inferred surface")
+    analyze.add_argument("--suggest", action="store_true",
+                         help="report privatization-shrink opportunities "
+                              "as info findings")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report(s) as JSON")
+    analyze.set_defaults(fn=cmd_analyze)
 
     trace = sub.add_parser(
         "trace",

@@ -81,6 +81,8 @@ class FuncDef:
     name: str
     code_bytes: int = 256
     fn: Callable[..., Any] | None = None
+    src_file: str | None = None  #: host .py file the body was defined in
+    src_line: int = 0            #: 1-based first line of the body there
 
     def __post_init__(self) -> None:
         if self.code_bytes <= 0:

@@ -17,6 +17,14 @@ from repro.errors import CompileError
 from repro.mem.segments import FuncDef, VarDef
 
 
+def _source_location(fn: Callable) -> tuple[str | None, int]:
+    """Where ``fn`` was defined on the host, for clickable findings."""
+    code = getattr(fn, "__code__", None)
+    if code is None:  # builtins, partials, C callables
+        return None, 0
+    return code.co_filename, code.co_firstlineno
+
+
 @dataclass(frozen=True)
 class ProgramSource:
     """An immutable program description (build input)."""
@@ -119,7 +127,9 @@ class Program:
 
     def add_function(self, fn: Callable, *, name: str | None = None,
                      code_bytes: int = 256) -> "Program":
-        self._funcs.append(FuncDef(name or fn.__name__, code_bytes, fn))
+        src_file, src_line = _source_location(fn)
+        self._funcs.append(FuncDef(name or fn.__name__, code_bytes, fn,
+                                   src_file=src_file, src_line=src_line))
         return self
 
     def static_ctor(self, name: str | None = None, code_bytes: int = 128
@@ -134,7 +144,9 @@ class Program:
 
         def register(fn: Callable) -> Callable:
             fname = name or fn.__name__
-            self._funcs.append(FuncDef(fname, code_bytes, fn))
+            src_file, src_line = _source_location(fn)
+            self._funcs.append(FuncDef(fname, code_bytes, fn,
+                                       src_file=src_file, src_line=src_line))
             self._ctors.append(fname)
             return fn
         return register

@@ -214,7 +214,7 @@ def diff_records(
     counter_deltas = {
         name: (a.counters.get(name, 0), b.counters.get(name, 0),
                b.counters.get(name, 0) - a.counters.get(name, 0))
-        for name in set(a.counters) | set(b.counters)
+        for name in sorted(set(a.counters) | set(b.counters))
         if a.counters.get(name, 0) != b.counters.get(name, 0)
     }
     metric_pairs = {

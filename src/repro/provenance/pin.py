@@ -179,7 +179,7 @@ def verify_pin(entry: PinEntry) -> PinResult:
     measured = record.counters
     drift = {
         name: (entry.counters.get(name, 0), measured.get(name, 0))
-        for name in set(entry.counters) | set(measured)
+        for name in sorted(set(entry.counters) | set(measured))
         if entry.counters.get(name, 0) != measured.get(name, 0)
     }
     return PinResult(

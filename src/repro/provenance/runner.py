@@ -141,7 +141,7 @@ def replay_record(record: RunRecord, *, store: ProvenanceStore | None = None,
         store.put(fresh, job.scheduler.timeline)
     drift = {
         name: (record.counters.get(name, 0), fresh.counters.get(name, 0))
-        for name in set(record.counters) | set(fresh.counters)
+        for name in sorted(set(record.counters) | set(fresh.counters))
         if record.counters.get(name, 0) != fresh.counters.get(name, 0)
     }
     return ReplayReport(

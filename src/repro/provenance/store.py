@@ -135,7 +135,7 @@ class ProvenanceStore:
         """Epoch seconds of the most recent touch, or None if never
         touched since creation."""
         try:
-            return self._touch_path(run_id).stat().st_mtime
+            return self._touch_path(run_id).stat().st_mtime  # repro: allow(det-wallclock) host mtimes drive cache eviction recency only
         except OSError:
             return None
 
@@ -243,7 +243,7 @@ class ProvenanceStore:
             except PermissionError:
                 pass                    # alive, other user
         try:
-            return now - path.stat().st_mtime > TMP_GRACE_S
+            return now - path.stat().st_mtime > TMP_GRACE_S  # repro: allow(det-wallclock) host mtimes drive cache eviction recency only
         except OSError:
             return False                # vanished: writer completed
 
@@ -252,7 +252,7 @@ class ProvenanceStore:
         """Delete crash-leftover tmp files; returns (count, bytes)."""
         if not self.records_dir.is_dir():
             return 0, 0
-        now = time.time() if now is None else now
+        now = time.time() if now is None else now  # repro: allow(det-wallclock) host mtimes drive cache eviction recency only
         swept = nbytes = 0
         for path in self.records_dir.glob("*/*.tmp*"):
             if not self._tmp_is_stale(path, now):
@@ -284,7 +284,7 @@ class ProvenanceStore:
         its read is skipped (and counted), never a crash.  Stale tmp
         files from crashed writers are swept as a side effect.
         """
-        now = time.time() if now is None else now
+        now = time.time() if now is None else now  # repro: allow(det-wallclock) host mtimes drive cache eviction recency only
         entries = []   # (last_used, run_id, spec_digest, bytes)
         skipped = 0
         for run_id in self.ids():

@@ -8,7 +8,7 @@ programs), which the core sanitize package must not depend on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.machine import GENERIC_LINUX, MachineModel
@@ -104,12 +104,22 @@ def run_check(
     from repro.privatization.registry import get_method
 
     if target.startswith("fixture:"):
+        name = target.partition(":")[2]
+        if name.startswith("ana-"):
+            # Analyzer fixtures are source-phase only: no binary to
+            # lint, no execution — the defect lives in the bodies.
+            from repro.analyze.fixtures import analyze_fixture
+
+            return CheckReport(
+                target=target, method=method, nvp=nvp,
+                findings=analyze_fixture(name).findings,
+            )
         from repro.sanitize.fixtures import run_fixture
 
-        name = target.partition(":")[2]
         return CheckReport(
             target=target, method=method, nvp=nvp,
-            findings=sort_findings(run_fixture(name)),
+            findings=sort_findings(
+                _tag_phase(run_fixture(name), _fixture_phase)),
         )
 
     m = get_method(method)
@@ -125,9 +135,18 @@ def run_check(
     )
 
     findings: list[Finding] = []
-    findings += StaticLinter().lint_images([binary.image])
-    findings += compat_findings(binary, m)
-    findings += project_isomalloc(binary, m, nvp, slot_size)
+    findings += _tag_phase(StaticLinter().lint_images([binary.image]),
+                           "static")
+    findings += _tag_phase(compat_findings(binary, m), "static")
+    findings += _tag_phase(project_isomalloc(binary, m, nvp, slot_size),
+                           "static")
+
+    # Source phase: interprocedural AST analysis of the function bodies.
+    # Run without the method so declared-vs-observed mismatches surface
+    # once (the static compat matrix already covers method fit).
+    from repro.analyze import analyze_source
+
+    findings += analyze_source(source, target=target).findings
 
     report = CheckReport(
         target=target, method=method, nvp=nvp,
@@ -136,9 +155,26 @@ def run_check(
     if not static_only and not any(
         f.severity is Severity.ERROR for f in findings
     ):
-        findings += _execute(binary, m, nvp, slot_size, machine, report)
+        findings += _tag_phase(
+            _execute(binary, m, nvp, slot_size, machine, report), "runtime")
     report.findings = sort_findings(findings)
     return report
+
+
+def _tag_phase(findings, phase) -> list[Finding]:
+    """Stamp a pipeline phase on findings that don't carry one.
+
+    ``phase`` is either the phase string or a ``code -> phase`` callable
+    (fixture findings mix detector families).
+    """
+    pick = phase if callable(phase) else (lambda _code: phase)
+    return [f if f.phase else replace(f, phase=pick(f.code)) for f in findings]
+
+
+def _fixture_phase(code: str) -> str:
+    """Sanitizer fixtures mix static and runtime detectors; map by code."""
+    head = code.split("-")[0]
+    return "runtime" if head in ("race", "stale", "foreign", "use") else "static"
 
 
 def _execute(binary, method, nvp, slot_size, machine,

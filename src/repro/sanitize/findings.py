@@ -44,6 +44,9 @@ class Finding:
     vp: int | None = None        #: acting virtual rank (runtime findings)
     address: int | None = None   #: simulated address, if any
     epoch: int | None = None     #: scheduler quantum epoch (runtime findings)
+    file: str | None = None      #: host source file (analyzer findings)
+    line: int | None = None      #: 1-based line in ``file``
+    phase: str | None = None     #: "static" | "source" | "runtime"
 
     def sort_key(self) -> tuple:
         return (
@@ -53,6 +56,8 @@ class Finding:
             self.symbol or "",
             -1 if self.vp is None else self.vp,
             0 if self.address is None else self.address,
+            self.file or "",
+            0 if self.line is None else self.line,
             self.message,
         )
 
@@ -74,12 +79,21 @@ class Finding:
             d["address"] = hex(self.address)
         if self.epoch is not None:
             d["epoch"] = self.epoch
+        if self.file is not None:
+            d["file"] = self.file
+        if self.line is not None:
+            d["line"] = self.line
+        if self.phase is not None:
+            d["phase"] = self.phase
         return d
 
     def format(self) -> str:
         loc = self.image or ""
         if self.symbol:
             loc = f"{loc}:{self.symbol}" if loc else self.symbol
+        if self.file is not None:
+            pos = self.file if self.line is None else f"{self.file}:{self.line}"
+            loc = f"{loc} [{pos}]" if loc else pos
         if self.vp is not None:
             loc = f"{loc} (vp {self.vp})" if loc else f"vp {self.vp}"
         head = f"{self.severity.value}: [{self.code}]"

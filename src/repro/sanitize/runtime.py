@@ -307,7 +307,7 @@ class RaceDetector:
                 continue  # moved with the rank (or never process-mapped)
             m_dst = dst_proc.vm.find(base)
             if m_dst is None or m_dst is not m_src:
-                stale[id(route.instance)] = name
+                stale[id(route.instance)] = name  # repro: allow(det-id-key) shadow map of live instances; identity is the key, order never escapes
 
     # -- transport hook -----------------------------------------------------
 

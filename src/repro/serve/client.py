@@ -125,15 +125,15 @@ class ServeClient:
 
     def submit(self, spec: JobSpec | dict[str, Any], *,
                wait: bool = True) -> SubmitReply:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
         reply = self._request({"op": protocol.OP_SUBMIT,
                                "spec": _spec_dict(spec), "wait": wait})
-        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
     def await_result(self, run_id: str) -> SubmitReply:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
         reply = self._request({"op": protocol.OP_AWAIT, "run_id": run_id})
-        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
     def status(self, run_id: str) -> str:
         reply = self._request({"op": protocol.OP_STATUS, "run_id": run_id})
@@ -197,11 +197,11 @@ class AsyncServeClient:
 
     async def submit(self, spec: JobSpec | dict[str, Any], *,
                      wait: bool = True) -> SubmitReply:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
         reply = await self._request({"op": protocol.OP_SUBMIT,
                                      "spec": _spec_dict(spec),
                                      "wait": wait})
-        return SubmitReply.from_reply(reply, time.perf_counter() - t0)
+        return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
     async def await_result(self, run_id: str) -> SubmitReply:
         reply = await self._request({"op": protocol.OP_AWAIT,

@@ -171,7 +171,7 @@ class WorkerPool:
                         fut.set_result({
                             "record": None, "timeline_z": None,
                             "error": "all pool workers died"})
-            time.sleep(0.5)
+            time.sleep(0.5)  # repro: allow(det-wallclock) supervisor poll interval, host-side
 
     # -- thread mode --------------------------------------------------------
 

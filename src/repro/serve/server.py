@@ -74,7 +74,7 @@ class ServeStats:
             "invalid": self.invalid,
             "gc_cycles": self.gc_cycles,
             "gc_errors": self.gc_errors,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.time() - self.started_at, 3),  # repro: allow(det-wallclock) operator-facing uptime metric, host-side
         }
 
 

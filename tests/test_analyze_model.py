@@ -1,0 +1,286 @@
+"""Unit tests for the analyzer's program model (repro.analyze.model)."""
+
+import pytest
+
+from repro.analyze.model import (
+    SourceUnavailable,
+    build_model,
+    mutable_closure_cells,
+    parse_function,
+)
+from repro.mem.segments import FuncDef
+from repro.program.source import Program
+
+
+def _model(register):
+    p = Program("m")
+    register(p)
+    return build_model(p.build())
+
+
+class TestParse:
+    def test_recovers_location(self):
+        p = Program("loc")
+
+        @p.function()
+        def main(ctx):
+            return 0
+
+        fast = parse_function(p.build().functions[0])
+        assert fast.src_file and fast.src_file.endswith(
+            "test_analyze_model.py")
+        assert fast.tree.name == "main"
+        assert fast.ctx_param == "ctx"
+
+    def test_body_lines_match_host_file(self):
+        p = Program("loc")
+
+        @p.function()
+        def main(ctx):
+            ctx.g.x = 1  # this exact line number must be reported
+            return 0
+
+        model = build_model(p.build())
+        (w,) = model.summaries["main"].writes
+        import linecache
+
+        fast = model.functions["main"]
+        assert "ctx.g.x = 1" in linecache.getline(fast.src_file, w.line)
+
+    def test_unparseable_function(self):
+        fdef = FuncDef("builtin", 64, len)
+        with pytest.raises(SourceUnavailable):
+            parse_function(fdef)
+
+    def test_unscanned_collected_not_fatal(self):
+        p = Program("u")
+        p.add_function(len, name="main")
+        model = build_model(p.build())
+        assert model.unscanned == ["main"]
+
+
+class TestAccessExtraction:
+    def test_reads_writes_and_aliases(self):
+        def reg(p):
+            p.add_global("a", 0)
+            p.add_global("b", 0)
+
+            @p.function()
+            def main(ctx):
+                g = ctx.g
+                x = g.a
+                ctx.g.b = x + 1
+                return ctx.g["a"]
+
+        model = _model(reg)
+        s = model.summaries["main"]
+        assert {r.name for r in s.reads} == {"a"}
+        assert [w.name for w in s.writes] == ["b"]
+
+    def test_charge_accesses_counts_as_reads(self):
+        def reg(p):
+            p.add_global("omega", 0.5)
+
+            @p.function()
+            def main(ctx):
+                ctx.charge_accesses({"omega": 100})
+                return 0
+
+        model = _model(reg)
+        assert {r.name for r in model.summaries["main"].reads} == {"omega"}
+
+    def test_augassign_is_self_ref_write(self):
+        def reg(p):
+            p.add_global("acc", 0)
+
+            @p.function()
+            def main(ctx):
+                ctx.g.acc += 1
+                return 0
+
+        model = _model(reg)
+        (w,) = model.summaries["main"].writes
+        assert w.self_ref and not w.tainted
+
+
+class TestTaint:
+    def test_rank_taints_through_locals_and_tuples(self):
+        def reg(p):
+            p.add_global("a", 0)
+            p.add_global("b", 0)
+
+            @p.function()
+            def main(ctx):
+                me, n = ctx.mpi.rank(), ctx.mpi.size()
+                ctx.g.a = me * 2
+                ctx.g.b = n
+                return 0
+
+        model = _model(reg)
+        by = {w.name: w for w in model.summaries["main"].writes}
+        assert by["a"].tainted          # derived from rank()
+        assert not by["b"].tainted      # size() is rank-uniform
+
+    def test_collective_results_are_uniform(self):
+        def reg(p):
+            p.add_global("r", 0)
+
+            @p.function()
+            def main(ctx):
+                local = ctx.mpi.rank() * 1.5
+                ctx.g.r = ctx.mpi.allreduce(local)
+                return 0
+
+        model = _model(reg)
+        (w,) = model.summaries["main"].writes
+        assert not w.tainted
+
+    def test_global_reads_do_not_taint(self):
+        # Privatized globals hold per-rank values, but the *privatization
+        # rules* handle them; treating reads as taint would flag every
+        # loop bound read from a global.
+        def reg(p):
+            p.add_global("iters", 10)
+
+            @p.function()
+            def main(ctx):
+                for _ in range(ctx.g.iters):
+                    ctx.mpi.barrier()
+                return 0
+
+        model = _model(reg)
+        (m,) = [c for c in model.summaries["main"].mpi if c.op == "barrier"]
+        assert not m.guard_tainted
+
+    def test_interprocedural_return_taint(self):
+        def reg(p):
+            @p.function()
+            def who(ctx):
+                return ctx.mpi.rank()
+
+            @p.function()
+            def main(ctx):
+                me = ctx.call("who")
+                if me == 0:
+                    ctx.mpi.barrier()
+                return 0
+
+        model = _model(reg)
+        (m,) = [c for c in model.summaries["main"].mpi if c.op == "barrier"]
+        assert m.guard_tainted
+
+    def test_interprocedural_argument_taint(self):
+        def reg(p):
+            p.add_global("slot", 0)
+
+            @p.function()
+            def store(ctx, v):
+                ctx.g.slot = v
+                return 0
+
+            @p.function()
+            def main(ctx):
+                ctx.call("store", ctx.mpi.rank())
+                return 0
+
+        model = _model(reg)
+        (w,) = model.summaries["store"].writes
+        assert w.tainted
+
+
+class TestConstFolding:
+    def test_dead_branch_skipped(self):
+        flag = 0
+
+        def reg(p):
+            @p.function()
+            def main(ctx):
+                if flag:
+                    ctx.g.ghost = 1
+                return 0
+
+        model = _model(reg)
+        assert model.summaries["main"].writes == []
+
+    def test_const_propagates_through_locals(self):
+        period = 0
+
+        def reg(p):
+            @p.function()
+            def main(ctx):
+                start = 5 if period else 0
+                if start > 0:
+                    ctx.g.ghost = 1
+                return 0
+
+        model = _model(reg)
+        assert model.summaries["main"].writes == []
+
+    def test_live_branch_still_scanned(self):
+        flag = 1
+
+        def reg(p):
+            p.add_global("x", 0)
+
+            @p.function()
+            def main(ctx):
+                if flag:
+                    ctx.g.x = 2
+                return 0
+
+        model = _model(reg)
+        assert [w.name for w in model.summaries["main"].writes] == ["x"]
+
+
+class TestCollectives:
+    def test_transitive_collective_set(self):
+        def reg(p):
+            @p.function()
+            def sync(ctx):
+                ctx.mpi.barrier()
+                return 0
+
+            @p.function()
+            def outer(ctx):
+                ctx.call("sync")
+                return 0
+
+            @p.function()
+            def main(ctx):
+                ctx.call("outer")
+                return 0
+
+        model = _model(reg)
+        assert {"sync", "outer", "main"} <= set(model.has_collective)
+
+
+class TestClosureCells:
+    def test_mutable_and_safe_values(self):
+        counts = {}
+        limit = 7
+        frozen = (1, "a", None)
+
+        def fn(ctx):
+            counts[ctx] = limit
+            return frozen
+
+        cells = dict(mutable_closure_cells(fn))
+        assert "counts" in cells and cells["counts"] == "dict"
+        assert "limit" not in cells
+        assert "frozen" not in cells
+
+    def test_nested_function_closures(self):
+        inner_state = []
+
+        def make():
+            def helper():
+                inner_state.append(1)
+            return helper
+
+        helper = make()
+
+        def fn(ctx):
+            return helper()
+
+        names = [n for n, _ in mutable_closure_cells(fn)]
+        assert names == ["helper.inner_state"]

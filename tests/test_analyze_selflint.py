@@ -1,0 +1,109 @@
+"""Determinism self-lint: pragma mechanics and the src/repro gate."""
+
+import textwrap
+
+from repro.analyze.determinism import pragma_lines, scan_tree
+from repro.analyze.selflint import lint_file, lint_tree
+
+
+def _lint_source(tmp_path, src):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(src))
+    return lint_file(path, rel_to=tmp_path)
+
+
+class TestScan:
+    def test_detects_all_four_shapes(self, tmp_path):
+        findings = _lint_source(tmp_path, """\
+            import random, time
+
+            def f(xs, obj):
+                t = time.time()
+                r = random.random()
+                for x in {1, 2}:
+                    pass
+                d = {id(obj): 1}
+                return t, r, d
+        """)
+        # lint_file keeps scan (line) order; lint_tree sorts by severity.
+        assert [f.code for f in findings] == [
+            "det-wallclock", "det-unseeded-random",
+            "det-set-iteration", "det-id-key",
+        ]
+
+    def test_seeded_rng_and_sorted_iteration_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """\
+            import random
+
+            def f(xs):
+                rng = random.Random(42)
+                out = [x for x in sorted(set(xs))]
+                return rng, out, max(set(xs) | {0})
+        """)
+        assert findings == []
+
+    def test_mtime_attribute_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """\
+            def f(path):
+                return path.stat().st_mtime
+        """)
+        assert [f.code for f in findings] == ["det-wallclock"]
+
+    def test_unparseable_file(self, tmp_path):
+        findings = _lint_source(tmp_path, "def broken(:\n")
+        assert [f.code for f in findings] == ["det-unparseable"]
+
+
+class TestPragmas:
+    def test_pragma_covers_own_and_next_line(self):
+        lines = ["x = 1",
+                 "# repro: allow(det-wallclock) reason",
+                 "t = time.time()"]
+        allowed = pragma_lines(lines)
+        assert "det-wallclock" in allowed[2]
+        assert "det-wallclock" in allowed[3]
+        assert 1 not in allowed
+
+    def test_multiple_codes_in_one_pragma(self):
+        allowed = pragma_lines(
+            ["t = f()  # repro: allow(det-wallclock, det-id-key) both"])
+        assert allowed[1] == {"det-wallclock", "det-id-key"}
+
+    def test_pragma_suppresses_only_named_code(self, tmp_path):
+        findings = _lint_source(tmp_path, """\
+            import time, random
+
+            def f():
+                t = time.time()  # repro: allow(det-wallclock) host timer
+                return t, random.random()
+        """)
+        assert [f.code for f in findings] == ["det-unseeded-random"]
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        findings = _lint_source(tmp_path, """\
+            import time
+
+            def f():
+                return time.time()  # repro: allow(det-id-key) mismatched
+        """)
+        assert [f.code for f in findings] == ["det-wallclock"]
+
+
+class TestSelfLintGate:
+    def test_src_repro_is_clean(self):
+        findings = lint_tree()
+        assert findings == [], [f.format() for f in findings]
+
+    def test_findings_are_relative_paths(self, tmp_path):
+        (tmp_path / "x.py").write_text("import time\nt = time.time()\n")
+        (f,) = lint_tree(tmp_path, rel_to=tmp_path)
+        assert f.file == "x.py" and f.line == 2
+
+
+class TestScanTreeOrdering:
+    def test_events_sorted_by_line(self):
+        import ast
+
+        tree = ast.parse("import time\nb = time.time()\na = time.time()\n")
+        events = scan_tree(tree)
+        assert [e.line for e in events] == [2, 3]
