@@ -14,6 +14,11 @@ submits the identical batch again and asserts the cache contract:
 - a burst of N identical submissions of a fresh spec coalesces onto
   exactly one execution (single-flight);
 - the gc janitor cycled during serving without errors or evictions;
+- **worker-kill drill**: SIGKILL one pool worker; the supervisor
+  respawns a replacement and the service keeps executing new work;
+- **server-restart drill**: SIGKILL the whole server and start a new
+  one on the same store and socket; the persistent client reconnects
+  transparently and the warm corpus is still 100% cache hits;
 - the server shuts down cleanly on the ``shutdown`` op and exits 0.
 
 Exits nonzero on the first violated expectation.
@@ -24,6 +29,7 @@ from __future__ import annotations
 import concurrent.futures
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -62,13 +68,18 @@ def main() -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         sock = Path(tmp) / "serve.sock"
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--socket", str(sock), "--store", str(Path(tmp) / "store"),
-             "--workers", "2", "--gc-every", "0.25",
-             "--max-age-days", "7"],
-            env={**os.environ, "PYTHONPATH": "src"})
-        client = ServeClient(socket_path=sock, timeout=300.0)
+
+        def spawn_server() -> subprocess.Popen:
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--socket", str(sock),
+                 "--store", str(Path(tmp) / "store"),
+                 "--workers", "2", "--gc-every", "0.25",
+                 "--max-age-days", "7"],
+                env={**os.environ, "PYTHONPATH": "src"})
+
+        server = spawn_server()
+        client = ServeClient(socket_path=sock, timeout=300.0, retries=5)
         try:
             wait_ready(client)
 
@@ -128,6 +139,51 @@ def main() -> int:
                      f"{len(specs) + 1} (janitor evicted something?)")
             print(f"janitor: {stats['gc_cycles']} cycles, 0 errors, "
                   f"{stats['records']} records intact")
+
+            # --- worker-kill drill: one worker dies, the supervisor
+            # respawns it, the service keeps executing new work.
+            health = client.health()
+            pids = health.get("worker_pids") or []
+            if not pids:
+                fail(f"health reports no worker pids: {health}")
+            os.kill(pids[0], signal.SIGKILL)
+            drill_spec = JobSpec(
+                app="pingpong", nvp=2,
+                app_config={"yields_per_rank": 30,
+                            "name": "smoke-worker-kill"},
+                method="none", machine="generic-linux",
+                layout=(1, 1, 1), slot_size=1 << 24)
+            reply = client.submit(drill_spec)
+            if not reply.ok:
+                fail(f"submit after worker kill failed: {reply.error}")
+            deadline = time.time() + 60
+            alive = client.health()["workers_alive"]
+            while alive < 2 and time.time() < deadline:
+                time.sleep(0.2)
+                alive = client.health()["workers_alive"]
+            if alive < 2:
+                fail(f"killed worker never respawned (alive={alive})")
+            print(f"worker-kill drill: pid {pids[0]} killed, replacement "
+                  f"respawned, new work executed")
+
+            # --- server-restart drill: SIGKILL the whole server,
+            # start a new one on the same store+socket; the persistent
+            # client reconnects and the corpus is still 100% warm.
+            server.kill()
+            server.wait(timeout=60)
+            server = spawn_server()
+            wait_ready(client)
+            rewarm, _ = batch("rewarm")
+            if not all(r.hit for r in rewarm):
+                fail(f"post-restart pass not 100% hits: "
+                     f"{[r.cache for r in rewarm]}")
+            for c, w in zip(cold, rewarm):
+                if json.dumps(c.record, sort_keys=True) != \
+                        json.dumps(w.record, sort_keys=True):
+                    fail(f"record drifted across server restart for "
+                         f"{c.run_id[:12]}")
+            print("server-restart drill: SIGKILL + restart, client "
+                  "reconnected, store intact, 100% hits")
 
             client.shutdown()
         finally:

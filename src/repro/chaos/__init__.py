@@ -28,6 +28,14 @@ from repro.chaos.scenario import (
     generate_scenario,
     generate_scenarios,
 )
+from repro.chaos.serve_faults import (
+    ServeCampaignReport,
+    ServeFaultOutcome,
+    ServeFaultScenario,
+    generate_serve_scenario,
+    generate_serve_scenarios,
+    run_serve_campaign,
+)
 from repro.chaos.shrink import ShrinkResult, shrink_plan
 
 __all__ = [
@@ -36,6 +44,9 @@ __all__ = [
     "DrillReport",
     "INVARIANTS",
     "ScenarioOutcome",
+    "ServeCampaignReport",
+    "ServeFaultOutcome",
+    "ServeFaultScenario",
     "ShrinkResult",
     "Violation",
     "check_fault_draws",
@@ -44,8 +55,11 @@ __all__ = [
     "drill_scenario",
     "generate_scenario",
     "generate_scenarios",
+    "generate_serve_scenario",
+    "generate_serve_scenarios",
     "run_campaign",
     "run_drill",
     "run_scenario",
+    "run_serve_campaign",
     "shrink_plan",
 ]

@@ -348,20 +348,36 @@ def cmd_bench(args) -> int:
                     rows, title=f"{name}{extra}"))
             elif name == "serve":
                 c, w = stage["cold"], stage["warm"]
+                b = stage.get("batch")
                 rows = [
-                    ["cold", c["jobs"], c["total_s"], c["jobs_per_s"], "-"],
+                    ["cold", c["jobs"], c["total_s"], c["jobs_per_s"],
+                     "-", c["p50_ms"], c["p99_ms"]],
                     ["warm", w["jobs"], w["total_s"], w["jobs_per_s"],
-                     w["hit_rate"]],
+                     w["hit_rate"], w["p50_ms"], w["p99_ms"]],
                 ]
+                if b is not None:
+                    rows.append(["batch", b["jobs"], b["total_s"],
+                                 b["jobs_per_s"], b["hit_rate"],
+                                 b["p50_ms"], b["p99_ms"]])
                 ident = ("identical" if stage["records_identical"]
                          else "DIVERGED")
                 verdict = "ok" if stage["ok"] else "FAILED"
                 print(format_table(
-                    ["pass", "jobs", "wall (s)", "jobs/s", "hit rate"],
+                    ["pass", "jobs", "wall (s)", "jobs/s", "hit rate",
+                     "p50 ms", "p99 ms"],
                     rows,
                     title=f"serve — warm {stage['speedup_warm_vs_cold']}x "
                           f"over cold, records {ident}, gc cycles "
                           f"{stage['gc']['cycles']} ({verdict})"))
+                res = stage.get("resilience")
+                if res is not None:
+                    print(format_table(
+                        ["queue depth", "shed", "retries", "quarantined",
+                         "deadline", "lease waits"],
+                        [[res["queue_depth"], res["shed"], res["retries"],
+                          res["quarantined"], res["deadline_exceeded"],
+                          res["lease_waits"]]],
+                        title="serve resilience counters"))
             else:
                 print(format_table(
                     ["nvp", "wall (s)", "switches/s"],
@@ -696,6 +712,10 @@ def cmd_serve(args) -> int:
         host=args.host if use_tcp else None,
         port=args.port or 0,
         worker_mode=args.worker_mode,
+        max_queue=args.max_queue if args.max_queue > 0 else None,
+        retries=args.retries,
+        lease_ttl_s=args.lease_ttl if args.lease_ttl > 0 else None,
+        enable_chaos=args.chaos_hooks,
         gc_every_s=args.gc_every,
         gc_max_age_s=(args.max_age_days * 86400.0
                       if args.max_age_days is not None else None),
@@ -720,7 +740,8 @@ def cmd_serve(args) -> int:
     s = service.stats
     print(f"repro serve: exiting — {s.submissions} submissions, "
           f"{s.hits} hits, {s.executed} executed, {s.coalesced} coalesced, "
-          f"{s.errors} errors, {s.gc_cycles} gc cycles", flush=True)
+          f"{s.errors} errors, {s.shed} shed, {s.quarantined} quarantined, "
+          f"{s.gc_cycles} gc cycles", flush=True)
     return 0
 
 
@@ -792,6 +813,28 @@ def cmd_chaos_shrink(args) -> int:
     elif not outcome.violations:
         print("  no invariant violation: nothing to shrink")
     return 1 if outcome.violations else 0
+
+
+def cmd_chaos_serve(args) -> int:
+    from repro.chaos import run_serve_campaign
+
+    progress = None if (args.json or args.quiet) else print
+    report = run_serve_campaign(
+        args.seed, args.count,
+        root=args.root,
+        workers=args.workers,
+        lease_ttl_s=args.lease_ttl,
+        max_queue=args.max_queue,
+        verify_twins=not args.no_twins,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        if progress is not None:
+            print()
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_chaos_replay(args) -> int:
@@ -1075,6 +1118,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default="process",
                        help="process workers execute jobs in parallel; "
                             "thread workers serialize (tests/debug)")
+    serve.add_argument("--max-queue", type=int, default=256, metavar="N",
+                       help="admission watermark: shed new executions "
+                            "past N in flight (default 256; <=0 "
+                            "disables shedding)")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retry a job whose worker died up to N "
+                            "times before quarantining it (default 2)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="S",
+                       help="cross-server execution-lease heartbeat TTL "
+                            "(default 30; 0 disables leases)")
+    serve.add_argument("--chaos-hooks", action="store_true",
+                       help="accept protocol-level fault-injection "
+                            "envelopes (service chaos campaigns only; "
+                            "never on a real deployment)")
     serve.add_argument("--gc-every", type=float, default=None, metavar="S",
                        help="run the store janitor every S seconds")
     serve.add_argument("--max-age-days", type=float, default=None,
@@ -1137,6 +1195,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flag(cshrink)
     cshrink.add_argument("--json", action="store_true")
     cshrink.set_defaults(fn=cmd_chaos_shrink)
+
+    cserve = chaos_sub.add_parser(
+        "serve", help="service-layer fault campaign against a live "
+                      "repro serve subprocess: worker kills, poison "
+                      "jobs, deadlines, dropped connections, truncated "
+                      "frames, server SIGKILL+restart; verifies no "
+                      "accepted submission is lost and every completed "
+                      "record matches a fault-free twin")
+    cserve.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (scenarios are a pure "
+                             "function of seed and count)")
+    cserve.add_argument("--count", type=int, default=50,
+                        help="number of scenarios to run")
+    cserve.add_argument("--workers", type=int, default=2,
+                        help="server worker pool size")
+    cserve.add_argument("--lease-ttl", type=float, default=5.0,
+                        help="server lease TTL (short = fast crash "
+                             "takeover in the campaign)")
+    cserve.add_argument("--max-queue", type=int, default=64,
+                        help="server admission watermark")
+    cserve.add_argument("--root", default=None, metavar="DIR",
+                        help="keep the campaign store/socket under DIR "
+                             "(default: a temp dir, deleted after)")
+    cserve.add_argument("--no-twins", action="store_true",
+                        help="skip the byte-identical twin audit of "
+                             "completed records")
+    cserve.add_argument("--quiet", action="store_true",
+                        help="suppress per-scenario progress lines")
+    cserve.add_argument("--json", action="store_true")
+    cserve.set_defaults(fn=cmd_chaos_serve)
 
     creplay = chaos_sub.add_parser(
         "replay", help="re-execute a stored chaos repro and verify both "

@@ -128,6 +128,10 @@ UNRECOVERABLE_REASONS = (
     "checkpoint-corrupt",     #: no intact checkpoint generation left
     "method-uncheckpointable",  #: privatization method cannot snapshot
     "bad-ft-config",          #: invalid fault-tolerance configuration
+    # -- service-layer reasons (repro serve resilience) --------------------
+    "poison-job",             #: job killed its worker repeatedly; quarantined
+    "deadline-exceeded",      #: client deadline passed before completion
+    "pool-dead",              #: every pool worker died, respawn budget spent
     "unclassified",           #: raise site predates the taxonomy
 )
 

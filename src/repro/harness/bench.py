@@ -311,6 +311,19 @@ def _serve_corpus(limit: int | None = None) -> list[JobSpec]:
     return specs[:limit] if limit else specs
 
 
+def _latency_pcts(replies) -> dict[str, float]:
+    """Client-observed p50/p95/p99 round-trip latency in ms."""
+    walls = sorted(r.wall_s for r in replies)
+    if not walls:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+    def pct(q: float) -> float:
+        idx = min(len(walls) - 1, int(q * len(walls)))
+        return round(walls[idx] * 1000.0, 3)
+
+    return {"p50_ms": pct(0.50), "p95_ms": pct(0.95), "p99_ms": pct(0.99)}
+
+
 def bench_serve(
     *,
     workers: int = 2,
@@ -375,6 +388,13 @@ def bench_serve(
             executed_delta = client.stats()["executed"] - executed_before
 
             warm, warm_s = submit_all()
+
+            # Batch verb: the whole corpus in ONE round trip (all hits
+            # by now) — amortizes the protocol over the job list.
+            t0 = time.perf_counter()  # repro: allow(det-wallclock) real host wall-clock is the measurement
+            batch = client.submit_many(specs)
+            batch_s = time.perf_counter() - t0  # repro: allow(det-wallclock) real host wall-clock is the measurement
+
             stats = client.stats()
         records_after = len(store)
 
@@ -390,11 +410,15 @@ def bench_serve(
     n = len(specs)
     expected_records = len(cold_by_id) + (1 if any(r.ok for r in burst)
                                           else 0)
+    batch_hits = sum(1 for r in batch if r.hit)
+    pool = stats.get("pool", {})
     ok = (
         identical
         and warm_hits == n
         and executed_delta == 1
         and all(r.ok for r in burst)
+        and all(r.ok for r in batch)
+        and batch_hits == n
         and stats["gc_errors"] == 0
         and stats["gc_cycles"] >= 1
         and records_after == expected_records
@@ -408,13 +432,31 @@ def bench_serve(
                    "coalesce_n": coalesce_n, "gc_every_s": gc_every_s},
         "cold": {"jobs": n, "total_s": round(cold_s, 6),
                  "jobs_per_s": round(n / cold_s, 2),
-                 "caches": dict(Counter(r.cache for r in cold))},
+                 "caches": dict(Counter(r.cache for r in cold)),
+                 **_latency_pcts(cold)},
         "warm": {"jobs": n, "total_s": round(warm_s, 6),
                  "jobs_per_s": round(n / warm_s, 2),
-                 "hit_rate": round(warm_hits / n, 4) if n else 0.0},
+                 "hit_rate": round(warm_hits / n, 4) if n else 0.0,
+                 **_latency_pcts(warm)},
+        "batch": {"jobs": n, "total_s": round(batch_s, 6),
+                  "jobs_per_s": round(n / batch_s, 2) if batch_s > 0
+                  else float("inf"),
+                  "hit_rate": round(batch_hits / n, 4) if n else 0.0,
+                  **_latency_pcts(batch)},
         "speedup_warm_vs_cold": speedup,
         "coalesce": {"burst": coalesce_n, "executed_delta": executed_delta,
                      "caches": dict(Counter(r.cache for r in burst))},
+        "resilience": {
+            "queue_depth": stats.get("inflight", 0),
+            "max_queue": stats.get("max_queue"),
+            "shed": stats.get("shed", 0),
+            "deadline_exceeded": stats.get("deadline_exceeded", 0),
+            "quarantined": stats.get("quarantined", 0),
+            "retries": pool.get("retries", 0),
+            "respawns": pool.get("respawns", 0),
+            "lease_waits": stats.get("lease_waits", 0),
+            "lease_takeovers": stats.get("lease_takeovers", 0),
+        },
         "gc": {"cycles": stats["gc_cycles"], "errors": stats["gc_errors"],
                "records_after": records_after,
                "expected_records": expected_records},

@@ -40,15 +40,18 @@ from repro.provenance.runner import (
 )
 from repro.provenance.store import (
     DEFAULT_STORE_DIR,
+    LEASE_TTL_S,
     STORE_ENV,
     GcReport,
     ProvenanceStore,
+    RunLease,
     default_store_dir,
 )
 
 __all__ = [
     "DEFAULT_MANIFEST",
     "DEFAULT_STORE_DIR",
+    "LEASE_TTL_S",
     "STORE_ENV",
     "DiffReport",
     "Divergence",
@@ -59,6 +62,7 @@ __all__ = [
     "ProvenanceStore",
     "RecordedRun",
     "ReplayReport",
+    "RunLease",
     "RunMetrics",
     "RunRecord",
     "compare_metrics",

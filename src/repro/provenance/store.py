@@ -28,12 +28,22 @@ timestamp), and age/size eviction orders by ``max(created_at,
 last_used)`` — so a record that is hit a thousand times a day never
 ages out, while ``created_at`` in the record JSON stays the honest
 creation time for provenance.
+
+Execution leases: ``<id>.lease`` sidecars give several *servers*
+mounting one root a crash-safe cross-server single-flight protocol —
+see :meth:`ProvenanceStore.acquire_lease` and :class:`RunLease`.  A
+lease is an atomically created file whose mtime is the owner's
+heartbeat; an expired heartbeat (or a provably dead same-host owner
+pid) means the owner crashed mid-execution and the next acquirer takes
+over and re-executes.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import socket
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,6 +56,15 @@ from repro.trace.stream import compress_timeline, decompress_timeline
 #: age (seconds) past which a tmp file whose pid cannot be parsed or
 #: liveness-checked is considered a crash leftover
 TMP_GRACE_S = 3600.0
+
+#: default execution-lease time-to-live: a lease whose heartbeat
+#: (mtime) is older than this is considered abandoned and may be
+#: taken over by another server
+LEASE_TTL_S = 30.0
+
+#: process-local uniquifier so two leases acquired by one process are
+#: still distinguishable tokens
+_lease_seq = itertools.count()
 
 #: default store location relative to the working directory
 DEFAULT_STORE_DIR = ".repro/store"
@@ -78,6 +97,9 @@ class ProvenanceStore:
 
     def _touch_path(self, run_id: str) -> Path:
         return self.records_dir / run_id[:2] / f"{run_id}.touch"
+
+    def _lease_path(self, run_id: str) -> Path:
+        return self.records_dir / run_id[:2] / f"{run_id}.lease"
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
@@ -138,6 +160,82 @@ class ProvenanceStore:
             return self._touch_path(run_id).stat().st_mtime  # repro: allow(det-wallclock) host mtimes drive cache eviction recency only
         except OSError:
             return None
+
+    # -- execution leases ---------------------------------------------------
+    #
+    # Cross-*server* single-flight: several servers mounting one store
+    # root coalesce identical in-flight submissions through an atomic
+    # ``<run_id>.lease`` file.  The owner heartbeats by refreshing the
+    # file's mtime; a lease whose heartbeat is stale (owner crashed,
+    # was SIGKILLed, or lost power) is taken over by the next acquirer,
+    # which re-executes the job — no execution is ever duplicated while
+    # its owner is alive, and no job is lost when its owner dies.
+
+    def acquire_lease(self, run_id: str, *, ttl_s: float = LEASE_TTL_S,
+                      now: float | None = None) -> "RunLease | None":
+        """Try to claim the exclusive right to execute ``run_id``.
+
+        Returns a :class:`RunLease` on success (``lease.takeover`` is
+        True when a stale lease from a dead owner was broken), or None
+        while another live owner holds the claim.  Acquisition is
+        atomic (``O_CREAT | O_EXCL``); takeover is unlink-then-create,
+        so of two simultaneous takers exactly one wins.
+        """
+        now = time.time() if now is None else now  # repro: allow(det-wallclock) lease heartbeats are host mtimes by design
+        path = self._lease_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        token = f"{socket.gethostname()}:{os.getpid()}:{next(_lease_seq)}"
+        payload = json.dumps({"host": socket.gethostname(),
+                              "pid": os.getpid(), "token": token,
+                              "acquired_at": now}).encode()
+        for attempt in (0, 1):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                             0o644)
+            except FileExistsError:
+                if attempt or not self._lease_is_stale(path, ttl_s, now):
+                    return None
+                # Stale: break it and race the O_EXCL create once.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "wb") as f:
+                f.write(payload)
+            return RunLease(self, run_id, token, ttl_s=ttl_s,
+                            takeover=bool(attempt))
+        return None
+
+    def _lease_is_stale(self, path: Path, ttl_s: float,
+                        now: float) -> bool:
+        """Dead-owner detection: heartbeat older than the TTL, or a
+        same-host owner pid that provably no longer exists."""
+        try:
+            mtime = path.stat().st_mtime  # repro: allow(det-wallclock) lease heartbeats are host-side liveness, not simulation state
+        except OSError:
+            return False        # vanished: owner released it
+        if now - mtime > ttl_s:
+            return True
+        holder = self.lease_holder(path.name[:-len(".lease")])
+        if (holder and holder.get("host") == socket.gethostname()
+                and isinstance(holder.get("pid"), int)):
+            try:
+                os.kill(holder["pid"], 0)
+            except ProcessLookupError:
+                return True     # owner died without releasing
+            except (PermissionError, OSError):
+                pass
+        return False
+
+    def lease_holder(self, run_id: str) -> dict | None:
+        """The current lease payload for ``run_id``, or None (no lease,
+        or a half-written one — judged only by its heartbeat then)."""
+        try:
+            data = json.loads(self._lease_path(run_id).read_bytes())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
 
     # -- reading ------------------------------------------------------------
 
@@ -210,7 +308,8 @@ class ProvenanceStore:
         freed = 0
         for path in (self._record_path(run_id),
                      self._timeline_path(run_id),
-                     self._touch_path(run_id)):
+                     self._touch_path(run_id),
+                     self._lease_path(run_id)):
             try:
                 size = path.stat().st_size
                 path.unlink()
@@ -344,6 +443,57 @@ class ProvenanceStore:
                         remaining=len(entries) - len(doomed),
                         deleted_ids=tuple(doomed), dry_run=dry_run,
                         skipped=skipped, swept_tmp=swept_tmp)
+
+
+class RunLease:
+    """An exclusive, crash-expiring claim on one run_id's execution.
+
+    Held by the server that is executing the job.  :meth:`renew`
+    refreshes the heartbeat (the lease file's mtime) and must be called
+    at least every ``ttl_s`` seconds while the execution runs;
+    :meth:`release` drops the claim when the result has been filed.
+    Both verify the on-disk token first, so a lease that was broken by
+    a takeover (we were presumed dead) is never renewed or released on
+    the usurper's behalf.
+    """
+
+    def __init__(self, store: ProvenanceStore, run_id: str, token: str,
+                 *, ttl_s: float = LEASE_TTL_S, takeover: bool = False):
+        self.store = store
+        self.run_id = run_id
+        self.token = token
+        self.ttl_s = ttl_s
+        #: True when acquisition broke a dead owner's stale lease
+        self.takeover = takeover
+
+    def _owned(self) -> bool:
+        holder = self.store.lease_holder(self.run_id)
+        return bool(holder) and holder.get("token") == self.token
+
+    def renew(self) -> bool:
+        """Refresh the heartbeat; False if the lease was lost."""
+        if not self._owned():
+            return False
+        try:
+            os.utime(self.store._lease_path(self.run_id))
+            return True
+        except OSError:
+            return False
+
+    def release(self) -> None:
+        """Drop the claim (no-op if a takeover already broke it)."""
+        if not self._owned():
+            return
+        try:
+            self.store._lease_path(self.run_id).unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,15 @@ coalesces identical *in-flight* submissions onto one execution
 (:class:`JobService`), a multiprocess :class:`WorkerPool` running each
 job in simulated time, and clients (:class:`ServeClient`,
 :class:`AsyncServeClient`) speaking a line-JSON protocol over a Unix
-socket or localhost TCP.  See ``docs/ARCHITECTURE.md`` §16.
+socket or localhost TCP.
+
+The service is built to *survive its own components dying*: worker
+crashes are retried and repeat offenders quarantined (``poison-job``),
+load past the queue watermark is shed (``busy``), client deadlines are
+honored edge-to-pool (``deadline-exceeded``), crash-expiring file
+leases make execution exactly-once across multiple servers on one
+store, and clients retry idempotently with jittered backoff.  See
+``docs/ARCHITECTURE.md`` §16 and §18.
 """
 
 from repro.serve.cache import ResultCache
@@ -20,13 +28,20 @@ from repro.serve.client import (
     ServeConnectionError,
     SubmitReply,
 )
-from repro.serve.pool import WorkerPool, execute_spec
+from repro.serve.pool import CHAOS_EXIT, PoolStats, WorkerPool, execute_spec
 from repro.serve.protocol import (
     CACHE_COALESCED,
     CACHE_HIT,
     CACHE_INFLIGHT,
     CACHE_MISS,
     MAX_LINE,
+    REASON_BUSY,
+    REASON_DEADLINE,
+    REASON_DRAINING,
+    REASON_POISON,
+    REASON_POOL_DEAD,
+    REASONS,
+    RETRYABLE_REASONS,
     ProtocolError,
 )
 from repro.serve.server import (
@@ -41,10 +56,19 @@ __all__ = [
     "CACHE_HIT",
     "CACHE_INFLIGHT",
     "CACHE_MISS",
+    "CHAOS_EXIT",
     "DEFAULT_SOCKET",
     "MAX_LINE",
+    "REASONS",
+    "REASON_BUSY",
+    "REASON_DEADLINE",
+    "REASON_DRAINING",
+    "REASON_POISON",
+    "REASON_POOL_DEAD",
+    "RETRYABLE_REASONS",
     "AsyncServeClient",
     "JobService",
+    "PoolStats",
     "ProtocolError",
     "ResultCache",
     "ServeClient",

@@ -1,11 +1,23 @@
 """Clients for the ``repro serve`` job service.
 
-:class:`ServeClient` is synchronous (plain sockets, one connection per
-request — cheap over Unix sockets and it keeps every call independent);
-:class:`AsyncServeClient` is the asyncio twin for callers that want to
-hold thousands of submissions open concurrently.  Both speak
-:mod:`repro.serve.protocol` and return :class:`SubmitReply` for the
-job-shaped verbs.
+:class:`ServeClient` is synchronous and holds one *persistent*
+connection per thread: requests reuse the socket, a dead peer is
+detected on EOF and the client transparently reconnects and resends.
+The connection is thread-local so one client shared across a thread
+pool never interleaves frames — each thread speaks over its own
+socket.  Retries are safe by construction — ``run_id`` is content-addressed, so replaying a
+submit can only hit the cache or coalesce, never double-execute.
+Backoff between attempts uses decorrelated jitter so a thundering herd
+of clients re-approaching a restarted server spreads out instead of
+stampeding in lockstep.
+
+:class:`AsyncServeClient` is the asyncio twin; it deliberately opens
+one connection *per request* so thousands of submissions can be held
+open concurrently with ``asyncio.gather`` (a shared connection would
+serialize them), with the same retry/backoff envelope.
+
+Both speak :mod:`repro.serve.protocol` and return :class:`SubmitReply`
+for the job-shaped verbs.
 
     >>> with ServeClient(socket_path=".repro/serve.sock") as c:
     ...     r = c.submit(JobSpec(app="hello", nvp=2))
@@ -15,16 +27,23 @@ job-shaped verbs.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.errors import ReproError
 from repro.harness.jobspec import JobSpec
 from repro.provenance.record import RunRecord
 from repro.serve import protocol
+
+#: default retry envelope: attempts = retries + 1
+DEFAULT_RETRIES = 2
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
 
 
 class ServeConnectionError(ReproError):
@@ -41,6 +60,12 @@ class SubmitReply:
     cache: str | None = None
     record: dict[str, Any] | None = None
     error: str | None = None
+    #: structured-failure code (``busy``, ``deadline-exceeded``, ...)
+    reason: str | None = None
+    #: the submission was shed before acceptance; retry is always safe
+    retryable: bool = False
+    #: position in the request batch (``submit_many`` replies only)
+    index: int | None = None
     #: client-side wall seconds for the round trip
     wall_s: float = 0.0
 
@@ -61,6 +86,9 @@ class SubmitReply:
                    cache=reply.get("cache"),
                    record=reply.get("record"),
                    error=reply.get("error"),
+                   reason=reply.get("reason"),
+                   retryable=bool(reply.get("retryable")),
+                   index=reply.get("index"),
                    wall_s=wall_s)
 
 
@@ -68,21 +96,80 @@ def _spec_dict(spec: JobSpec | dict[str, Any]) -> dict[str, Any]:
     return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
 
 
+class _Backoff:
+    """Decorrelated-jitter backoff (`sleep = U(base, prev*3)` capped).
+    Each client gets its own RNG so a fleet re-approaching a restarted
+    server spreads out instead of retrying in lockstep."""
+
+    def __init__(self, base_s: float = BACKOFF_BASE_S,
+                 cap_s: float = BACKOFF_CAP_S):
+        self.base_s, self.cap_s = base_s, cap_s
+        self._rng = random.Random()  # repro: allow(det-unseeded-random) backoff jitter must differ across clients; never touches simulation state
+        self._prev = base_s
+
+    def next_delay(self) -> float:
+        self._prev = min(self.cap_s,
+                         self._rng.uniform(self.base_s, self._prev * 3))
+        return self._prev
+
+    def reset(self) -> None:
+        self._prev = self.base_s
+
+
 class ServeClient:
-    """Synchronous client; one connection per request."""
+    """Synchronous client over persistent, self-healing sockets.
+
+    The connection (and its read buffer, and its backoff state) is
+    *thread-local*: one client instance shared across a thread pool
+    gives each thread its own socket, so concurrent requests never
+    interleave frames or steal each other's replies.
+    """
 
     def __init__(self, socket_path: str | Path | None = None, *,
                  host: str | None = None, port: int | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_base_s: float = BACKOFF_BASE_S,
+                 backoff_cap_s: float = BACKOFF_CAP_S):
         if socket_path is None and host is None:
             raise ReproError("need a socket_path or a host/port")
         self.socket_path = str(socket_path) if socket_path else None
         self.host, self.port = host, port
         self.timeout = timeout
+        self.retries = retries
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._local = threading.local()
+
+    # -- per-thread connection state ----------------------------------------
+
+    @property
+    def _sock(self) -> socket.socket | None:
+        return getattr(self._local, "sock", None)
+
+    @_sock.setter
+    def _sock(self, value: socket.socket | None) -> None:
+        self._local.sock = value
+
+    @property
+    def _buf(self) -> bytes:
+        return getattr(self._local, "buf", b"")
+
+    @_buf.setter
+    def _buf(self, value: bytes) -> None:
+        self._local.buf = value
+
+    @property
+    def _backoff(self) -> _Backoff:
+        bo = getattr(self._local, "backoff", None)
+        if bo is None:
+            bo = _Backoff(self._backoff_base_s, self._backoff_cap_s)
+            self._local.backoff = bo
+        return bo
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+    def _connect(self) -> None:
         try:
             if self.socket_path is not None:
                 sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -96,43 +183,127 @@ class ServeClient:
                 f"cannot reach serve at "
                 f"{self.socket_path or f'{self.host}:{self.port}'}: {e}"
             ) from None
+        self._sock = sock
+        self._buf = b""
+
+    def close(self) -> None:
+        """Close the *calling thread's* connection (other threads'
+        sockets close when their thread exits or on their next EOF)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buf = b""
+
+    def _send(self, msg: dict[str, Any]) -> None:
+        assert self._sock is not None
         try:
-            sock.sendall(protocol.encode(msg))
-            chunks = []
-            total = 0
-            while True:
-                chunk = sock.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-                total += len(chunk)
-                if chunk.endswith(b"\n"):
-                    break
-                if total > protocol.MAX_LINE:
-                    raise protocol.ProtocolError(
-                        f"reply exceeds {protocol.MAX_LINE} bytes")
+            self._sock.sendall(protocol.encode(msg))
         except OSError as e:
-            raise ServeConnectionError(f"serve connection lost: {e}") \
-                from None
-        finally:
-            sock.close()
-        line = b"".join(chunks)
-        if not line:
-            raise ServeConnectionError("serve hung up without a reply")
-        return protocol.decode(line)
+            raise ServeConnectionError(
+                f"serve connection lost on send: {e}") from None
+
+    def _read_line(self) -> bytes:
+        assert self._sock is not None
+        while b"\n" not in self._buf:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as e:
+                raise ServeConnectionError(
+                    f"serve connection lost: {e}") from None
+            if not chunk:
+                raise ServeConnectionError("serve hung up (EOF)")
+            self._buf += chunk
+            if len(self._buf) > protocol.MAX_LINE:
+                raise protocol.ProtocolError(
+                    f"reply exceeds {protocol.MAX_LINE} bytes")
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line + b"\n"
+
+    def _with_retry(self, exchange: Callable[[], Any]) -> Any:
+        """Run one request/reply exchange; on a connection failure,
+        reconnect and replay it (idempotent: run ids are content-
+        addressed), with decorrelated-jitter backoff between attempts."""
+        self._backoff.reset()
+        last: ServeConnectionError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                if self._sock is None:
+                    self._connect()
+                out = exchange()
+                return out
+            except ServeConnectionError as e:
+                last = e
+                self.close()
+                if attempt < self.retries:
+                    time.sleep(self._backoff.next_delay())  # repro: allow(det-wallclock) client retry pacing against a real server
+        assert last is not None
+        raise last
+
+    def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        def exchange() -> dict[str, Any]:
+            self._send(msg)
+            return protocol.decode(self._read_line())
+        return self._with_retry(exchange)
 
     # -- verbs --------------------------------------------------------------
 
     def submit(self, spec: JobSpec | dict[str, Any], *,
-               wait: bool = True) -> SubmitReply:
+               wait: bool = True,
+               deadline_ms: float | None = None,
+               chaos: dict[str, Any] | None = None) -> SubmitReply:
+        msg: dict[str, Any] = {"op": protocol.OP_SUBMIT,
+                               "spec": _spec_dict(spec), "wait": wait}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        if chaos is not None:
+            msg["chaos"] = chaos
         t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
-        reply = self._request({"op": protocol.OP_SUBMIT,
-                               "spec": _spec_dict(spec), "wait": wait})
+        reply = self._request(msg)
         return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
-    def await_result(self, run_id: str) -> SubmitReply:
+    def submit_many(self, specs: Sequence[JobSpec | dict[str, Any]], *,
+                    wait: bool = True,
+                    deadline_ms: float | None = None
+                    ) -> list[SubmitReply]:
+        """Batch submit: one request, replies streamed back per job.
+        Returned list is in *request order* (the wire order is
+        completion order; the client reorders by ``index``)."""
+        msg: dict[str, Any] = {"op": protocol.OP_SUBMIT_MANY,
+                               "specs": [_spec_dict(s) for s in specs],
+                               "wait": wait}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        n = len(specs)
+
+        def exchange() -> list[SubmitReply]:
+            t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
+            self._send(msg)
+            out: list[SubmitReply | None] = [None] * n
+            while True:
+                reply = protocol.decode(self._read_line())
+                if reply.get("op") == protocol.OP_SUBMIT_MANY_DONE:
+                    break
+                wall = time.perf_counter() - t0  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
+                sr = SubmitReply.from_reply(reply, wall)
+                if isinstance(sr.index, int) and 0 <= sr.index < n:
+                    out[sr.index] = sr
+            return [r if r is not None
+                    else SubmitReply(ok=False, index=i,
+                                     error="no reply for this index")
+                    for i, r in enumerate(out)]
+
+        return self._with_retry(exchange)
+
+    def await_result(self, run_id: str, *,
+                     deadline_ms: float | None = None) -> SubmitReply:
+        msg: dict[str, Any] = {"op": protocol.OP_AWAIT, "run_id": run_id}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
         t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
-        reply = self._request({"op": protocol.OP_AWAIT, "run_id": run_id})
+        reply = self._request(msg)
         return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
     def status(self, run_id: str) -> str:
@@ -145,8 +316,14 @@ class ServeClient:
             raise ReproError(f"stats failed: {reply.get('error')}")
         return reply["stats"]
 
+    def health(self) -> dict[str, Any]:
+        return self._request({"op": protocol.OP_HEALTH})
+
     def ping(self) -> dict[str, Any]:
         return self._request({"op": protocol.OP_PING})
+
+    def drain(self) -> dict[str, Any]:
+        return self._request({"op": protocol.OP_DRAIN})
 
     def shutdown(self) -> dict[str, Any]:
         return self._request({"op": protocol.OP_SHUTDOWN})
@@ -155,36 +332,50 @@ class ServeClient:
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        pass
+        self.close()
 
 
 class AsyncServeClient:
     """Asyncio client; one connection per request, so thousands of
-    submissions can be held open concurrently with ``asyncio.gather``."""
+    submissions can be held open concurrently with ``asyncio.gather``.
+    Same retry/backoff envelope as :class:`ServeClient`."""
 
     def __init__(self, socket_path: str | Path | None = None, *,
-                 host: str | None = None, port: int | None = None):
+                 host: str | None = None, port: int | None = None,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_base_s: float = BACKOFF_BASE_S,
+                 backoff_cap_s: float = BACKOFF_CAP_S):
         if socket_path is None and host is None:
             raise ReproError("need a socket_path or a host/port")
         self.socket_path = str(socket_path) if socket_path else None
         self.host, self.port = host, port
+        self.retries = retries
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
 
-    async def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+    async def _open(self) -> tuple[asyncio.StreamReader,
+                                   asyncio.StreamWriter]:
         try:
             if self.socket_path is not None:
-                reader, writer = await asyncio.open_unix_connection(
+                return await asyncio.open_unix_connection(
                     self.socket_path, limit=protocol.MAX_LINE)
-            else:
-                reader, writer = await asyncio.open_connection(
-                    self.host, self.port, limit=protocol.MAX_LINE)
+            return await asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_LINE)
         except OSError as e:
             raise ServeConnectionError(
                 f"cannot reach serve at "
                 f"{self.socket_path or f'{self.host}:{self.port}'}: {e}"
             ) from None
+
+    async def _request_once(self, msg: dict[str, Any]) -> dict[str, Any]:
+        reader, writer = await self._open()
         try:
-            await protocol.write_message(writer, msg)
-            reply = await protocol.read_message(reader)
+            try:
+                await protocol.write_message(writer, msg)
+                reply = await protocol.read_message(reader)
+            except OSError as e:
+                raise ServeConnectionError(
+                    f"serve connection lost: {e}") from None
         finally:
             writer.close()
             try:
@@ -195,17 +386,98 @@ class AsyncServeClient:
             raise ServeConnectionError("serve hung up without a reply")
         return reply
 
+    async def _request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        backoff = _Backoff(self._backoff_base_s, self._backoff_cap_s)
+        last: ServeConnectionError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return await self._request_once(msg)
+            except ServeConnectionError as e:
+                last = e
+                if attempt < self.retries:
+                    await asyncio.sleep(backoff.next_delay())
+        assert last is not None
+        raise last
+
     async def submit(self, spec: JobSpec | dict[str, Any], *,
-                     wait: bool = True) -> SubmitReply:
+                     wait: bool = True,
+                     deadline_ms: float | None = None,
+                     chaos: dict[str, Any] | None = None) -> SubmitReply:
+        msg: dict[str, Any] = {"op": protocol.OP_SUBMIT,
+                               "spec": _spec_dict(spec), "wait": wait}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        if chaos is not None:
+            msg["chaos"] = chaos
         t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
-        reply = await self._request({"op": protocol.OP_SUBMIT,
-                                     "spec": _spec_dict(spec),
-                                     "wait": wait})
+        reply = await self._request(msg)
         return SubmitReply.from_reply(reply, time.perf_counter() - t0)  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
 
-    async def await_result(self, run_id: str) -> SubmitReply:
-        reply = await self._request({"op": protocol.OP_AWAIT,
-                                     "run_id": run_id})
+    async def submit_many(self,
+                          specs: Sequence[JobSpec | dict[str, Any]], *,
+                          wait: bool = True,
+                          deadline_ms: float | None = None
+                          ) -> list[SubmitReply]:
+        """Batch submit over one streaming connection; results are
+        reordered into request order before returning."""
+        msg: dict[str, Any] = {"op": protocol.OP_SUBMIT_MANY,
+                               "specs": [_spec_dict(s) for s in specs],
+                               "wait": wait}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        n = len(specs)
+        backoff = _Backoff(self._backoff_base_s, self._backoff_cap_s)
+        last: ServeConnectionError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return await self._submit_many_once(msg, n)
+            except ServeConnectionError as e:
+                last = e
+                if attempt < self.retries:
+                    await asyncio.sleep(backoff.next_delay())
+        assert last is not None
+        raise last
+
+    async def _submit_many_once(self, msg: dict[str, Any],
+                                n: int) -> list[SubmitReply]:
+        reader, writer = await self._open()
+        t0 = time.perf_counter()  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
+        out: list[SubmitReply | None] = [None] * n
+        try:
+            try:
+                await protocol.write_message(writer, msg)
+                while True:
+                    reply = await protocol.read_message(reader)
+                    if reply is None:
+                        raise ServeConnectionError(
+                            "serve hung up mid-stream")
+                    if reply.get("op") == protocol.OP_SUBMIT_MANY_DONE:
+                        break
+                    wall = time.perf_counter() - t0  # repro: allow(det-wallclock) client-observed host latency, reported not simulated
+                    sr = SubmitReply.from_reply(reply, wall)
+                    if isinstance(sr.index, int) and 0 <= sr.index < n:
+                        out[sr.index] = sr
+            except OSError as e:
+                raise ServeConnectionError(
+                    f"serve connection lost: {e}") from None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+        return [r if r is not None
+                else SubmitReply(ok=False, index=i,
+                                 error="no reply for this index")
+                for i, r in enumerate(out)]
+
+    async def await_result(self, run_id: str, *,
+                           deadline_ms: float | None = None
+                           ) -> SubmitReply:
+        msg: dict[str, Any] = {"op": protocol.OP_AWAIT, "run_id": run_id}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        reply = await self._request(msg)
         return SubmitReply.from_reply(reply)
 
     async def status(self, run_id: str) -> str:
@@ -219,8 +491,14 @@ class AsyncServeClient:
             raise ReproError(f"stats failed: {reply.get('error')}")
         return reply["stats"]
 
+    async def health(self) -> dict[str, Any]:
+        return await self._request({"op": protocol.OP_HEALTH})
+
     async def ping(self) -> dict[str, Any]:
         return await self._request({"op": protocol.OP_PING})
+
+    async def drain(self) -> dict[str, Any]:
+        return await self._request({"op": protocol.OP_DRAIN})
 
     async def shutdown(self) -> dict[str, Any]:
         return await self._request({"op": protocol.OP_SHUTDOWN})

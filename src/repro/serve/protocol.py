@@ -8,18 +8,34 @@ task, and a ``submit`` with ``wait`` holds only its own connection).
 
 Requests (``op`` selects the verb)::
 
-    {"op": "submit", "spec": {...JobSpec.to_dict()...}, "wait": true}
-    {"op": "await",  "run_id": "<64-hex>"}
+    {"op": "submit", "spec": {...JobSpec.to_dict()...}, "wait": true,
+     "deadline_ms": 5000}
+    {"op": "submit_many", "specs": [{...}, ...], "deadline_ms": 5000}
+    {"op": "await",  "run_id": "<64-hex>", "deadline_ms": 5000}
     {"op": "status", "run_id": "<64-hex>"}
     {"op": "stats"}
+    {"op": "health"}
     {"op": "ping"}
+    {"op": "drain"}
     {"op": "shutdown"}
 
 Replies always carry ``ok``.  A successful ``submit``/``await`` reply
 carries ``run_id``, ``cache`` (``hit`` — served from the store;
 ``miss`` — this submission executed; ``coalesced`` — attached to an
 identical in-flight execution; ``inflight`` — ``wait`` was false) and,
-once resolved, ``record`` (the stored ``RunRecord.to_dict()``).
+once resolved, ``record`` (the stored ``RunRecord.to_dict()``).  A
+*structured failure* reply carries ``ok: false`` plus a machine-
+checkable ``reason`` (one of the ``REASON_*`` constants below —
+``busy``/``draining`` mean the submission was never accepted and may be
+retried elsewhere; ``deadline-exceeded``/``poison-job``/``pool-dead``
+resolve an accepted submission), so clients never have to string-match
+error text.
+
+``submit_many`` is the one verb that streams: the server writes one
+reply line per spec *in completion order*, each tagged with ``index``
+(the spec's position in the request), terminated by a
+``{"op": "submit_many_done", "n": N}`` line.  One round trip amortizes
+the protocol over thousands of specs.
 
 The protocol is deliberately line-based: every message is valid JSON on
 one line, so ``socat``/``nc`` sessions and log captures stay readable.
@@ -40,19 +56,41 @@ from repro.errors import ReproError
 MAX_LINE = 1 << 26
 
 OP_SUBMIT = "submit"
+OP_SUBMIT_MANY = "submit_many"
 OP_AWAIT = "await"
 OP_STATUS = "status"
 OP_STATS = "stats"
+OP_HEALTH = "health"
 OP_PING = "ping"
+OP_DRAIN = "drain"
 OP_SHUTDOWN = "shutdown"
 
-OPS = (OP_SUBMIT, OP_AWAIT, OP_STATUS, OP_STATS, OP_PING, OP_SHUTDOWN)
+OPS = (OP_SUBMIT, OP_SUBMIT_MANY, OP_AWAIT, OP_STATUS, OP_STATS,
+       OP_HEALTH, OP_PING, OP_DRAIN, OP_SHUTDOWN)
+
+#: terminator line of a ``submit_many`` reply stream
+OP_SUBMIT_MANY_DONE = "submit_many_done"
 
 #: ``cache`` values a submit/await reply can carry
 CACHE_HIT = "hit"
 CACHE_MISS = "miss"
 CACHE_COALESCED = "coalesced"
 CACHE_INFLIGHT = "inflight"
+
+#: structured-failure ``reason`` codes (load shedding and resolution)
+REASON_BUSY = "busy"                    #: queue over watermark, shed
+REASON_DRAINING = "draining"            #: server refusing new submits
+REASON_DEADLINE = "deadline-exceeded"   #: client deadline passed
+REASON_POISON = "poison-job"            #: job repeatedly killed workers
+REASON_POOL_DEAD = "pool-dead"          #: no workers left to run it
+
+REASONS = (REASON_BUSY, REASON_DRAINING, REASON_DEADLINE,
+           REASON_POISON, REASON_POOL_DEAD)
+
+#: ``reason`` codes that reject a submission *before* acceptance — the
+#: job was never queued, nothing will resolve later, and an identical
+#: retry (against this or another server) is always safe
+RETRYABLE_REASONS = (REASON_BUSY, REASON_DRAINING)
 
 
 class ProtocolError(ReproError):
@@ -68,7 +106,10 @@ def encode(msg: dict[str, Any]) -> bytes:
 def decode(line: bytes) -> dict[str, Any]:
     try:
         msg = json.loads(line)
-    except json.JSONDecodeError as e:
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as e:
+        # ValueError covers non-UTF-8 garbage on some json versions; a
+        # truncated or binary frame must be a protocol error, never an
+        # unhandled exception in the connection task.
         raise ProtocolError(f"bad message: {e}") from None
     if not isinstance(msg, dict):
         raise ProtocolError(f"message must be a JSON object, "
@@ -78,6 +119,13 @@ def decode(line: bytes) -> dict[str, Any]:
 
 def error_reply(error: str, **extra: Any) -> dict[str, Any]:
     return {"ok": False, "error": error, **extra}
+
+
+def shed_reply(reason: str, error: str, **extra: Any) -> dict[str, Any]:
+    """A load-shedding rejection (``busy``/``draining``): the submit
+    was *not* accepted and is safe to retry against another server."""
+    return {"ok": False, "error": error, "reason": reason,
+            "retryable": reason in RETRYABLE_REASONS, **extra}
 
 
 async def read_message(reader: asyncio.StreamReader) -> dict[str, Any] | None:

@@ -18,11 +18,39 @@ as much of the "millions of users" story as the cache itself (cf. the
 request-cloning reproduction in PAPERS.md: identical concurrent
 requests are the common case under real traffic, not the corner case).
 
+The resilience layer (every accepted submission *resolves* — to a
+record or a structured failure — and the service survives its own
+components dying):
+
+- **Admission control**: at most ``max_queue`` executions may be
+  in flight; past the watermark new work is shed with a retryable
+  ``busy`` reply instead of building an unbounded backlog (hits and
+  coalesced attaches are always admitted — they cost no queue slot).
+- **Deadlines**: a submission may carry ``deadline_ms``; it is honored
+  edge-to-pool — the awaiting client gets a structured
+  ``deadline-exceeded`` reply when the clock runs out, and a queued
+  job whose deadline passed is dropped before wasting a worker.  The
+  execution itself is shielded, so a late result still fills the cache.
+- **Worker-crash retry / poison quarantine** (in the pool): a job
+  whose worker dies is retried on a fresh worker; a repeat offender
+  resolves as a ``poison-job`` structured failure, which the service
+  *remembers* — resubmitting a quarantined run_id is answered
+  instantly without feeding it more workers.
+- **Cross-server leases**: when several servers mount one store root,
+  an atomic per-run_id lease file (heartbeat = mtime) makes execution
+  exactly-once *across servers*; a server that crashes mid-run stops
+  heartbeating, and a peer takes the lease over and re-executes.
+- **Graceful drain**: the ``drain`` op (and shutdown) flips the
+  service into a mode that refuses new submissions (``draining``
+  reply) while in-flight jobs run to completion.
+- **Health**: the ``health`` op is the probe endpoint — readiness,
+  worker liveness, queue depth, quarantine size.
+
 The service may also run its own janitor (``gc_every_s``): periodic
 ``store.gc`` under the configured age/size budget, off the event loop.
-The store's concurrency hardening makes this safe while workers write
-— and last-used-based eviction means a hot cache entry never ages out
-under it.
+The janitor *never dies*: an unexpected store exception is counted,
+logged, and the loop continues — a misbehaving filesystem must not
+silently disable eviction for the rest of the server's life.
 """
 
 from __future__ import annotations
@@ -39,7 +67,7 @@ from typing import Any
 from repro.errors import ReproError
 from repro.harness.jobspec import JobSpec, app_names
 from repro.provenance.record import RunRecord
-from repro.provenance.store import ProvenanceStore
+from repro.provenance.store import LEASE_TTL_S, ProvenanceStore
 from repro.serve import protocol
 from repro.serve.cache import ResultCache
 from repro.serve.pool import WorkerPool
@@ -60,6 +88,11 @@ class ServeStats:
     coalesced: int = 0      #: attached to an identical in-flight run
     errors: int = 0         #: executions that died unstructured
     invalid: int = 0        #: submissions rejected before keying
+    shed: int = 0           #: submissions refused (busy / draining)
+    deadline_exceeded: int = 0  #: replies that ran out of deadline
+    quarantined: int = 0    #: run_ids condemned as poison jobs
+    lease_waits: int = 0    #: executions that waited on a peer's lease
+    lease_takeovers: int = 0  #: stale leases broken (peer crashed)
     gc_cycles: int = 0
     gc_errors: int = 0
     started_at: float = field(default_factory=time.time)
@@ -72,6 +105,11 @@ class ServeStats:
             "coalesced": self.coalesced,
             "errors": self.errors,
             "invalid": self.invalid,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "quarantined": self.quarantined,
+            "lease_waits": self.lease_waits,
+            "lease_takeovers": self.lease_takeovers,
             "gc_cycles": self.gc_cycles,
             "gc_errors": self.gc_errors,
             "uptime_s": round(time.time() - self.started_at, 3),  # repro: allow(det-wallclock) operator-facing uptime metric, host-side
@@ -85,6 +123,12 @@ class JobService:
     ``await run()`` serves until :meth:`request_shutdown` (also
     reachable as the ``shutdown`` op); ``await close()`` drains.  For
     synchronous hosts (tests, the bench) use :class:`ServiceThread`.
+
+    ``lease_ttl_s=None`` disables cross-server leases (single-server
+    deployments save two file ops per execution); any float enables
+    them with that heartbeat TTL.  ``enable_chaos`` unlocks the
+    protocol-level fault-injection envelope used by the service chaos
+    campaign — never enable it on a real deployment.
     """
 
     def __init__(self, store: ProvenanceStore | str | Path | None = None,
@@ -95,6 +139,11 @@ class JobService:
                  port: int = 0,
                  worker_mode: str = "process",
                  mp_context: str = "spawn",
+                 max_queue: int | None = 256,
+                 retries: int = 2,
+                 lease_ttl_s: float | None = LEASE_TTL_S,
+                 lease_poll_s: float = 0.1,
+                 enable_chaos: bool = False,
                  gc_every_s: float | None = None,
                  gc_max_age_s: float | None = None,
                  gc_max_bytes: int | None = None,
@@ -105,6 +154,11 @@ class JobService:
         self.workers = workers
         self.worker_mode = worker_mode
         self.mp_context = mp_context
+        self.max_queue = max_queue
+        self.retries = retries
+        self.lease_ttl_s = lease_ttl_s
+        self.lease_poll_s = lease_poll_s
+        self.enable_chaos = enable_chaos
         if socket_path is None and host is None:
             socket_path = DEFAULT_SOCKET
         self.socket_path = Path(socket_path) if socket_path else None
@@ -118,6 +172,8 @@ class JobService:
         self._pool: WorkerPool | None = None
         self._server: asyncio.base_events.Server | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        self._poison: dict[str, dict[str, Any]] = {}
+        self._draining = False
         self._shutdown: asyncio.Event | None = None
         self._gc_task: asyncio.Task | None = None
 
@@ -133,10 +189,15 @@ class JobService:
     def inflight(self) -> int:
         return len(self._inflight)
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def start(self) -> None:
         self._shutdown = asyncio.Event()
         self._pool = WorkerPool(self.workers, mode=self.worker_mode,
-                                mp_context=self.mp_context)
+                                mp_context=self.mp_context,
+                                retries=self.retries)
         if self.socket_path is not None:
             self.socket_path.parent.mkdir(parents=True, exist_ok=True)
             with contextlib.suppress(OSError):
@@ -154,6 +215,10 @@ class JobService:
                 self._gc_loop())
 
     def request_shutdown(self) -> None:
+        # Shutdown implies drain: between the request and the socket
+        # closing, new submissions are refused while in-flight ones
+        # finish.
+        self._draining = True
         if self._shutdown is not None:
             self._shutdown.set()
 
@@ -166,6 +231,7 @@ class JobService:
         await self.close()
 
     async def close(self) -> None:
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -191,11 +257,14 @@ class JobService:
     # -- the janitor --------------------------------------------------------
 
     async def _gc_loop(self) -> None:
+        """Periodic store gc.  Log-and-continue on *any* store failure:
+        one bad cycle (ENOSPC, a corrupt shard, a racing actor) must
+        not silently end eviction for the rest of the server's life."""
         assert self.gc_every_s is not None
         loop = asyncio.get_running_loop()
         while True:
-            await asyncio.sleep(self.gc_every_s)
             try:
+                await asyncio.sleep(self.gc_every_s)
                 await loop.run_in_executor(
                     None, lambda: self.store.gc(
                         keep=self.gc_keep,
@@ -206,7 +275,7 @@ class JobService:
                 raise
             except Exception:
                 self.stats.gc_errors += 1
-                _log.exception("serve gc cycle failed")
+                _log.exception("serve gc cycle failed; janitor continues")
 
     # -- connection handling ------------------------------------------------
 
@@ -222,9 +291,17 @@ class JobService:
                     break
                 if msg is None:
                     break
+                if msg.get("op") == protocol.OP_SUBMIT_MANY:
+                    await self._submit_many(msg, writer)
+                    continue
                 reply = await self._dispatch(msg)
                 await protocol.write_message(writer, reply)
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels handlers parked in readline; close the
+            # socket quietly instead of surfacing a cancellation
+            # traceback through the stream-protocol callback.
             pass
         finally:
             writer.close()
@@ -237,34 +314,82 @@ class JobService:
             return {"ok": True, "op": "pong",
                     "code_version": self.cache.code_version}
         if op == protocol.OP_STATS:
+            pool = (self._pool.pool_stats() if self._pool is not None
+                    else {})
             return {"ok": True,
                     "stats": {**self.stats.to_dict(),
                               "inflight": self.inflight,
+                              "draining": self._draining,
+                              "max_queue": self.max_queue,
                               "workers": self.workers,
                               "worker_mode": self.worker_mode,
                               "endpoint": self.endpoint,
+                              "pool": pool,
                               **self.cache.stats()}}
+        if op == protocol.OP_HEALTH:
+            return self.health()
         if op == protocol.OP_SUBMIT:
             return await self.submit(msg.get("spec"),
-                                     wait=bool(msg.get("wait", True)))
+                                     wait=bool(msg.get("wait", True)),
+                                     deadline_ms=msg.get("deadline_ms"),
+                                     chaos=msg.get("chaos"))
         if op == protocol.OP_AWAIT:
-            return await self.await_result(str(msg.get("run_id", "")))
+            return await self.await_result(
+                str(msg.get("run_id", "")),
+                deadline_ms=msg.get("deadline_ms"))
         if op == protocol.OP_STATUS:
             return self.status(str(msg.get("run_id", "")))
+        if op == protocol.OP_DRAIN:
+            self._draining = True
+            return {"ok": True, "op": "drain", "inflight": self.inflight}
         if op == protocol.OP_SHUTDOWN:
             self.request_shutdown()
             return {"ok": True, "op": "shutdown"}
         return protocol.error_reply(f"unknown op {op!r}")
 
+    # -- probes -------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Readiness/liveness probe payload (the ``health`` op)."""
+        pool = self._pool
+        alive = pool.alive_workers() if pool is not None else 0
+        pool_dead = pool.dead if pool is not None else True
+        ready = (self._server is not None and not self._draining
+                 and not pool_dead
+                 and (alive > 0 or self.worker_mode == "thread"))
+        return {"ok": True, "op": "health",
+                "ready": ready,
+                "draining": self._draining,
+                "pool_dead": pool_dead,
+                "workers_alive": alive,
+                "worker_pids": (pool.worker_pids()
+                                if pool is not None else []),
+                "inflight": self.inflight,
+                "max_queue": self.max_queue,
+                "quarantined": len(self._poison),
+                "leases": self.lease_ttl_s is not None}
+
     # -- the submit path ----------------------------------------------------
 
-    async def submit(self, spec_dict: Any,
-                     wait: bool = True) -> dict[str, Any]:
-        """Submit one spec: hit, coalesce, or execute."""
+    async def submit(self, spec_dict: Any, wait: bool = True,
+                     deadline_ms: float | None = None,
+                     chaos: dict[str, Any] | None = None
+                     ) -> dict[str, Any]:
+        """Submit one spec: hit, coalesce, shed, or execute."""
         self.stats.submissions += 1
+        if self._draining:
+            self.stats.shed += 1
+            return protocol.shed_reply(
+                protocol.REASON_DRAINING,
+                "service is draining; not accepting new submissions")
         if not isinstance(spec_dict, dict):
             self.stats.invalid += 1
             return protocol.error_reply("submit needs a spec object")
+        if chaos is not None and not self.enable_chaos:
+            self.stats.invalid += 1
+            return protocol.error_reply(
+                "chaos envelope rejected: server started without "
+                "chaos hooks")
         try:
             spec = JobSpec.from_dict(dict(spec_dict))
         except (ReproError, TypeError, ValueError) as e:
@@ -276,6 +401,11 @@ class JobService:
                 f"bad spec: unknown app {spec.app!r}; "
                 f"registered: {app_names()}")
         run_id = self.cache.key(spec)
+
+        poison = self._poison.get(run_id)
+        if poison is not None:
+            # Quarantined: answer from memory, never feed it workers.
+            return dict(poison)
 
         record = self.cache.get(run_id)
         if record is not None:
@@ -289,62 +419,234 @@ class JobService:
             self.stats.coalesced += 1
             cache = protocol.CACHE_COALESCED
         else:
-            fut = self._launch(run_id, spec)
+            # Admission control: only a *new* execution occupies a
+            # queue slot; hits and coalesced attaches above are free.
+            depth = len(self._inflight)
+            if self.max_queue is not None and depth >= self.max_queue:
+                self.stats.shed += 1
+                return protocol.shed_reply(
+                    protocol.REASON_BUSY,
+                    f"queue full ({depth} in flight >= "
+                    f"watermark {self.max_queue})",
+                    queue_depth=depth)
+            deadline_ts = (time.time() + deadline_ms / 1000.0  # repro: allow(det-wallclock) client deadlines are host wall-clock by definition
+                           if deadline_ms else None)
+            fut = self._launch(run_id, spec, deadline_ts, chaos)
             cache = protocol.CACHE_MISS
         if not wait:
             return {"ok": True, "run_id": run_id,
                     "cache": protocol.CACHE_INFLIGHT}
-        reply = dict(await fut)
+        return await self._await_reply(fut, run_id, cache, deadline_ms)
+
+    async def _await_reply(self, fut: asyncio.Future, run_id: str,
+                           cache: str, deadline_ms: float | None
+                           ) -> dict[str, Any]:
+        """Await a resolution with the caller's deadline.  The
+        execution itself is shielded — a slow job still completes and
+        fills the cache for the next caller even when this one gives
+        up."""
+        if deadline_ms:
+            try:
+                reply = dict(await asyncio.wait_for(
+                    asyncio.shield(fut), deadline_ms / 1000.0))
+            except asyncio.TimeoutError:
+                self.stats.deadline_exceeded += 1
+                return protocol.error_reply(
+                    f"deadline exceeded after {deadline_ms} ms",
+                    reason=protocol.REASON_DEADLINE, run_id=run_id,
+                    retryable=False)
+        else:
+            reply = dict(await fut)
         if reply.get("ok"):
             reply["cache"] = cache
         return reply
 
-    def _launch(self, run_id: str, spec: JobSpec) -> asyncio.Future:
-        """Dispatch one execution; registers the single-flight future."""
-        assert self._pool is not None
+    def _launch(self, run_id: str, spec: JobSpec,
+                deadline_ts: float | None,
+                chaos: dict[str, Any] | None) -> asyncio.Future:
+        """Register the single-flight future and start the execution
+        task (lease acquisition + pool dispatch + settlement)."""
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         self._inflight[run_id] = fut
-        self.stats.executed += 1
-        pool_fut = asyncio.wrap_future(self._pool.submit(spec.to_dict()),
-                                       loop=loop)
-        loop.create_task(self._finish(run_id, pool_fut, fut))
+        loop.create_task(self._execute(run_id, spec, deadline_ts,
+                                       chaos, fut))
         return fut
 
-    async def _finish(self, run_id: str, pool_fut: asyncio.Future,
-                      fut: asyncio.Future) -> None:
+    async def _execute(self, run_id: str, spec: JobSpec,
+                       deadline_ts: float | None,
+                       chaos: dict[str, Any] | None,
+                       fut: asyncio.Future) -> None:
+        lease = None
         try:
-            out = await pool_fut
-        except Exception as e:  # wrap_future surfaced a pool failure
-            out = {"record": None, "timeline_z": None,
-                   "error": f"{type(e).__name__}: {e}"}
+            if self.lease_ttl_s is not None:
+                lease = await self._acquire_lease_or_result(run_id, fut)
+                if lease is None:
+                    return      # resolved from a peer's execution
+            self.stats.executed += 1
+            out = await self._run_on_pool(run_id, spec, deadline_ts,
+                                          chaos, lease)
+            self._settle(run_id, fut, self._reply_from_pool(run_id, out))
+        finally:
+            if lease is not None:
+                lease.release()
+            self._inflight.pop(run_id, None)
+            if not fut.done():      # belt and braces: never hang a waiter
+                fut.set_result(protocol.error_reply(
+                    "execution task died unexpectedly", run_id=run_id))
+
+    async def _acquire_lease_or_result(self, run_id: str,
+                                       fut: asyncio.Future):
+        """Cross-server single-flight: either win the lease (we
+        execute) or wait the peer out — serving its stored record when
+        it lands, or taking over its expired lease when it crashes."""
+        waited = False
+        while True:
+            lease = self.store.acquire_lease(run_id,
+                                             ttl_s=self.lease_ttl_s)
+            if lease is not None:
+                if lease.takeover:
+                    self.stats.lease_takeovers += 1
+                return lease
+            if not waited:
+                waited = True
+                self.stats.lease_waits += 1
+            await asyncio.sleep(self.lease_poll_s)
+            record = self.cache.get(run_id)
+            if record is not None:
+                self._settle(run_id, fut, {
+                    "ok": True, "run_id": run_id,
+                    "record": record.to_dict()})
+                return None
+
+    async def _run_on_pool(self, run_id: str, spec: JobSpec,
+                           deadline_ts: float | None,
+                           chaos: dict[str, Any] | None,
+                           lease) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        try:
+            pool_fut = asyncio.wrap_future(
+                self._pool.submit(spec.to_dict(),
+                                  deadline_ts=deadline_ts, chaos=chaos),
+                loop=loop)
+        except RuntimeError as e:
+            return {"record": None, "timeline_z": None, "error": str(e)}
+        hb: asyncio.Task | None = None
+        if lease is not None:
+            hb = loop.create_task(self._heartbeat(lease))
+        try:
+            return await pool_fut
+        except Exception as e:   # wrap_future surfaced a pool failure
+            return {"record": None, "timeline_z": None,
+                    "error": f"{type(e).__name__}: {e}"}
+        finally:
+            if hb is not None:
+                hb.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await hb
+
+    async def _heartbeat(self, lease) -> None:
+        """Keep the lease's mtime fresh while the job runs; a lost
+        lease (a peer presumed us dead and took over) is logged but the
+        execution continues — the store's append-only put makes the
+        duplicate harmless."""
+        interval = max(self.lease_ttl_s / 3.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            renewed = await asyncio.get_running_loop().run_in_executor(
+                None, lease.renew)
+            if not renewed:
+                _log.warning("lease lost for %s (takeover by a peer?)",
+                             lease.run_id[:12])
+                return
+
+    def _reply_from_pool(self, run_id: str,
+                         out: dict[str, Any]) -> dict[str, Any]:
         if out.get("error") is not None or out.get("record") is None:
-            self.stats.errors += 1
             reply = protocol.error_reply(
                 out.get("error") or "worker returned no record",
                 run_id=run_id)
-        else:
-            record = RunRecord.from_dict(out["record"])
-            # File before resolving: every waiter observes a stored,
-            # re-readable record.  The store write is tiny; doing it on
-            # the loop keeps put-then-resolve atomic wrt new submits.
-            self.cache.put(record, out.get("timeline_z"))
-            reply = {"ok": True, "run_id": run_id, "record": out["record"]}
+            for key in ("reason", "unrecoverable_reason", "attempts"):
+                if key in out:
+                    reply[key] = out[key]
+            reason = out.get("reason")
+            if reason == protocol.REASON_POISON:
+                # Remember the verdict: identical future submissions
+                # are answered from quarantine, not retried on workers.
+                self.stats.quarantined += 1
+                self._poison[run_id] = {**reply, "quarantined": True}
+            elif reason == protocol.REASON_DEADLINE:
+                self.stats.deadline_exceeded += 1
+            else:
+                self.stats.errors += 1
+            return reply
+        record = RunRecord.from_dict(out["record"])
+        # File before resolving: every waiter observes a stored,
+        # re-readable record.  The store write is tiny; doing it on
+        # the loop keeps put-then-resolve atomic wrt new submits.
+        self.cache.put(record, out.get("timeline_z"))
+        return {"ok": True, "run_id": run_id, "record": out["record"]}
+
+    def _settle(self, run_id: str, fut: asyncio.Future,
+                reply: dict[str, Any]) -> None:
         self._inflight.pop(run_id, None)
         if not fut.done():
             fut.set_result(reply)
 
+    # -- batch submission ---------------------------------------------------
+
+    async def _submit_many(self, msg: dict[str, Any],
+                           writer: asyncio.StreamWriter) -> None:
+        """One request, N specs: replies stream back per job in
+        completion order (each tagged ``index``), then a terminator."""
+        specs = msg.get("specs")
+        if not isinstance(specs, list):
+            await protocol.write_message(
+                writer, protocol.error_reply(
+                    "submit_many needs a list of specs"))
+            await protocol.write_message(
+                writer, {"ok": False, "op": protocol.OP_SUBMIT_MANY_DONE,
+                         "n": 0})
+            return
+        wait = bool(msg.get("wait", True))
+        deadline_ms = msg.get("deadline_ms")
+
+        async def one(i: int, sd: Any) -> dict[str, Any]:
+            reply = await self.submit(sd, wait=wait,
+                                      deadline_ms=deadline_ms)
+            return {**reply, "index": i}
+
+        tasks = [asyncio.ensure_future(one(i, sd))
+                 for i, sd in enumerate(specs)]
+        try:
+            for next_done in asyncio.as_completed(tasks):
+                await protocol.write_message(writer, await next_done)
+            await protocol.write_message(
+                writer, {"ok": True, "op": protocol.OP_SUBMIT_MANY_DONE,
+                         "n": len(specs)})
+        except (ConnectionResetError, BrokenPipeError):
+            # Client hung up mid-stream: let the remaining submissions
+            # finish server-side (they fill the cache), stop writing.
+            for t in tasks:
+                if not t.done():
+                    await t
+            raise
+
     # -- status / await -----------------------------------------------------
 
-    async def await_result(self, run_id: str) -> dict[str, Any]:
+    async def await_result(self, run_id: str, *,
+                           deadline_ms: float | None = None
+                           ) -> dict[str, Any]:
         """Block until ``run_id`` resolves (submitted earlier with
         ``wait=false``), or serve it from the store."""
         fut = self._inflight.get(run_id)
         if fut is not None:
-            reply = dict(await fut)
-            if reply.get("ok"):
-                reply["cache"] = protocol.CACHE_COALESCED
-            return reply
+            return await self._await_reply(
+                fut, run_id, protocol.CACHE_COALESCED, deadline_ms)
+        poison = self._poison.get(run_id)
+        if poison is not None:
+            return dict(poison)
         record = self.cache.get(run_id)
         if record is not None:
             return {"ok": True, "run_id": run_id,
@@ -356,6 +658,8 @@ class JobService:
     def status(self, run_id: str) -> dict[str, Any]:
         if run_id in self._inflight:
             state = "inflight"
+        elif run_id in self._poison:
+            state = "quarantined"
         elif run_id in self.store:
             state = "done"
         else:

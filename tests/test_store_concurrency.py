@@ -241,3 +241,159 @@ class TestMultiProcess:
         report = store.gc(max_bytes=0)
         assert report.deleted == 2 * self.N_PER_WRITER
         assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# pid reuse: a recycled pid must not protect a stale tmp forever
+# ---------------------------------------------------------------------------
+
+class TestTmpSweepPidReuse:
+    def test_alive_foreign_pid_expires_past_grace(self, store):
+        """Pid 1 is always alive — exactly what a recycled pid looks
+        like to the sweeper.  Liveness must only defer the sweep until
+        the mtime grace, never indefinitely."""
+        from repro.provenance.store import TMP_GRACE_S
+
+        tmp = _shard(store) / "aa77.json.tmp1"
+        tmp.write_bytes(b"orphan")
+        now = time.time()
+        # Within the grace the (apparently) live writer is trusted.
+        assert store.sweep_tmp(now=now) == (0, 0)
+        assert tmp.exists()
+        # Past the grace the pid no longer buys protection: no real
+        # atomic write lives an hour, so the pid must be recycled.
+        swept, nbytes = store.sweep_tmp(now=now + TMP_GRACE_S + 1)
+        assert (swept, nbytes) == (1, len(b"orphan"))
+        assert not tmp.exists()
+
+    def test_backdated_mtime_with_alive_pid_swept_by_gc(self, store):
+        from repro.provenance.store import TMP_GRACE_S
+
+        tmp = _shard(store) / "aa88.json.tmp1"
+        tmp.write_bytes(b"x")
+        old = time.time() - TMP_GRACE_S - 60
+        os.utime(tmp, (old, old))
+        report = store.gc()
+        assert report.swept_tmp == 1
+        assert not tmp.exists()
+
+
+# ---------------------------------------------------------------------------
+# execution leases: cross-server single-flight
+# ---------------------------------------------------------------------------
+
+class TestLeases:
+    RUN = "ab" + "0" * 62
+
+    def test_mutual_exclusion_and_release(self, store):
+        lease = store.acquire_lease(self.RUN)
+        assert lease is not None and not lease.takeover
+        # Same host, live owner: nobody else gets it.
+        assert store.acquire_lease(self.RUN) is None
+        holder = store.lease_holder(self.RUN)
+        assert holder["pid"] == os.getpid()
+        lease.release()
+        assert store.lease_holder(self.RUN) is None
+        again = store.acquire_lease(self.RUN)
+        assert again is not None and not again.takeover
+        again.release()
+
+    def test_stale_heartbeat_takeover(self, store):
+        t0 = time.time()
+        lease = store.acquire_lease(self.RUN, ttl_s=30.0, now=t0)
+        assert lease is not None
+        # Heartbeat still fresh: no takeover even near the TTL.
+        assert store.acquire_lease(self.RUN, ttl_s=30.0,
+                                   now=t0 + 29.0) is None
+        # Heartbeat expired: the owner is presumed dead even though the
+        # pid is alive (a wedged server must not hold the job forever).
+        taken = store.acquire_lease(self.RUN, ttl_s=30.0, now=t0 + 31.0)
+        assert taken is not None and taken.takeover
+        # The usurped lease must refuse to renew or release.
+        assert lease.renew() is False
+        lease.release()
+        assert store.lease_holder(self.RUN)["token"] == taken.token
+        taken.release()
+
+    def test_renew_refreshes_heartbeat(self, store):
+        lease = store.acquire_lease(self.RUN, ttl_s=30.0)
+        assert lease is not None
+        path = store._lease_path(self.RUN)
+        old = time.time() - 100
+        os.utime(path, (old, old))
+        # The backdated heartbeat reads as a dead owner...
+        assert store._lease_is_stale(path, 30.0, time.time())
+        assert lease.renew() is True
+        # ...until one renew makes it fresh again.
+        assert not store._lease_is_stale(path, 30.0, time.time())
+        assert store.acquire_lease(self.RUN, ttl_s=30.0) is None
+        lease.release()
+
+    def test_dead_pid_takeover_before_ttl(self, store):
+        """A same-host owner that provably died is stale immediately —
+        no need to wait out the TTL."""
+        import socket as socketlib
+
+        path = store._lease_path(self.RUN)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "host": socketlib.gethostname(), "pid": _dead_pid(),
+            "token": "ghost", "acquired_at": time.time()}))
+        lease = store.acquire_lease(self.RUN, ttl_s=3600.0)
+        assert lease is not None and lease.takeover
+        lease.release()
+
+    def test_half_written_lease_judged_by_heartbeat(self, store):
+        path = store._lease_path(self.RUN)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b'{"host": "trunc')
+        t0 = path.stat().st_mtime
+        assert store.acquire_lease(self.RUN, ttl_s=30.0,
+                                   now=t0 + 1.0) is None
+        lease = store.acquire_lease(self.RUN, ttl_s=30.0, now=t0 + 31.0)
+        assert lease is not None and lease.takeover
+        lease.release()
+
+    def test_delete_clears_lease(self, store):
+        record = _fake_record(0)
+        store.put(record)
+        lease = store.acquire_lease(record.run_id)
+        assert lease is not None
+        store.delete(record.run_id)
+        assert store.lease_holder(record.run_id) is None
+
+    def test_sigkilled_owner_is_taken_over(self, store, tmp_path):
+        """End to end: another *process* acquires the lease and is
+        SIGKILLed; the survivor's acquire must take over."""
+        import signal
+        import subprocess
+        import sys
+
+        script = (
+            "import sys, time\n"
+            "from repro.provenance import ProvenanceStore\n"
+            f"s = ProvenanceStore({str(store.root)!r})\n"
+            f"lease = s.acquire_lease({self.RUN!r})\n"
+            "assert lease is not None\n"
+            "print('acquired', flush=True)\n"
+            "time.sleep(120)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen([sys.executable, "-c", script],
+                                stdout=subprocess.PIPE, env=env)
+        try:
+            assert proc.stdout.readline().strip() == b"acquired"
+            # The owner is alive: excluded.
+            assert store.acquire_lease(self.RUN) is None
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            lease = store.acquire_lease(self.RUN)
+            assert lease is not None and lease.takeover
+            lease.release()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
